@@ -1,0 +1,322 @@
+//! Affine (SCEV-style) decomposition of offset expressions.
+//!
+//! The paper's check-in-loop promotion (§4.4.2) relies on LLVM's scalar
+//! evolution to express a loop access's offset as `a·i + b` with `a`
+//! constant and `b` loop-invariant. This module performs the same
+//! decomposition over mini-IR expressions, substituting through `let`
+//! definitions and refusing anything that depends on a value loaded inside
+//! the loop (the `y[x[i]]` pattern of Figure 8, which must fall back to
+//! history caching).
+
+use std::collections::HashMap;
+
+use giantsan_ir::{Expr, LoopId, VarId};
+
+/// Where and how a variable was defined, for invariance reasoning.
+#[derive(Debug, Clone)]
+pub enum VarDef {
+    /// Induction variable of the given loop; `loops` is the enclosing loop
+    /// stack *including* that loop.
+    Induction {
+        /// The loop this variable indexes.
+        of: LoopId,
+        /// Loop stack at the definition.
+        loops: Vec<LoopId>,
+    },
+    /// Defined by `let var = expr`.
+    Let {
+        /// The defining expression.
+        expr: Expr,
+        /// Loop stack at the definition.
+        loops: Vec<LoopId>,
+    },
+    /// Defined by a memory load: a runtime-opaque value.
+    Load {
+        /// Loop stack at the definition.
+        loops: Vec<LoopId>,
+    },
+}
+
+impl VarDef {
+    fn loops(&self) -> &[LoopId] {
+        match self {
+            VarDef::Induction { loops, .. }
+            | VarDef::Let { loops, .. }
+            | VarDef::Load { loops } => loops,
+        }
+    }
+
+    /// A definition varies across iterations of `target` iff it happened
+    /// inside `target`'s body.
+    fn varies_in(&self, target: LoopId) -> bool {
+        self.loops().contains(&target)
+    }
+}
+
+/// Definition environment: one entry per variable, in SSA fashion (the
+/// builder never reassigns a variable except loop induction variables).
+pub type DefEnv = HashMap<VarId, VarDef>;
+
+/// The result of decomposing an offset w.r.t. a loop's induction variable:
+/// `offset = coeff · i + base`, with `base` loop-invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine {
+    /// Constant coefficient of the induction variable.
+    pub coeff: i64,
+    /// Loop-invariant remainder.
+    pub base: Expr,
+}
+
+const MAX_DEPTH: u32 = 24;
+
+/// Decomposes `expr` as `coeff · ivar + base` with `base` invariant in
+/// `target`. Returns `None` when the expression is not affine in `ivar` or
+/// depends on a value produced inside the loop.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_analysis::affine::{decompose, DefEnv};
+/// use giantsan_ir::{Expr, LoopId, VarId};
+///
+/// let i = VarId(0);
+/// let env = DefEnv::new();
+/// let a = decompose(&(Expr::var(i) * 4 + 8), LoopId(0), i, &env).unwrap();
+/// assert_eq!(a.coeff, 4);
+/// assert_eq!(a.base.eval(&[], &[]), 8);
+/// ```
+pub fn decompose(expr: &Expr, target: LoopId, ivar: VarId, env: &DefEnv) -> Option<Affine> {
+    go(expr, target, ivar, env, 0)
+}
+
+fn go(expr: &Expr, target: LoopId, ivar: VarId, env: &DefEnv, depth: u32) -> Option<Affine> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    match expr {
+        Expr::Const(_) | Expr::Input(_) => Some(Affine {
+            coeff: 0,
+            base: expr.clone(),
+        }),
+        // A dynamically-indexed input is invariant iff its index is; even
+        // then it is data, not an affine function of the induction variable.
+        Expr::InputDyn(e) => {
+            let inner = go(e, target, ivar, env, depth + 1)?;
+            if inner.coeff == 0 {
+                Some(Affine {
+                    coeff: 0,
+                    base: expr.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        Expr::Var(v) if *v == ivar => Some(Affine {
+            coeff: 1,
+            base: Expr::Const(0),
+        }),
+        Expr::Var(v) => match env.get(v) {
+            None => Some(Affine {
+                coeff: 0,
+                base: expr.clone(),
+            }),
+            Some(def) if !def.varies_in(target) => Some(Affine {
+                coeff: 0,
+                base: expr.clone(),
+            }),
+            Some(VarDef::Let { expr: e, .. }) => go(e, target, ivar, env, depth + 1),
+            Some(_) => None, // load or inner induction inside the loop
+        },
+        Expr::Add(a, b) => {
+            let a = go(a, target, ivar, env, depth + 1)?;
+            let b = go(b, target, ivar, env, depth + 1)?;
+            Some(Affine {
+                coeff: a.coeff.checked_add(b.coeff)?,
+                base: fold(a.base + b.base),
+            })
+        }
+        Expr::Sub(a, b) => {
+            let a = go(a, target, ivar, env, depth + 1)?;
+            let b = go(b, target, ivar, env, depth + 1)?;
+            Some(Affine {
+                coeff: a.coeff.checked_sub(b.coeff)?,
+                base: fold(a.base - b.base),
+            })
+        }
+        Expr::Mul(a, b) => {
+            let a = go(a, target, ivar, env, depth + 1)?;
+            let b = go(b, target, ivar, env, depth + 1)?;
+            match (a.base.as_const(), b.base.as_const()) {
+                // const * affine
+                (Some(c), _) if a.coeff == 0 => Some(Affine {
+                    coeff: b.coeff.checked_mul(c)?,
+                    base: fold(b.base * c),
+                }),
+                // affine * const
+                (_, Some(c)) if b.coeff == 0 => Some(Affine {
+                    coeff: a.coeff.checked_mul(c)?,
+                    base: fold(a.base * c),
+                }),
+                // invariant * invariant
+                _ if a.coeff == 0 && b.coeff == 0 => Some(Affine {
+                    coeff: 0,
+                    base: fold(a.base * b.base),
+                }),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Light constant folding to keep promoted-check expressions small.
+pub fn fold(e: Expr) -> Expr {
+    match e {
+        Expr::Add(a, b) => match (fold(*a), fold(*b)) {
+            (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_add(y)),
+            (Expr::Const(0), y) => y,
+            (x, Expr::Const(0)) => x,
+            (x, y) => Expr::Add(Box::new(x), Box::new(y)),
+        },
+        Expr::Sub(a, b) => match (fold(*a), fold(*b)) {
+            (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_sub(y)),
+            (x, Expr::Const(0)) => x,
+            (x, y) => Expr::Sub(Box::new(x), Box::new(y)),
+        },
+        Expr::Mul(a, b) => match (fold(*a), fold(*b)) {
+            (Expr::Const(x), Expr::Const(y)) => Expr::Const(x.wrapping_mul(y)),
+            (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
+            (Expr::Const(1), y) => y,
+            (x, Expr::Const(1)) => x,
+            (x, y) => Expr::Mul(Box::new(x), Box::new(y)),
+        },
+        e => e,
+    }
+}
+
+/// Fully folds an expression to a constant if it only involves constants.
+pub fn const_eval(e: &Expr) -> Option<i64> {
+    fold(e.clone()).as_const()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loop0() -> (LoopId, VarId) {
+        (LoopId(0), VarId(0))
+    }
+
+    #[test]
+    fn simple_affine_forms() {
+        let (l, i) = loop0();
+        let env = DefEnv::new();
+        let cases: Vec<(Expr, i64, i64)> = vec![
+            (Expr::var(i), 1, 0),
+            (Expr::var(i) * 8, 8, 0),
+            (Expr::var(i) * 4 + 16, 4, 16),
+            (Expr::Const(100) - Expr::var(i) * 4, -4, 100),
+            (Expr::Const(7), 0, 7),
+        ];
+        for (e, coeff, base) in cases {
+            let a = decompose(&e, l, i, &env).unwrap();
+            assert_eq!(a.coeff, coeff, "{e}");
+            assert_eq!(a.base.eval(&[], &[]), base, "{e}");
+        }
+    }
+
+    #[test]
+    fn substitutes_through_lets() {
+        let (l, i) = loop0();
+        let j = VarId(1);
+        let mut env = DefEnv::new();
+        env.insert(
+            j,
+            VarDef::Let {
+                expr: Expr::var(i) * 2 + 1,
+                loops: vec![l],
+            },
+        );
+        // offset = j * 4 = 8i + 4.
+        let a = decompose(&(Expr::var(j) * 4), l, i, &env).unwrap();
+        assert_eq!(a.coeff, 8);
+        assert_eq!(a.base.eval(&[], &[]), 4);
+    }
+
+    #[test]
+    fn loaded_values_block_promotion() {
+        let (l, i) = loop0();
+        let j = VarId(1);
+        let mut env = DefEnv::new();
+        env.insert(j, VarDef::Load { loops: vec![l] });
+        assert!(decompose(&(Expr::var(j) * 4), l, i, &env).is_none());
+    }
+
+    #[test]
+    fn values_from_outside_the_loop_are_invariant() {
+        let (l, i) = loop0();
+        let n = VarId(1);
+        let mut env = DefEnv::new();
+        env.insert(n, VarDef::Load { loops: vec![] });
+        let a = decompose(&(Expr::var(i) * 4 + Expr::var(n)), l, i, &env).unwrap();
+        assert_eq!(a.coeff, 4);
+        assert_eq!(a.base, Expr::var(n));
+    }
+
+    #[test]
+    fn outer_induction_is_invariant_in_inner_loop() {
+        let outer = LoopId(0);
+        let inner = LoopId(1);
+        let oi = VarId(0);
+        let ii = VarId(1);
+        let mut env = DefEnv::new();
+        env.insert(
+            oi,
+            VarDef::Induction {
+                of: outer,
+                loops: vec![outer],
+            },
+        );
+        env.insert(
+            ii,
+            VarDef::Induction {
+                of: inner,
+                loops: vec![outer, inner],
+            },
+        );
+        // offset = oi*64 + ii*8, decomposed w.r.t. the inner loop.
+        let e = Expr::var(oi) * 64 + Expr::var(ii) * 8;
+        let a = decompose(&e, inner, ii, &env).unwrap();
+        assert_eq!(a.coeff, 8);
+        assert!(a.base.uses_any(&[oi]));
+        // And w.r.t. the outer loop, the inner induction blocks it.
+        assert!(decompose(&e, outer, oi, &env).is_none());
+    }
+
+    #[test]
+    fn non_affine_rejected() {
+        let (l, i) = loop0();
+        let env = DefEnv::new();
+        assert!(decompose(&(Expr::var(i) * Expr::var(i)), l, i, &env).is_none());
+        // variable (non-const) coefficient
+        let n = VarId(1);
+        assert!(decompose(&(Expr::var(i) * Expr::var(n)), l, i, &env).is_none());
+    }
+
+    #[test]
+    fn invariant_times_invariant_ok() {
+        let (l, i) = loop0();
+        let env = DefEnv::new();
+        let e = Expr::input(0) * Expr::input(1) + Expr::var(i);
+        let a = decompose(&e, l, i, &env).unwrap();
+        assert_eq!(a.coeff, 1);
+    }
+
+    #[test]
+    fn folding() {
+        assert_eq!(const_eval(&(Expr::Const(3) * 4 + 2)), Some(14));
+        assert_eq!(fold(Expr::var(VarId(0)) * 1), Expr::var(VarId(0)));
+        assert_eq!(fold(Expr::var(VarId(0)) * 0), Expr::Const(0));
+        assert_eq!(fold(Expr::Const(0) + Expr::input(0)), Expr::input(0));
+        assert_eq!(const_eval(&Expr::var(VarId(0))), None);
+    }
+}

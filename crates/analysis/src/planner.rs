@@ -1,0 +1,1106 @@
+//! The instrumentation planner: from a program and a tool profile to a
+//! [`CheckPlan`].
+//!
+//! This is the reproduction of the paper's compilation-phase pipeline
+//! (§4.4): the planner first gives every access its instruction-level check,
+//! then — capability flags permitting — merges must-aliased constant-offset
+//! checks (Aliased Check Elimination), hoists loop-invariant checks, promotes
+//! affine in-loop checks to one pre-header region check (Check-in-Loop
+//! Promotion via the SCEV-style [`crate::affine`] decomposition), and routes
+//! everything else through quasi-bound history caches. The worked example is
+//! Figure 8: five checks become `CI(p, p+8)`, `CI(x, x+4N)` and one cached
+//! check for `y[j]`.
+
+use std::collections::HashMap;
+
+use giantsan_ir::{
+    CacheId, CheckPlan, Expr, LoopId, LoopPlan, PreCheck, Program, PtrId, SiteAction, SiteId, Stmt,
+    VarId,
+};
+use giantsan_runtime::AccessKind;
+
+use crate::affine::{self, DefEnv, VarDef};
+use crate::profile::ToolProfile;
+
+/// Why a site ended up with its action (static accounting for Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteFate {
+    /// Plain instruction-level check.
+    Direct,
+    /// Anchored operation check.
+    Anchored,
+    /// Carries a merged region check covering eliminated aliases.
+    MergeLeader,
+    /// Eliminated: covered by a merge leader.
+    MergedAway,
+    /// Eliminated: hoisted to a loop pre-header (invariant or affine).
+    Promoted,
+    /// Routed through a quasi-bound cache.
+    Cached,
+    /// Memory intrinsic checked as a region by the runtime guardian.
+    MemIntrinsic,
+    /// Eliminated: the access is provably in bounds at compile time (a
+    /// constant offset into a constant-size allocation with no intervening
+    /// free) — no runtime check is needed at all.
+    StaticallySafe,
+}
+
+/// A produced plan plus its static accounting.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The executable plan.
+    pub plan: CheckPlan,
+    /// Static fate of every site, indexed by [`SiteId`].
+    pub fates: Vec<SiteFate>,
+}
+
+impl Analysis {
+    /// Counts sites per fate.
+    pub fn fate_counts(&self) -> HashMap<SiteFate, usize> {
+        let mut m = HashMap::new();
+        for f in &self.fates {
+            *m.entry(*f).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Renders the plan human-readably: one line per site, then the
+    /// per-loop pre-checks (the "instrumented source" view of Figure 8c).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, fate) in self.fates.iter().enumerate() {
+            let _ = writeln!(out, "site s{i}: {}", fate.describe());
+        }
+        let mut loops: Vec<_> = self.plan.loops.iter().collect();
+        loops.sort_by_key(|(id, _)| **id);
+        for (id, lp) in loops {
+            for pre in &lp.pre_checks {
+                let _ = writeln!(
+                    out,
+                    "loop {id} pre-header: CI({} + {}, {} + {})",
+                    pre.ptr, pre.lo, pre.ptr, pre.hi
+                );
+            }
+            for (cache, ptr) in &lp.caches {
+                let _ = writeln!(out, "loop {id}: quasi-bound slot #{} for {ptr}", cache.0);
+            }
+        }
+        out
+    }
+}
+
+impl SiteFate {
+    /// One-line description of the fate.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SiteFate::Direct => "instruction-level check every execution",
+            SiteFate::Anchored => "anchored operation check every execution",
+            SiteFate::MergeLeader => "merged region check (covers aliased sites)",
+            SiteFate::MergedAway => "eliminated (covered by a merged check)",
+            SiteFate::Promoted => "eliminated (hoisted to a loop pre-header CI)",
+            SiteFate::Cached => "history-cached (quasi-bound)",
+            SiteFate::MemIntrinsic => "region-checked by the runtime guardian",
+            SiteFate::StaticallySafe => "eliminated (statically in bounds)",
+        }
+    }
+}
+
+/// Runs the planner for `program` under `profile`.
+///
+/// # Example
+///
+/// The paper's Figure 8 merging result:
+///
+/// ```
+/// use giantsan_analysis::{analyze, SiteFate, ToolProfile};
+/// use giantsan_ir::{Expr, ProgramBuilder};
+///
+/// // p[0] + p[10] + p[20] — three aliased constant-offset loads into a
+/// // runtime-sized buffer (a constant-size one would be statically safe).
+/// let mut b = ProgramBuilder::new("alias");
+/// let n = b.input(0);
+/// let p = b.alloc_heap(n);
+/// let _ = b.load(p, 0i64, 8);
+/// let _ = b.load(p, 80i64, 8);
+/// let _ = b.load(p, 160i64, 8);
+/// let prog = b.build();
+///
+/// let a = analyze(&prog, &ToolProfile::giantsan());
+/// assert_eq!(a.fates[0], SiteFate::MergeLeader);
+/// assert_eq!(a.fates[1], SiteFate::MergedAway);
+/// assert_eq!(a.fates[2], SiteFate::MergedAway);
+/// ```
+pub fn analyze(program: &Program, profile: &ToolProfile) -> Analysis {
+    let mut cx = Cx {
+        profile,
+        env: DefEnv::new(),
+        loop_stack: Vec::new(),
+        loops: HashMap::new(),
+        sites: vec![None; program.num_sites as usize],
+        fates: vec![SiteFate::Direct; program.num_sites as usize],
+        actions: vec![SiteAction::Direct; program.num_sites as usize],
+        plans: HashMap::new(),
+        caches: HashMap::new(),
+        num_caches: 0,
+        ptr_defs_in_loop: std::collections::HashSet::new(),
+    };
+    // Pass 0: which loops contain allocation/free barriers.
+    let mut barriers: HashMap<LoopId, bool> = HashMap::new();
+    mark_barriers(&program.stmts, &mut Vec::new(), &mut barriers);
+
+    cx.walk_block(&program.stmts, &barriers);
+
+    // Pass 2: decide remaining (unmerged) sites.
+    for idx in 0..cx.sites.len() {
+        if let Some(rec) = cx.sites[idx].take() {
+            cx.decide(rec, &barriers);
+        }
+    }
+
+    let plan = CheckPlan {
+        sites: cx.actions,
+        loops: cx.plans,
+        num_caches: cx.num_caches,
+    };
+    Analysis {
+        plan,
+        fates: cx.fates,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LoopCtx {
+    id: LoopId,
+    var: VarId,
+    lo: Expr,
+    hi: Expr,
+    opaque: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SiteRec {
+    site: SiteId,
+    ptr: PtrId,
+    offset: Expr,
+    width: u8,
+    kind: AccessKind,
+    loops: Vec<LoopCtx>,
+}
+
+#[derive(Debug, Clone)]
+struct GroupEntry {
+    site: SiteId,
+    offset: i64,
+    width: u8,
+    kind: AccessKind,
+}
+
+struct Cx<'a> {
+    profile: &'a ToolProfile,
+    env: DefEnv,
+    loop_stack: Vec<LoopCtx>,
+    loops: HashMap<LoopId, LoopCtx>,
+    /// Sites awaiting a pass-2 decision.
+    sites: Vec<Option<SiteRec>>,
+    fates: Vec<SiteFate>,
+    actions: Vec<SiteAction>,
+    plans: HashMap<LoopId, LoopPlan>,
+    caches: HashMap<(LoopId, PtrId), CacheId>,
+    num_caches: u32,
+    /// `(ptr, loop)` pairs where the pointer is (re)defined inside the loop
+    /// body: neither promotion nor caching is sound for such accesses — the
+    /// pointer's value changes across iterations.
+    ptr_defs_in_loop: std::collections::HashSet<(PtrId, LoopId)>,
+}
+
+fn mark_barriers(stmts: &[Stmt], stack: &mut Vec<LoopId>, out: &mut HashMap<LoopId, bool>) {
+    for s in stmts {
+        match s {
+            Stmt::Alloc { .. } | Stmt::Free { .. } | Stmt::Realloc { .. } => {
+                for l in stack.iter() {
+                    out.insert(*l, true);
+                }
+            }
+            Stmt::For { id, body, .. } => {
+                stack.push(*id);
+                out.entry(*id).or_insert(false);
+                mark_barriers(body, stack, out);
+                stack.pop();
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                mark_barriers(then_body, stack, out);
+                mark_barriers(else_body, stack, out);
+            }
+            Stmt::Frame { body } => mark_barriers(body, stack, out),
+            _ => {}
+        }
+    }
+}
+
+impl Cx<'_> {
+    fn current_loops(&self) -> Vec<LoopId> {
+        self.loop_stack.iter().map(|l| l.id).collect()
+    }
+
+    fn note_ptr_def(&mut self, ptr: PtrId) {
+        for l in &self.loop_stack {
+            self.ptr_defs_in_loop.insert((ptr, l.id));
+        }
+    }
+
+    fn record_site(&mut self, rec: SiteRec) {
+        let idx = rec.site.0 as usize;
+        self.sites[idx] = Some(rec);
+    }
+
+    /// Walks a statement block, performing must-alias merging and
+    /// static-safety elision inline.
+    fn walk_block(&mut self, stmts: &[Stmt], barriers: &HashMap<LoopId, bool>) {
+        // Constant-offset access groups per pointer within this block.
+        let mut groups: HashMap<PtrId, Vec<GroupEntry>> = HashMap::new();
+        // Pointers holding a fresh allocation of statically known size
+        // (block-local and killed on free/realloc/redefinition): constant
+        // accesses provably inside need no check at all.
+        let mut fresh_sizes: HashMap<PtrId, i64> = HashMap::new();
+        for s in stmts {
+            match s {
+                Stmt::Let { var, expr } => {
+                    self.env.insert(
+                        *var,
+                        VarDef::Let {
+                            expr: expr.clone(),
+                            loops: self.current_loops(),
+                        },
+                    );
+                }
+                Stmt::Alloc { ptr, size, .. } => {
+                    // Redefinition barrier for this pointer, and a general
+                    // conservative barrier (allocation can recycle memory).
+                    self.note_ptr_def(*ptr);
+                    self.flush_group(&mut groups, Some(*ptr));
+                    match affine::const_eval(size) {
+                        Some(c) if c > 0 => fresh_sizes.insert(*ptr, c),
+                        _ => fresh_sizes.remove(ptr),
+                    };
+                }
+                Stmt::Free { ptr, .. } => {
+                    self.flush_all(&mut groups);
+                    fresh_sizes.remove(ptr);
+                }
+                Stmt::Realloc { ptr, new_size } => {
+                    // Both a free and a redefinition of the pointer.
+                    self.note_ptr_def(*ptr);
+                    self.flush_all(&mut groups);
+                    match affine::const_eval(new_size) {
+                        Some(c) if c > 0 => fresh_sizes.insert(*ptr, c),
+                        _ => fresh_sizes.remove(ptr),
+                    };
+                }
+                Stmt::PtrCopy { dst, .. } => {
+                    self.note_ptr_def(*dst);
+                    self.flush_group(&mut groups, Some(*dst));
+                    fresh_sizes.remove(dst);
+                }
+                Stmt::Load {
+                    site,
+                    ptr,
+                    offset,
+                    width,
+                    dst,
+                } => {
+                    if let Some(d) = dst {
+                        self.env.insert(
+                            *d,
+                            VarDef::Load {
+                                loops: self.current_loops(),
+                            },
+                        );
+                    }
+                    self.access(
+                        *site,
+                        *ptr,
+                        offset,
+                        *width,
+                        AccessKind::Read,
+                        &mut groups,
+                        &fresh_sizes,
+                    );
+                }
+                Stmt::Store {
+                    site,
+                    ptr,
+                    offset,
+                    width,
+                    ..
+                } => {
+                    self.access(
+                        *site,
+                        *ptr,
+                        offset,
+                        *width,
+                        AccessKind::Write,
+                        &mut groups,
+                        &fresh_sizes,
+                    );
+                }
+                Stmt::MemSet { site, .. }
+                | Stmt::MemCpy { site, .. }
+                | Stmt::StrCpy { site, .. } => {
+                    // Intrinsics are checked as regions by the runtime
+                    // guardian for every tool.
+                    self.actions[site.0 as usize] = SiteAction::Direct;
+                    self.fates[site.0 as usize] = SiteFate::MemIntrinsic;
+                }
+                Stmt::For {
+                    id,
+                    var,
+                    lo,
+                    hi,
+                    opaque_bound,
+                    body,
+                    ..
+                } => {
+                    self.flush_all(&mut groups);
+                    let ctx = LoopCtx {
+                        id: *id,
+                        var: *var,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        opaque: *opaque_bound,
+                    };
+                    self.loop_stack.push(ctx.clone());
+                    self.loops.insert(*id, ctx);
+                    self.env.insert(
+                        *var,
+                        VarDef::Induction {
+                            of: *id,
+                            loops: self.current_loops(),
+                        },
+                    );
+                    self.walk_block(body, barriers);
+                    self.loop_stack.pop();
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.flush_all(&mut groups);
+                    self.walk_block(then_body, barriers);
+                    self.walk_block(else_body, barriers);
+                }
+                Stmt::Frame { body } => {
+                    self.flush_all(&mut groups);
+                    self.walk_block(body, barriers);
+                }
+            }
+        }
+        self.flush_all(&mut groups);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn access(
+        &mut self,
+        site: SiteId,
+        ptr: PtrId,
+        offset: &Expr,
+        width: u8,
+        kind: AccessKind,
+        groups: &mut HashMap<PtrId, Vec<GroupEntry>>,
+        fresh_sizes: &HashMap<PtrId, i64>,
+    ) {
+        let rec = SiteRec {
+            site,
+            ptr,
+            offset: offset.clone(),
+            width,
+            kind,
+            loops: self.loop_stack.clone(),
+        };
+        self.record_site(rec);
+        if self.profile.elimination {
+            if let Some(c) = affine::const_eval(offset) {
+                // Statically in bounds of a fresh constant-size allocation:
+                // no runtime check needed at all.
+                if let Some(&size) = fresh_sizes.get(&ptr) {
+                    if c >= 0 && c + width as i64 <= size {
+                        self.actions[site.0 as usize] = SiteAction::Skip;
+                        self.fates[site.0 as usize] = SiteFate::StaticallySafe;
+                        self.sites[site.0 as usize] = None;
+                        return;
+                    }
+                }
+                groups.entry(ptr).or_default().push(GroupEntry {
+                    site,
+                    offset: c,
+                    width,
+                    kind,
+                });
+                return;
+            }
+        }
+        // Non-constant offsets end any group on this pointer: merging across
+        // them could reorder a check past a redzone-crossing access.
+        self.flush_group(groups, Some(ptr));
+    }
+
+    fn flush_all(&mut self, groups: &mut HashMap<PtrId, Vec<GroupEntry>>) {
+        let ptrs: Vec<PtrId> = groups.keys().copied().collect();
+        for p in ptrs {
+            self.flush_group(groups, Some(p));
+        }
+    }
+
+    fn flush_group(&mut self, groups: &mut HashMap<PtrId, Vec<GroupEntry>>, ptr: Option<PtrId>) {
+        let Some(ptr) = ptr else { return };
+        let Some(entries) = groups.remove(&ptr) else {
+            return;
+        };
+        if entries.len() < 2 {
+            return; // single access: decided in pass 2
+        }
+        let lo = entries.iter().map(|e| e.offset).min().expect("nonempty");
+        let hi = entries
+            .iter()
+            .map(|e| e.offset + e.width as i64)
+            .max()
+            .expect("nonempty");
+        // With a linear guardian (ASan--), a merged region check walks one
+        // shadow byte per covered segment: only merge when that walk is
+        // cheaper than the per-access checks it replaces.
+        if self.profile.linear_region_checks {
+            let hull_segments = ((hi - lo) as u64).div_ceil(8);
+            if hull_segments >= entries.len() as u64 {
+                return;
+            }
+        }
+        let lo = if self.profile.anchored { lo.min(0) } else { lo };
+        let kind = if entries.iter().any(|e| e.kind == AccessKind::Write) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let leader = entries
+            .iter()
+            .map(|e| e.site)
+            .min()
+            .expect("nonempty group");
+        for e in &entries {
+            if e.site == leader {
+                self.actions[e.site.0 as usize] = SiteAction::Region {
+                    lo: Expr::Const(lo),
+                    hi: Expr::Const(hi),
+                };
+                self.fates[e.site.0 as usize] = SiteFate::MergeLeader;
+            } else {
+                self.actions[e.site.0 as usize] = SiteAction::Skip;
+                self.fates[e.site.0 as usize] = SiteFate::MergedAway;
+            }
+            // A merged site needs no pass-2 decision. Record the leader's
+            // kind on the region by rewriting through the site table.
+            self.sites[e.site.0 as usize] = None;
+            let _ = kind;
+        }
+    }
+
+    /// Pass-2 decision for one unmerged site.
+    fn decide(&mut self, rec: SiteRec, barriers: &HashMap<LoopId, bool>) {
+        let idx = rec.site.0 as usize;
+        if let Some(inner) = rec.loops.last().cloned() {
+            let has_barrier = barriers.get(&inner.id).copied().unwrap_or(false);
+            // A pointer whose value changes inside the loop can be neither
+            // promoted (the pre-check would test a stale pointer) nor cached
+            // (the quasi-bound would describe a previous iteration's object).
+            let ptr_varies = self.ptr_defs_in_loop.contains(&(rec.ptr, inner.id));
+            if self.profile.operation_level && !has_barrier && !ptr_varies {
+                if let Some(aff) = affine::decompose(&rec.offset, inner.id, inner.var, &self.env) {
+                    let promotable = if aff.coeff == 0 {
+                        // Loop-invariant check: hoist (needs elimination,
+                        // the ASan-- style optimisation).
+                        self.profile.elimination
+                    } else {
+                        // Affine: needs a knowable trip count.
+                        !inner.opaque && self.bounds_invariant(&inner)
+                    };
+                    if promotable {
+                        let (lo, hi) = self.promoted_range(&aff, &inner, rec.width);
+                        // Multi-level hoisting: widen the hull through each
+                        // enclosing loop whose induction variable it is
+                        // affine in, as long as the loop being left provably
+                        // runs (constant bounds, positive trip — lifting
+                        // past a possibly-empty loop would fire checks for
+                        // accesses that never execute), the enclosing loop
+                        // has no allocation barrier, and the pointer is not
+                        // redefined there.
+                        let (target, lo, hi) =
+                            self.hoist_hull(&rec.loops, lo, hi, rec.ptr, barriers);
+                        let lo = self.anchor_lower(lo);
+                        self.plans
+                            .entry(target)
+                            .or_default()
+                            .pre_checks
+                            .push(PreCheck {
+                                ptr: rec.ptr,
+                                lo,
+                                hi,
+                                kind: rec.kind,
+                            });
+                        self.actions[idx] = SiteAction::Skip;
+                        self.fates[idx] = SiteFate::Promoted;
+                        return;
+                    }
+                }
+            }
+            if self.profile.caching && !ptr_varies {
+                let cache = *self.caches.entry((inner.id, rec.ptr)).or_insert_with(|| {
+                    let id = CacheId(self.num_caches);
+                    self.num_caches += 1;
+                    self.plans
+                        .entry(inner.id)
+                        .or_default()
+                        .caches
+                        .push((id, rec.ptr));
+                    id
+                });
+                self.actions[idx] = SiteAction::Cached { cache };
+                self.fates[idx] = SiteFate::Cached;
+                return;
+            }
+        }
+        if self.profile.anchored {
+            self.actions[idx] = SiteAction::Anchored;
+            self.fates[idx] = SiteFate::Anchored;
+        } else {
+            self.actions[idx] = SiteAction::Direct;
+            self.fates[idx] = SiteFate::Direct;
+        }
+    }
+
+    /// Hoists a promoted hull `[lo, hi)` outward through the loop stack,
+    /// widening it over each induction variable it is affine in. Returns the
+    /// loop to attach the pre-check to and the widened hull.
+    fn hoist_hull(
+        &self,
+        stack: &[LoopCtx],
+        mut lo: Expr,
+        mut hi: Expr,
+        ptr: PtrId,
+        barriers: &HashMap<LoopId, bool>,
+    ) -> (LoopId, Expr, Expr) {
+        let mut level = stack.len() - 1;
+        while level > 0 {
+            let current = &stack[level];
+            let parent = &stack[level - 1];
+            // The loop being left must provably execute at least once, so
+            // the widened endpoints correspond to accesses that really run.
+            let trip_positive = matches!(
+                (affine::const_eval(&current.lo), affine::const_eval(&current.hi)),
+                (Some(l), Some(h)) if h > l
+            );
+            if !trip_positive
+                || barriers.get(&parent.id).copied().unwrap_or(false)
+                || self.ptr_defs_in_loop.contains(&(ptr, parent.id))
+            {
+                break;
+            }
+            // Widen the hull over the *parent's* induction variable: the
+            // bounds may still reference it after leaving `current`.
+            let (Some(alo), Some(ahi)) = (
+                affine::decompose(&lo, parent.id, parent.var, &self.env),
+                affine::decompose(&hi, parent.id, parent.var, &self.env),
+            ) else {
+                break;
+            };
+            let plo = || parent.lo.clone();
+            let phi = || parent.hi.clone() - 1;
+            lo = affine::fold(if alo.coeff >= 0 {
+                plo() * alo.coeff + alo.base
+            } else {
+                phi() * alo.coeff + alo.base
+            });
+            hi = affine::fold(if ahi.coeff >= 0 {
+                phi() * ahi.coeff + ahi.base
+            } else {
+                plo() * ahi.coeff + ahi.base
+            });
+            level -= 1;
+        }
+        (stack[level].id, lo, hi)
+    }
+
+    /// Anchors a provably non-negative constant lower offset at the object
+    /// base (§4.4.1) for anchored profiles.
+    fn anchor_lower(&self, lo: Expr) -> Expr {
+        if self.profile.anchored {
+            if let Some(c) = lo.as_const() {
+                if c >= 0 {
+                    return Expr::Const(0);
+                }
+            }
+        }
+        lo
+    }
+
+    /// Are the loop's bound expressions invariant inside the loop itself?
+    /// (They are evaluated at entry, but promotion also re-reads them in the
+    /// pre-check, so anything defined *inside* the loop disqualifies.)
+    fn bounds_invariant(&self, l: &LoopCtx) -> bool {
+        let check = |e: &Expr| {
+            e.vars().iter().all(|v| match self.env.get(v) {
+                None => true,
+                Some(d) => match d {
+                    VarDef::Induction { loops, .. }
+                    | VarDef::Let { loops, .. }
+                    | VarDef::Load { loops } => !loops.contains(&l.id),
+                },
+            })
+        };
+        check(&l.lo) && check(&l.hi)
+    }
+
+    /// Builds the `[lo, hi)` offset expressions of a promoted check:
+    /// `CI(x + min, x + max + width)` over the loop's iteration range, with
+    /// the anchor folded in for anchored tools (Figure 8c's `CI(x, x+4N)`).
+    fn promoted_range(&self, aff: &affine::Affine, l: &LoopCtx, width: u8) -> (Expr, Expr) {
+        let a = aff.coeff;
+        let b = || aff.base.clone();
+        let lo_i = || l.lo.clone();
+        let hi_i = || l.hi.clone() - 1;
+        let (mut lo, hi) = if a >= 0 {
+            (
+                affine::fold(lo_i() * a + b()),
+                affine::fold(hi_i() * a + b() + width as i64),
+            )
+        } else {
+            (
+                affine::fold(hi_i() * a + b()),
+                affine::fold(lo_i() * a + b() + width as i64),
+            )
+        };
+        if self.profile.anchored {
+            // Anchor at the base pointer when the static lower offset is a
+            // provably non-negative constant.
+            if let Some(c) = lo.as_const() {
+                if c >= 0 {
+                    lo = Expr::Const(0);
+                }
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_ir::ProgramBuilder;
+
+    /// The paper's Figure 8a program.
+    fn figure8() -> Program {
+        let mut b = ProgramBuilder::new("figure8");
+        let n = b.input(0);
+        // int *x = p[0]; int *y = p[1]; modelled as two buffers.
+        let x = b.alloc_heap(Expr::input(0) * 4);
+        let y = b.alloc_heap(Expr::input(0) * 4 + 1024);
+        b.for_loop(0i64, n, |b, i| {
+            let j = b.load(x, Expr::var(i) * 4, 4); // site 0
+            b.store(y, Expr::var(j) * 4, 4, Expr::var(i)); // site 1
+        });
+        b.memset(x, 0i64, Expr::input(0) * 4, 0i64); // site 2
+        b.free(x);
+        b.free(y);
+        b.build()
+    }
+
+    #[test]
+    fn figure8_giantsan_plan_matches_figure_8c() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        // x[i] promoted to CI(x, x+4N); y[j] cached; memset checked as region.
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        assert_eq!(a.fates[1], SiteFate::Cached);
+        assert_eq!(a.fates[2], SiteFate::MemIntrinsic);
+        let lp = &a.plan.loops[&LoopId(0)];
+        assert_eq!(lp.pre_checks.len(), 1);
+        assert_eq!(lp.caches.len(), 1);
+        assert_eq!(a.plan.num_caches, 1);
+        // The promoted region is [0, 4N): anchored at x.
+        assert_eq!(lp.pre_checks[0].lo, Expr::Const(0));
+        assert_eq!(lp.pre_checks[0].hi.eval(&[], &[100]), 400);
+    }
+
+    #[test]
+    fn figure8_asan_plan_is_all_direct() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::asan());
+        assert_eq!(a.fates[0], SiteFate::Direct);
+        assert_eq!(a.fates[1], SiteFate::Direct);
+        assert!(a.plan.loops.is_empty());
+        assert_eq!(a.plan.num_caches, 0);
+    }
+
+    #[test]
+    fn figure8_asan_mm_promotes_but_does_not_cache() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::asan_minus_minus());
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        assert_eq!(a.fates[1], SiteFate::Direct, "no caching in ASan--");
+        // Non-anchored: the promoted range keeps its computed lower bound.
+        let lp = &a.plan.loops[&LoopId(0)];
+        assert_eq!(lp.pre_checks[0].lo.eval(&[], &[100]), 0);
+    }
+
+    #[test]
+    fn cache_only_profile_caches_everything_in_loops() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan_cache_only());
+        assert_eq!(a.fates[0], SiteFate::Cached);
+        assert_eq!(a.fates[1], SiteFate::Cached);
+        assert_eq!(a.plan.num_caches, 2);
+    }
+
+    #[test]
+    fn elimination_only_promotes_and_anchors_the_rest() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan_elimination_only());
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        assert_eq!(a.fates[1], SiteFate::Anchored);
+    }
+
+    #[test]
+    fn opaque_bounds_block_promotion() {
+        let mut b = ProgramBuilder::new("opaque");
+        let n = b.input(0);
+        let p = b.alloc_heap(Expr::input(0) * 8);
+        b.for_loop_opaque(0i64, n, |b, i| {
+            b.load_discard(p, Expr::var(i) * 8, 8);
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.fates[0], SiteFate::Cached);
+        let a = analyze(&prog, &ToolProfile::asan_minus_minus());
+        assert_eq!(a.fates[0], SiteFate::Direct);
+    }
+
+    #[test]
+    fn frees_inside_loops_block_promotion() {
+        let mut b = ProgramBuilder::new("barrier");
+        let n = b.input(0);
+        let p = b.alloc_heap(4096);
+        b.for_loop(0i64, n, |b, i| {
+            b.load_discard(p, Expr::var(i) * 8, 8);
+            let q = b.alloc_heap(16);
+            b.free(q);
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(
+            a.fates[0],
+            SiteFate::Cached,
+            "allocation churn in the loop must force the cached path"
+        );
+    }
+
+    #[test]
+    fn invariant_access_hoisted() {
+        let mut b = ProgramBuilder::new("invariant");
+        let n = b.input(0);
+        let p = b.alloc_heap(64);
+        b.for_loop(0i64, n, |b, _| {
+            b.load_discard(p, 8i64, 8);
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::asan_minus_minus());
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        let lp = &a.plan.loops[&LoopId(0)];
+        assert_eq!(lp.pre_checks[0].lo, Expr::Const(8));
+        assert_eq!(lp.pre_checks[0].hi, Expr::Const(16));
+    }
+
+    #[test]
+    fn reverse_affine_promotes_with_flipped_range() {
+        let mut b = ProgramBuilder::new("rev");
+        let n = b.input(0);
+        let p = b.alloc_heap(Expr::input(0) * 8);
+        b.for_loop_rev(0i64, n, |b, i| {
+            b.load_discard(p, Expr::var(i) * 8, 8);
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        // Direction does not matter for the range: still [0, 8N).
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        let lp = &a.plan.loops[&LoopId(0)];
+        assert_eq!(lp.pre_checks[0].hi.eval(&[], &[64]), 512);
+    }
+
+    #[test]
+    fn negative_stride_promotion() {
+        let mut b = ProgramBuilder::new("negstride");
+        let n = b.input(0);
+        let p = b.alloc_heap(Expr::input(0) * 8);
+        // offset = 8*(N-1) - 8*i: walks backward with a forward loop.
+        b.for_loop(0i64, n, |b, i| {
+            b.load_discard(p, (Expr::input(0) - 1) * 8 - Expr::var(i) * 8, 8);
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        let lp = &a.plan.loops[&LoopId(0)];
+        // For N = 4: region [0, 32).
+        assert_eq!(lp.pre_checks[0].lo.eval(&[], &[4]), 0);
+        assert_eq!(lp.pre_checks[0].hi.eval(&[], &[4]), 32);
+    }
+
+    #[test]
+    fn merging_respects_barriers() {
+        let mut b = ProgramBuilder::new("barrier2");
+        let p = b.alloc_heap(64);
+        b.load_discard(p, 0i64, 8);
+        b.free(p);
+        let q = b.alloc_heap(64);
+        let _ = q;
+        b.load_discard(p, 8i64, 8); // use-after-free, separately checked
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_ne!(a.fates[0], SiteFate::MergedAway);
+        assert_ne!(a.fates[1], SiteFate::MergedAway);
+    }
+
+    #[test]
+    fn merged_region_covers_hull_and_underflow_keeps_sign() {
+        let mut b = ProgramBuilder::new("hull");
+        let n = b.input(0);
+        let p = b.alloc_heap(n);
+        b.store(p, 16i64, 8, 1i64);
+        b.load_discard(p, 40i64, 4);
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        match &a.plan.sites[0] {
+            SiteAction::Region { lo, hi } => {
+                // Anchored: extends down to the base.
+                assert_eq!(lo, &Expr::Const(0));
+                assert_eq!(hi, &Expr::Const(44));
+            }
+            other => panic!("expected region, got {other:?}"),
+        }
+        // For ASan--, the hull spans 6 segments but only replaces 2 checks:
+        // the linear guardian makes that merge unprofitable, so it is
+        // refused.
+        let a = analyze(&prog, &ToolProfile::asan_minus_minus());
+        assert_eq!(a.plan.sites[0], SiteAction::Direct);
+        assert_eq!(a.plan.sites[1], SiteAction::Direct);
+    }
+
+    #[test]
+    fn asan_mm_merges_only_when_profitable() {
+        // Three 8-byte accesses inside one 16-byte hull: the 2-segment walk
+        // replaces 3 checks — profitable even for a linear guardian.
+        let mut b = ProgramBuilder::new("dense");
+        let n = b.input(0);
+        let p = b.alloc_heap(n);
+        b.load_discard(p, 0i64, 8);
+        b.load_discard(p, 4i64, 8);
+        b.load_discard(p, 8i64, 8);
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::asan_minus_minus());
+        assert_eq!(a.fates[0], SiteFate::MergeLeader);
+        assert_eq!(a.fates[1], SiteFate::MergedAway);
+        assert_eq!(a.fates[2], SiteFate::MergedAway);
+        match &a.plan.sites[0] {
+            SiteAction::Region { lo, hi } => {
+                assert_eq!(lo, &Expr::Const(0));
+                assert_eq!(hi, &Expr::Const(16));
+            }
+            other => panic!("expected region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lfp_profile_anchors_every_site() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::lfp());
+        assert_eq!(a.fates[0], SiteFate::Anchored);
+        assert_eq!(a.fates[1], SiteFate::Anchored);
+        assert!(a.plan.loops.is_empty());
+    }
+
+    #[test]
+    fn constant_nests_hoist_to_the_outermost_loop() {
+        // A stencil-style nest with constant inner bounds: the promoted
+        // check climbs to the outer (runtime-bounded) loop and runs once per
+        // outer iteration instead of once per row.
+        let mut b = ProgramBuilder::new("nest");
+        let steps = b.input(0);
+        let p = b.alloc_heap(64 * 64 * 8);
+        b.for_loop(0i64, steps, |b, _| {
+            b.for_loop(1i64, 63i64, |b, y| {
+                b.for_loop(1i64, 63i64, |b, x| {
+                    b.load_discard(p, (Expr::var(y) * 64 + Expr::var(x)) * 8, 8);
+                });
+            });
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        // The pre-check lives on the outermost loop (id 0), anchored at the
+        // base for the anchored profile.
+        let lp = &a.plan.loops[&LoopId(0)];
+        assert_eq!(lp.pre_checks.len(), 1);
+        assert_eq!(lp.pre_checks[0].lo.as_const(), Some(0));
+        assert_eq!(lp.pre_checks[0].hi.as_const(), Some((62 * 64 + 62) * 8 + 8));
+        assert!(!a.plan.loops.contains_key(&LoopId(2)));
+        // The non-anchored profile keeps the true widened lower offset.
+        let a = analyze(&prog, &ToolProfile::asan_minus_minus());
+        let lp = &a.plan.loops[&LoopId(0)];
+        assert_eq!(lp.pre_checks[0].lo.as_const(), Some((64 + 1) * 8));
+    }
+
+    #[test]
+    fn hoisting_stops_at_possibly_empty_loops() {
+        // The middle loop's bound is a runtime input: it may run zero times,
+        // so lifting the inner check past it would fire for accesses that
+        // never happen. The check must stay on the inner loop.
+        let mut b = ProgramBuilder::new("maybe-empty");
+        let outer_n = b.input(0);
+        let mid_n = b.input(1);
+        let p = b.alloc_heap(4096);
+        b.for_loop(0i64, outer_n, |b, _| {
+            b.for_loop(0i64, mid_n.clone(), |b, _| {
+                b.for_loop(0i64, 8i64, |b, x| {
+                    b.load_discard(p, Expr::var(x) * 8, 8);
+                });
+            });
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.fates[0], SiteFate::Promoted);
+        // Hoisted out of the constant x-loop (id 2) to the mid loop (id 1),
+        // but no further: the mid loop's own trip is not provably positive.
+        assert!(a.plan.loops.contains_key(&LoopId(1)));
+        assert!(!a.plan.loops.contains_key(&LoopId(0)));
+        // Soundness at runtime: mid_n = 0 with a tiny buffer must not
+        // report.
+        let mut b = ProgramBuilder::new("maybe-empty-2");
+        let outer_n = b.input(0);
+        let mid_n = b.input(1);
+        let p = b.alloc_heap(8);
+        b.for_loop(0i64, outer_n, |b, _| {
+            b.for_loop(0i64, mid_n.clone(), |b, _| {
+                b.for_loop(0i64, 8i64, |b, x| {
+                    b.load_discard(p, Expr::var(x) * 8, 8);
+                });
+            });
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        let mut san = giantsan_core::GiantSan::new(giantsan_runtime::RuntimeConfig::small());
+        let r = giantsan_ir::run(
+            &prog,
+            &[5, 0],
+            &mut san,
+            &a.plan,
+            &giantsan_ir::ExecConfig::default(),
+        );
+        assert!(r.reports.is_empty(), "{:?}", r.reports.first());
+    }
+
+    #[test]
+    fn strcpy_sites_are_guardian_checked() {
+        let mut b = ProgramBuilder::new("strcpy");
+        let src = b.alloc_heap(64);
+        let dst = b.alloc_heap(64);
+        b.strcpy(dst, 0i64, src, 0i64);
+        let prog = b.build();
+        for profile in [ToolProfile::giantsan(), ToolProfile::asan()] {
+            let a = analyze(&prog, &profile);
+            assert_eq!(a.fates[0], SiteFate::MemIntrinsic, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn realloc_blocks_promotion_and_caching() {
+        // The pointer is redefined by realloc inside the loop: neither a
+        // hoisted pre-check nor a cache slot may survive the move.
+        let mut b = ProgramBuilder::new("realloc-loop");
+        let n = b.input(0);
+        let p = b.alloc_heap(4096);
+        b.for_loop(0i64, n, |b, i| {
+            b.load_discard(p, Expr::var(i) * 8, 8);
+            b.realloc(p, 4096i64);
+        });
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert!(
+            matches!(a.fates[0], SiteFate::Anchored | SiteFate::Direct),
+            "got {:?}",
+            a.fates[0]
+        );
+        assert_eq!(a.plan.num_caches, 0);
+        assert!(a.plan.loops.is_empty() || a.plan.loops[&LoopId(0)].pre_checks.is_empty());
+    }
+
+    #[test]
+    fn fate_counts_sum_to_sites() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        let total: usize = a.fate_counts().values().sum();
+        assert_eq!(total, prog.num_sites as usize);
+    }
+
+    #[test]
+    fn statically_safe_accesses_need_no_check() {
+        // Constant offsets inside a fresh constant-size allocation: zero
+        // runtime checks; the same offsets past the size still get checks.
+        let mut b = ProgramBuilder::new("static");
+        let p = b.alloc_heap(48);
+        b.store(p, 0i64, 8, 1i64);
+        b.store(p, 40i64, 8, 2i64);
+        b.load_discard(p, 44i64, 4); // 44+4 = 48: still inside
+        b.load_discard(p, 48i64, 1); // one past: needs a check
+        b.free(p);
+        b.load_discard(p, 0i64, 8); // after free: freshness is dead
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.fates[0], SiteFate::StaticallySafe);
+        assert_eq!(a.fates[1], SiteFate::StaticallySafe);
+        assert_eq!(a.fates[2], SiteFate::StaticallySafe);
+        assert_ne!(a.fates[3], SiteFate::StaticallySafe);
+        assert_ne!(a.fates[4], SiteFate::StaticallySafe);
+        // ASan (no elimination) still checks everything.
+        let a = analyze(&prog, &ToolProfile::asan());
+        assert!(a.fates.iter().all(|f| *f == SiteFate::Direct));
+    }
+
+    #[test]
+    fn static_safety_is_block_local_and_killed_by_redefinition() {
+        let mut b = ProgramBuilder::new("static-scope");
+        let p = b.alloc_heap(64);
+        // Inside a nested construct: freshness does not propagate.
+        b.if_nonzero(1i64, |b| {
+            b.store(p, 0i64, 8, 1i64);
+        });
+        // Redefinition by ptr_add kills it for the alias.
+        let q = b.ptr_add(p, 8i64);
+        b.store(q, 0i64, 8, 2i64);
+        let prog = b.build();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_ne!(a.fates[0], SiteFate::StaticallySafe, "nested block");
+        assert_ne!(a.fates[1], SiteFate::StaticallySafe, "derived pointer");
+    }
+
+    #[test]
+    fn render_shows_sites_and_prechecks() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        let s = a.render();
+        assert!(s.contains("site s0: eliminated (hoisted"), "{s}");
+        assert!(s.contains("site s1: history-cached"), "{s}");
+        assert!(s.contains("pre-header: CI(p0 + 0, p0 +"), "{s}");
+        assert!(s.contains("quasi-bound slot #0 for p1"), "{s}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Tool capability profiles: which optimisations each sanitizer's
+//! instrumentation may use.
+//!
+//! The paper's ablation study (Table 2, right columns) is exactly a sweep
+//! over these flags: GiantSan with caching only, with elimination only, and
+//! with both. The baselines are fixed points in the same space: ASan has no
+//! optimisations, ASan-- has elimination, LFP checks every access against
+//! pointer-derived bounds.
+
+/// Instrumentation capabilities of a tool.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_analysis::ToolProfile;
+/// let g = ToolProfile::giantsan();
+/// assert!(g.caching && g.elimination && g.anchored && g.operation_level);
+/// let a = ToolProfile::asan();
+/// assert!(!a.caching && !a.elimination && !a.anchored);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolProfile {
+    /// Display name of the configuration.
+    pub name: &'static str,
+    /// May merge and hoist checks into region checks covering whole
+    /// operations (requires a runtime that can check regions; GiantSan does
+    /// it in O(1), ASan-- pays a linear walk).
+    pub operation_level: bool,
+    /// May use the quasi-bound history cache (§4.3).
+    pub caching: bool,
+    /// Checks are anchored at the object base pointer (§4.4.1).
+    pub anchored: bool,
+    /// May eliminate must-aliased / dominated checks (§4.4.2).
+    pub elimination: bool,
+    /// The runtime's region check walks one shadow byte per segment
+    /// (ASan's guardian) instead of GiantSan's O(1) fold check. Merging is
+    /// then only profitable when it saves more per-access checks than the
+    /// merged walk costs.
+    pub linear_region_checks: bool,
+}
+
+impl ToolProfile {
+    /// Full GiantSan: elimination + promotion + caching + anchoring.
+    pub fn giantsan() -> Self {
+        ToolProfile {
+            name: "GiantSan",
+            operation_level: true,
+            caching: true,
+            anchored: true,
+            elimination: true,
+            linear_region_checks: false,
+        }
+    }
+
+    /// Ablation: history caching only (no merging/promotion).
+    pub fn giantsan_cache_only() -> Self {
+        ToolProfile {
+            name: "GiantSan-CacheOnly",
+            operation_level: false,
+            caching: true,
+            anchored: true,
+            elimination: false,
+            linear_region_checks: false,
+        }
+    }
+
+    /// Ablation: check elimination/promotion only (no caching).
+    pub fn giantsan_elimination_only() -> Self {
+        ToolProfile {
+            name: "GiantSan-EliminationOnly",
+            operation_level: true,
+            caching: false,
+            anchored: true,
+            elimination: true,
+            linear_region_checks: false,
+        }
+    }
+
+    /// Stock ASan: instruction-level checks everywhere.
+    pub fn asan() -> Self {
+        ToolProfile {
+            name: "ASan",
+            operation_level: false,
+            caching: false,
+            anchored: false,
+            elimination: false,
+            linear_region_checks: true,
+        }
+    }
+
+    /// ASan--: static check elimination over the ASan runtime.
+    pub fn asan_minus_minus() -> Self {
+        ToolProfile {
+            name: "ASan--",
+            operation_level: true,
+            caching: false,
+            anchored: false,
+            elimination: true,
+            linear_region_checks: true,
+        }
+    }
+
+    /// LFP: pointer-derived bounds checked at every access (anchored by
+    /// construction — the bound comes from the source pointer), no static
+    /// optimisation.
+    pub fn lfp() -> Self {
+        ToolProfile {
+            name: "LFP",
+            operation_level: false,
+            caching: false,
+            anchored: true,
+            elimination: false,
+            linear_region_checks: false,
+        }
+    }
+
+    /// Native execution: no checks at all.
+    pub fn native() -> Self {
+        ToolProfile {
+            name: "Native",
+            operation_level: false,
+            caching: false,
+            anchored: false,
+            elimination: false,
+            linear_region_checks: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_profiles_partition_capabilities() {
+        let cache = ToolProfile::giantsan_cache_only();
+        let elim = ToolProfile::giantsan_elimination_only();
+        assert!(cache.caching && !cache.elimination);
+        assert!(!elim.caching && elim.elimination);
+        // Full GiantSan is the union.
+        let g = ToolProfile::giantsan();
+        assert!(g.caching == cache.caching && g.elimination == elim.elimination);
+    }
+
+    #[test]
+    fn baseline_profiles() {
+        assert!(ToolProfile::asan_minus_minus().elimination);
+        assert!(!ToolProfile::asan_minus_minus().caching);
+        assert!(ToolProfile::lfp().anchored);
+        assert!(!ToolProfile::lfp().elimination);
+        assert_eq!(ToolProfile::native().name, "Native");
+    }
+}

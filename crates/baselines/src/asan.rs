@@ -1,0 +1,479 @@
+//! AddressSanitizer baseline (Serebryany et al., ATC 2012; paper §2.2).
+//!
+//! ASan's shadow encoding has **low protection density**: one shadow byte
+//! safeguards at most 8 application bytes, so checking an `S`-byte region
+//! loads `⌈S/8⌉` shadow bytes. That linear guardian walk is precisely the
+//! overhead GiantSan's folded segments eliminate; keeping it honest here is
+//! what gives the benchmark comparisons their shape.
+
+use giantsan_runtime::{
+    AccessKind, Allocation, CheckResult, Counters, ErrorKind, ErrorReport, HeapError, ObjectInfo,
+    Region, RuntimeConfig, Sanitizer, World,
+};
+use giantsan_shadow::{align_up, Addr, ShadowMemory, SEGMENT_SIZE};
+
+/// ASan shadow state codes (the classic byte values).
+pub mod codes {
+    /// All 8 bytes of the segment are addressable.
+    pub const GOOD: u8 = 0;
+    /// Heap left redzone.
+    pub const HEAP_LEFT: u8 = 0xfa;
+    /// Heap right redzone.
+    pub const HEAP_RIGHT: u8 = 0xfb;
+    /// Freed heap region (quarantined).
+    pub const FREED: u8 = 0xfd;
+    /// Stack redzone / dead stack memory.
+    pub const STACK: u8 = 0xf2;
+    /// Global redzone.
+    pub const GLOBAL: u8 = 0xf9;
+    /// Memory the allocator never handed out.
+    pub const UNALLOCATED: u8 = 0xff;
+
+    /// Returns `true` for k-partial codes (1..=7).
+    pub const fn is_partial(code: u8) -> bool {
+        code >= 1 && code <= 7
+    }
+}
+
+/// Classifies an ASan shadow code into a report kind.
+pub fn classify(code: u8) -> ErrorKind {
+    match code {
+        codes::HEAP_RIGHT => ErrorKind::HeapBufferOverflow,
+        codes::HEAP_LEFT => ErrorKind::HeapBufferUnderflow,
+        codes::FREED => ErrorKind::UseAfterFree,
+        codes::STACK => ErrorKind::StackBufferOverflow,
+        codes::GLOBAL => ErrorKind::GlobalBufferOverflow,
+        codes::UNALLOCATED => ErrorKind::Wild,
+        c if codes::is_partial(c) => ErrorKind::HeapBufferOverflow,
+        _ => ErrorKind::Unknown,
+    }
+}
+
+/// The ASan baseline sanitizer.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_baselines::Asan;
+/// use giantsan_runtime::{AccessKind, Region, RuntimeConfig, Sanitizer};
+///
+/// let mut san = Asan::new(RuntimeConfig::small());
+/// let a = san.alloc(1024, Region::Heap).unwrap();
+/// san.check_region(a.base, a.base + 1024, AccessKind::Write).unwrap();
+/// // The linear guardian walk loaded one shadow byte per segment.
+/// assert_eq!(san.counters().shadow_loads, 128);
+/// ```
+#[derive(Debug)]
+pub struct Asan {
+    world: World,
+    shadow: ShadowMemory,
+    counters: Counters,
+    name: &'static str,
+}
+
+impl Asan {
+    /// Creates an ASan instance over a fresh world.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_name(config, "ASan")
+    }
+
+    /// Creates an ASan runtime under a different display name; used by
+    /// [`crate::AsanMinusMinus`], whose runtime is identical (the difference
+    /// is which checks the instrumentation emits).
+    pub fn with_name(config: RuntimeConfig, name: &'static str) -> Self {
+        let world = World::new(config);
+        let shadow = ShadowMemory::new(world.space(), codes::UNALLOCATED);
+        Asan {
+            world,
+            shadow,
+            counters: Counters::default(),
+            name,
+        }
+    }
+
+    /// Read-only view of the shadow (tests and diagnostics).
+    pub fn shadow(&self) -> &ShadowMemory {
+        &self.shadow
+    }
+
+    fn redzone_code(region: Region, left: bool) -> u8 {
+        match (region, left) {
+            (Region::Heap, true) => codes::HEAP_LEFT,
+            (Region::Heap, false) => codes::HEAP_RIGHT,
+            (Region::Stack, _) => codes::STACK,
+            (Region::Global, _) => codes::GLOBAL,
+        }
+    }
+
+    fn load(&self, addr: Addr) -> u8 {
+        match self.shadow.try_segment_of(addr) {
+            Some(seg) => self.shadow.get(seg),
+            None => codes::UNALLOCATED,
+        }
+    }
+
+    /// Number of addressable bytes segment code `v` exposes within itself.
+    fn exposed(v: u8) -> u64 {
+        if v == codes::GOOD {
+            SEGMENT_SIZE
+        } else if codes::is_partial(v) {
+            v as u64
+        } else {
+            0
+        }
+    }
+
+    fn poison_segments(&mut self, start: Addr, len: u64, code: u8) {
+        if len == 0 {
+            return;
+        }
+        let lo = self.shadow.segment_of(start);
+        let hi = lo + len / SEGMENT_SIZE;
+        self.shadow.set_range(lo, hi, code);
+        self.counters.shadow_stores += hi - lo;
+    }
+
+    fn poison_allocation(&mut self, info: &ObjectInfo) {
+        let rz = info.base - info.block_start;
+        let user_len = align_up(info.size.max(1), SEGMENT_SIZE);
+        self.poison_segments(
+            info.block_start,
+            rz,
+            Self::redzone_code(info.region, true),
+        );
+        // User region: zeros for whole segments, k for a trailing partial.
+        let q = info.size / SEGMENT_SIZE;
+        let rem = (info.size % SEGMENT_SIZE) as u8;
+        self.poison_segments(info.base, q * SEGMENT_SIZE, codes::GOOD);
+        if rem > 0 {
+            let seg = self.shadow.segment_of(info.base) + q;
+            self.shadow.set(seg, rem);
+            self.counters.shadow_stores += 1;
+        }
+        let right_start = info.base + user_len;
+        self.poison_segments(
+            right_start,
+            info.block_len - rz - user_len,
+            Self::redzone_code(info.region, false),
+        );
+    }
+
+    fn report(&mut self, addr: Addr, code: u8, len: u64, kind: AccessKind) -> ErrorReport {
+        self.counters.reports += 1;
+        let classified = if codes::is_partial(code) {
+            // Partial violation: the following redzone identifies the region.
+            let next = self.load(addr + SEGMENT_SIZE);
+            if next > 7 {
+                classify(next)
+            } else {
+                ErrorKind::HeapBufferOverflow
+            }
+        } else {
+            classify(code)
+        };
+        ErrorReport::new(classified, addr, len).with_access(kind)
+    }
+}
+
+impl Sanitizer for Asan {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn world(&self) -> &World {
+        &self.world
+    }
+
+    fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    fn alloc(&mut self, size: u64, region: Region) -> Result<Allocation, HeapError> {
+        let a = self.world.alloc(size, region)?;
+        self.counters.allocs += 1;
+        if region == Region::Stack {
+            self.counters.stack_allocs += 1;
+        }
+        let info = self
+            .world
+            .objects()
+            .get(a.id)
+            .expect("fresh allocation must be registered")
+            .clone();
+        self.poison_allocation(&info);
+        Ok(a)
+    }
+
+    fn free(&mut self, base: Addr) -> CheckResult {
+        self.counters.frees += 1;
+        match self.world.free(base) {
+            Ok(outcome) => {
+                let freed = outcome.freed.clone();
+                self.poison_segments(freed.block_start, freed.block_len, codes::FREED);
+                for info in outcome.recycled.clone() {
+                    self.poison_segments(info.block_start, info.block_len, codes::UNALLOCATED);
+                }
+                Ok(())
+            }
+            Err(report) => {
+                self.counters.reports += 1;
+                Err(report)
+            }
+        }
+    }
+
+    fn realloc(&mut self, base: Addr, new_size: u64) -> Result<Allocation, ErrorReport> {
+        match self.world.realloc(base, new_size) {
+            Ok((a, outcome)) => {
+                self.counters.allocs += 1;
+                self.counters.frees += 1;
+                let info = self
+                    .world
+                    .objects()
+                    .get(a.id)
+                    .expect("fresh allocation must be registered")
+                    .clone();
+                self.poison_allocation(&info);
+                let freed = outcome.freed.clone();
+                self.poison_segments(freed.block_start, freed.block_len, codes::FREED);
+                for info in outcome.recycled.clone() {
+                    self.poison_segments(info.block_start, info.block_len, codes::UNALLOCATED);
+                }
+                Ok(a)
+            }
+            Err(report) => {
+                self.counters.reports += 1;
+                Err(report)
+            }
+        }
+    }
+
+    fn push_frame(&mut self) {
+        self.world.push_frame();
+    }
+
+    fn pop_frame(&mut self) {
+        for info in self.world.pop_frame() {
+            self.poison_segments(info.block_start, info.block_len, codes::STACK);
+        }
+    }
+
+    fn check_access(&mut self, addr: Addr, width: u32, kind: AccessKind) -> CheckResult {
+        // Example 1 of the paper: one load, compare against the partial code.
+        debug_assert!(width <= 8);
+        let off = addr.segment_offset();
+        if off + width as u64 <= SEGMENT_SIZE {
+            self.counters.shadow_loads += 1;
+            self.counters.fast_checks += 1;
+            let v = self.load(addr);
+            if v != codes::GOOD && off + width as u64 > Self::exposed(v) {
+                return Err(self.report(addr, v, width as u64, kind));
+            }
+            Ok(())
+        } else {
+            // Straddling access: ASan emits two checks.
+            let split = SEGMENT_SIZE - off;
+            self.check_access(addr, split as u32, kind)?;
+            self.check_access(addr + split, width - split as u32, kind)
+        }
+    }
+
+    fn check_region(&mut self, lo: Addr, hi: Addr, kind: AccessKind) -> CheckResult {
+        // The guardian function: a linear walk, one load per segment. This is
+        // the `Θ(N)` cost column of Table 1.
+        if lo >= hi {
+            return Ok(());
+        }
+        self.counters.slow_checks += 1;
+        let mut a = lo;
+        while a < hi {
+            self.counters.shadow_loads += 1;
+            let v = self.load(a);
+            let exposed = Self::exposed(v);
+            let off = a.segment_offset();
+            if off >= exposed {
+                return Err(self.report(a, v, hi - lo, kind));
+            }
+            let seg_base = Addr::new(a.raw() & !(SEGMENT_SIZE - 1));
+            let covered_end = seg_base + exposed;
+            if covered_end >= hi {
+                return Ok(());
+            }
+            if exposed < SEGMENT_SIZE {
+                // Partial segment inside the region: the next byte is bad.
+                return Err(self.report(covered_end, v, hi - lo, kind));
+            }
+            a = seg_base + SEGMENT_SIZE;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> Asan {
+        Asan::new(RuntimeConfig::small())
+    }
+
+    #[test]
+    fn shadow_poisoning_matches_asan_layout() {
+        let mut s = san();
+        let a = s.alloc(20, Region::Heap).unwrap();
+        let seg = s.shadow.segment_of(a.base);
+        assert_eq!(s.shadow.get(seg - 1), codes::HEAP_LEFT);
+        assert_eq!(s.shadow.get(seg), 0);
+        assert_eq!(s.shadow.get(seg + 1), 0);
+        assert_eq!(s.shadow.get(seg + 2), 4); // 20 = 2*8 + 4
+        assert_eq!(s.shadow.get(seg + 3), codes::HEAP_RIGHT);
+    }
+
+    #[test]
+    fn instruction_check_matches_example_1() {
+        let mut s = san();
+        let a = s.alloc(12, Region::Heap).unwrap();
+        assert!(s.check_access(a.base, 8, AccessKind::Read).is_ok());
+        assert!(s.check_access(a.base + 8, 4, AccessKind::Read).is_ok());
+        assert!(s.check_access(a.base + 9, 4, AccessKind::Read).is_err());
+        assert!(s.check_access(a.base + 12, 1, AccessKind::Read).is_err());
+        assert!(s.check_access(a.base - 1, 1, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn region_check_is_linear_in_size() {
+        let mut s = san();
+        let a = s.alloc(4096, Region::Heap).unwrap();
+        s.counters_mut().reset();
+        s.check_region(a.base, a.base + 4096, AccessKind::Write)
+            .unwrap();
+        assert_eq!(s.counters().shadow_loads, 512, "one load per segment");
+    }
+
+    #[test]
+    fn region_check_detects_overflow_and_stops() {
+        let mut s = san();
+        let a = s.alloc(64, Region::Heap).unwrap();
+        let err = s
+            .check_region(a.base, a.base + 80, AccessKind::Write)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::HeapBufferOverflow);
+        // Walks 8 good segments + 1 redzone segment, then stops.
+        assert_eq!(s.counters().shadow_loads, 9);
+    }
+
+    #[test]
+    fn region_check_partial_tail() {
+        let mut s = san();
+        let a = s.alloc(20, Region::Heap).unwrap();
+        assert!(s.check_region(a.base, a.base + 20, AccessKind::Read).is_ok());
+        assert!(s
+            .check_region(a.base, a.base + 21, AccessKind::Read)
+            .is_err());
+        assert!(s
+            .check_region(a.base + 4, a.base + 20, AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn straddling_access_splits() {
+        let mut s = san();
+        let a = s.alloc(16, Region::Heap).unwrap();
+        assert!(s.check_access(a.base + 4, 8, AccessKind::Read).is_ok());
+        assert!(s.check_access(a.base + 12, 8, AccessKind::Read).is_err());
+    }
+
+    #[test]
+    fn temporal_errors() {
+        let mut s = san();
+        let a = s.alloc(32, Region::Heap).unwrap();
+        s.free(a.base).unwrap();
+        let err = s.check_access(a.base, 8, AccessKind::Read).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UseAfterFree);
+        assert_eq!(s.free(a.base).unwrap_err().kind, ErrorKind::DoubleFree);
+    }
+
+    #[test]
+    fn stack_slots_poisoned_after_pop() {
+        let mut s = san();
+        s.push_frame();
+        let a = s.alloc(16, Region::Stack).unwrap();
+        assert!(s.check_access(a.base, 8, AccessKind::Write).is_ok());
+        s.pop_frame();
+        let err = s.check_access(a.base, 8, AccessKind::Write).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::StackBufferOverflow);
+    }
+
+    #[test]
+    fn redzone_bypass_is_a_false_negative() {
+        // The instruction-level check only inspects the accessed bytes: a
+        // large offset that lands in another object is missed (§4.4.1's
+        // motivation, Table 5).
+        let mut s = san();
+        let a = s.alloc(64, Region::Heap).unwrap();
+        let victim = s.alloc(64, Region::Heap).unwrap();
+        let off = victim.base - a.base;
+        assert!(s
+            .check_access(a.base.offset(off as i64), 8, AccessKind::Write)
+            .is_ok());
+    }
+
+    #[test]
+    fn wild_and_null_accesses_reported() {
+        let mut s = san();
+        let err = s.check_access(Addr::NULL, 8, AccessKind::Read).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Wild);
+    }
+
+    #[test]
+    fn region_check_with_unaligned_start() {
+        let mut s = san();
+        let a = s.alloc(64, Region::Heap).unwrap();
+        assert!(s
+            .check_region(a.base + 3, a.base + 61, AccessKind::Read)
+            .is_ok());
+        assert!(s
+            .check_region(a.base + 3, a.base + 65, AccessKind::Read)
+            .is_err());
+        // Starting inside the left redzone.
+        assert!(s
+            .check_region(a.base - 3, a.base + 8, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn realloc_maintains_asan_shadow() {
+        let mut s = san();
+        let a = s.alloc(48, Region::Heap).unwrap();
+        s.world_mut().space_mut().write_u64(a.base, 77).unwrap();
+        let b = s.realloc(a.base, 96).unwrap();
+        assert_eq!(s.world().space().read_u64(b.base).unwrap(), 77);
+        assert!(s.check_region(b.base, b.base + 96, AccessKind::Write).is_ok());
+        let err = s.check_access(a.base, 8, AccessKind::Read).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UseAfterFree);
+        assert_eq!(
+            s.realloc(b.base + 8, 16).unwrap_err().kind,
+            ErrorKind::InvalidFree
+        );
+    }
+
+    #[test]
+    fn classify_covers_all_codes() {
+        assert_eq!(classify(codes::HEAP_RIGHT), ErrorKind::HeapBufferOverflow);
+        assert_eq!(classify(codes::HEAP_LEFT), ErrorKind::HeapBufferUnderflow);
+        assert_eq!(classify(codes::FREED), ErrorKind::UseAfterFree);
+        assert_eq!(classify(codes::STACK), ErrorKind::StackBufferOverflow);
+        assert_eq!(classify(codes::GLOBAL), ErrorKind::GlobalBufferOverflow);
+        assert_eq!(classify(codes::UNALLOCATED), ErrorKind::Wild);
+        assert_eq!(classify(3), ErrorKind::HeapBufferOverflow);
+        assert_eq!(classify(0xee), ErrorKind::Unknown);
+    }
+}

@@ -1,0 +1,455 @@
+//! LFP baseline: low-fat-pointer bounds via rounded-up size classes
+//! (Duck & Yap, CC 2016 / NDSS 2017; paper §2.1 and §6 "Rounded-Up Bound").
+//!
+//! LFP derives an object's bounds from the *pointer value alone*: the heap is
+//! partitioned into per-size-class arenas, so `base = round_down(ptr,
+//! class)` and `bound = base + class` are a handful of ALU instructions. The
+//! price is that allocation sizes are rounded up to the nearest class, so an
+//! overflow that stays inside the rounded slot is **invisible** — the paper's
+//! `p[700]` on a 600-byte buffer example, and the mechanism behind LFP's
+//! false-negative columns in Tables 3 and 4.
+//!
+//! The simulation derives the slot bound from the object table rather than
+//! from address arithmetic (the outcome is identical because each slot holds
+//! exactly one object) and charges [`giantsan_runtime::Counters::arith_checks`]
+//! for each bounds computation. LFP's incomplete stack protection (it needs
+//! high alignment real stacks don't provide, §5.2) is modelled faithfully:
+//! stack objects get no bounds, only extra stack-simulation instructions.
+
+use giantsan_runtime::{
+    AccessKind, Allocation, CheckResult, Counters, ErrorKind, ErrorReport, HeapError, Region,
+    RuntimeConfig, Sanitizer, World,
+};
+use giantsan_shadow::{align_up, Addr, SEGMENT_SIZE};
+
+/// LFP size classes: powers of two and 1.5× intermediates from 16 bytes up,
+/// mirroring the low-fat allocator's class table.
+pub fn size_classes() -> &'static [u64] {
+    const CLASSES: &[u64] = &{
+        let mut c = [0u64; 54];
+        let mut i = 0;
+        let mut p = 16u64;
+        while i < 54 {
+            c[i] = p;
+            if i + 1 < 54 {
+                c[i + 1] = p + p / 2;
+            }
+            p *= 2;
+            i += 2;
+        }
+        c
+    };
+    CLASSES
+}
+
+/// Smallest size class that fits `size` bytes.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_baselines::lfp::class_for;
+/// assert_eq!(class_for(1), 16);
+/// assert_eq!(class_for(17), 24);
+/// assert_eq!(class_for(600), 768);
+/// assert_eq!(class_for(768), 768);
+/// assert_eq!(class_for(769), 1024);
+/// ```
+pub fn class_for(size: u64) -> u64 {
+    let size = size.max(1);
+    for &c in size_classes() {
+        if c >= size {
+            return c;
+        }
+    }
+    align_up(size, SEGMENT_SIZE)
+}
+
+/// The LFP baseline sanitizer.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_baselines::Lfp;
+/// use giantsan_runtime::{AccessKind, Region, RuntimeConfig, Sanitizer};
+///
+/// let mut san = Lfp::new(RuntimeConfig::small());
+/// let a = san.alloc(600, Region::Heap).unwrap();
+/// // `p[700]` on a 600-byte buffer: inside the 768-byte class slot, missed.
+/// assert!(san.check_access(a.base + 700, 1, AccessKind::Read).is_ok());
+/// // Past the slot: detected.
+/// assert!(san.check_access(a.base + 800, 1, AccessKind::Read).is_err());
+/// ```
+#[derive(Debug)]
+pub struct Lfp {
+    world: World,
+    counters: Counters,
+}
+
+impl Lfp {
+    /// Creates an LFP instance over a fresh world (no redzones, no
+    /// quarantine — LFP has neither).
+    pub fn new(config: RuntimeConfig) -> Self {
+        let cfg = RuntimeConfig {
+            redzone: 0,
+            quarantine_cap: 0,
+            ..config
+        };
+        Lfp {
+            world: World::new(cfg),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The low-fat bounds of the slot containing `anchor`, when the pointer
+    /// is *low-fat* (a live heap or global object). Stack objects are not
+    /// low-fat: the check degrades to "always pass" plus simulation cost.
+    fn slot_bounds(&self, anchor: Addr) -> SlotLookup {
+        if let Some(obj) = self.world.objects().live_block_containing(anchor) {
+            if obj.region == Region::Stack {
+                return SlotLookup::Unprotected;
+            }
+            return SlotLookup::Bounds {
+                lo: obj.block_start,
+                hi: obj.block_start + obj.block_len,
+            };
+        }
+        // Not in a live object: distinguish freed-but-unreused slots (the
+        // access faults on the unmapped slot → detected) from wild pointers.
+        if let Some(dead) = self.world.objects().dead_block_containing(anchor) {
+            let reused = self
+                .world
+                .objects()
+                .live_containing(dead.block_start)
+                .is_some();
+            if reused {
+                // Slot reallocated to a new object: the dangling access
+                // aliases it and LFP cannot tell — false negative (the
+                // libzip CVE row of Table 4).
+                return SlotLookup::Unprotected;
+            }
+            return SlotLookup::Freed;
+        }
+        // Pointers into the stack arena are never low-fat: no protection.
+        if anchor >= self.world.stack().lo() && anchor < self.world.stack().hi() {
+            return SlotLookup::Unprotected;
+        }
+        SlotLookup::Wild
+    }
+
+    fn bounds_check(
+        &mut self,
+        anchor: Addr,
+        lo: Addr,
+        hi: Addr,
+        kind: AccessKind,
+    ) -> CheckResult {
+        self.counters.arith_checks += 1;
+        match self.slot_bounds(anchor) {
+            SlotLookup::Bounds { lo: slo, hi: shi } => {
+                if lo >= slo && hi <= shi {
+                    Ok(())
+                } else {
+                    self.counters.reports += 1;
+                    let kind_err = if lo < slo {
+                        ErrorKind::HeapBufferUnderflow
+                    } else {
+                        ErrorKind::HeapBufferOverflow
+                    };
+                    Err(ErrorReport::new(kind_err, lo, hi - lo).with_access(kind))
+                }
+            }
+            SlotLookup::Unprotected => {
+                self.counters.stack_sim_ops += 1;
+                Ok(())
+            }
+            SlotLookup::Freed => {
+                self.counters.reports += 1;
+                Err(ErrorReport::new(ErrorKind::UseAfterFree, lo, hi - lo).with_access(kind))
+            }
+            SlotLookup::Wild => {
+                self.counters.reports += 1;
+                Err(ErrorReport::new(ErrorKind::Wild, lo, hi - lo).with_access(kind))
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotLookup {
+    Bounds { lo: Addr, hi: Addr },
+    Unprotected,
+    Freed,
+    Wild,
+}
+
+impl Sanitizer for Lfp {
+    fn name(&self) -> &'static str {
+        "LFP"
+    }
+
+    fn world(&self) -> &World {
+        &self.world
+    }
+
+    fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    fn alloc(&mut self, size: u64, region: Region) -> Result<Allocation, HeapError> {
+        self.counters.allocs += 1;
+        match region {
+            Region::Heap | Region::Global => {
+                // Round the reservation up to the size class: the rounded-up
+                // slot is exactly the protection granule.
+                let class = class_for(size);
+                self.world.alloc_reserved(size, class, region)
+            }
+            Region::Stack => {
+                // LFP simulates a separate aligned stack with extra
+                // instructions; slots themselves are unprotected.
+                self.counters.stack_allocs += 1;
+                self.counters.stack_sim_ops += 4;
+                self.world.alloc_reserved(size, align_up(size.max(1), 8), region)
+            }
+        }
+    }
+
+    fn free(&mut self, base: Addr) -> CheckResult {
+        self.counters.frees += 1;
+        // LFP derives the slot base from the pointer, so frees of interior
+        // or stale pointers are detectable (Table 3, CWE-761: 192/192).
+        match self.world.free(base) {
+            Ok(_) => Ok(()),
+            Err(report) => {
+                self.counters.reports += 1;
+                Err(report)
+            }
+        }
+    }
+
+    fn realloc(&mut self, base: Addr, new_size: u64) -> Result<Allocation, ErrorReport> {
+        // LFP's realloc allocates a class-rounded slot, copies, and frees
+        // (no quarantine, so the old slot is immediately reusable).
+        let old = match self.world.objects().live_at_base(base) {
+            Some(o) if o.region == Region::Heap => o.clone(),
+            _ => {
+                let err = self
+                    .world
+                    .free(base)
+                    .err()
+                    .unwrap_or_else(|| ErrorReport::new(ErrorKind::Wild, base, 0));
+                self.counters.reports += 1;
+                return Err(err);
+            }
+        };
+        let new = self
+            .alloc(new_size, Region::Heap)
+            .map_err(|_| ErrorReport::new(ErrorKind::Unknown, base, new_size))?;
+        let copy_len = old.size.min(new_size);
+        if copy_len > 0 {
+            self.world
+                .space_mut()
+                .copy(new.base, old.base, copy_len)
+                .expect("both objects mapped");
+        }
+        self.counters.frees += 1;
+        self.world.free(base).expect("old object verified live");
+        Ok(new)
+    }
+
+    fn push_frame(&mut self) {
+        self.world.push_frame();
+    }
+
+    fn pop_frame(&mut self) {
+        self.counters.stack_sim_ops += 2;
+        let _ = self.world.pop_frame();
+    }
+
+    fn check_access(&mut self, addr: Addr, width: u32, kind: AccessKind) -> CheckResult {
+        self.bounds_check(addr, addr, addr.offset(width as i64), kind)
+    }
+
+    fn check_region(&mut self, lo: Addr, hi: Addr, kind: AccessKind) -> CheckResult {
+        self.bounds_check(lo, lo, hi, kind)
+    }
+
+    fn check_anchored(
+        &mut self,
+        anchor: Addr,
+        access_lo: Addr,
+        access_hi: Addr,
+        kind: AccessKind,
+    ) -> CheckResult {
+        // The pointer-based check: bounds are derived from the source
+        // pointer before arithmetic, so underflows below the anchor are
+        // caught (unlike a pure location check).
+        self.bounds_check(anchor, access_lo, access_hi, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> Lfp {
+        Lfp::new(RuntimeConfig::small())
+    }
+
+    #[test]
+    fn classes_are_sorted_and_start_at_16() {
+        let c = size_classes();
+        assert_eq!(c[0], 16);
+        assert_eq!(c[1], 24);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn paper_example_p700_of_600() {
+        // §2.1: BBC/LFP cannot detect p[700] for char p[600] — the 600-byte
+        // buffer is rounded up to the 768-byte class.
+        let mut s = san();
+        let a = s.alloc(600, Region::Heap).unwrap();
+        assert!(s
+            .check_anchored(a.base, a.base + 700, a.base + 701, AccessKind::Read)
+            .is_ok());
+        assert!(s
+            .check_anchored(a.base, a.base + 768, a.base + 769, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn exact_class_sizes_are_fully_protected() {
+        let mut s = san();
+        let a = s.alloc(768, Region::Heap).unwrap();
+        assert!(s
+            .check_anchored(a.base, a.base + 767, a.base + 768, AccessKind::Read)
+            .is_ok());
+        // One byte past the slot, checked against the source pointer's
+        // bounds (LFP instruments the pointer arithmetic): detected.
+        let err = s
+            .check_anchored(a.base, a.base + 768, a.base + 769, AccessKind::Read)
+            .unwrap_err();
+        assert!(err.kind.is_spatial());
+    }
+
+    #[test]
+    fn cross_slot_overflow_missed_without_anchor() {
+        // A derived pointer that already escaped into the neighbouring slot
+        // looks low-fat valid there: only the arithmetic-time (anchored)
+        // check catches the escape.
+        let mut s = san();
+        let a = s.alloc(768, Region::Heap).unwrap();
+        let b = s.alloc(768, Region::Heap).unwrap();
+        assert_eq!(b.base, a.base + 768, "first fit packs slots");
+        assert!(s.check_access(a.base + 768, 1, AccessKind::Read).is_ok());
+        assert!(s
+            .check_anchored(a.base, a.base + 768, a.base + 769, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn underflow_detected_via_anchor() {
+        let mut s = san();
+        let _pad = s.alloc(64, Region::Heap).unwrap();
+        let a = s.alloc(64, Region::Heap).unwrap();
+        let err = s
+            .check_anchored(a.base, a.base - 8, a.base, AccessKind::Write)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::HeapBufferUnderflow);
+    }
+
+    #[test]
+    fn stack_objects_are_unprotected() {
+        let mut s = san();
+        s.push_frame();
+        let _neighbour = s.alloc(64, Region::Stack).unwrap();
+        let a = s.alloc(32, Region::Stack).unwrap();
+        // A small stack overflow that corrupts the neighbouring slot passes:
+        // LFP's stack protection is incomplete (§5.2).
+        assert!(s.check_access(a.base + 40, 8, AccessKind::Write).is_ok());
+        assert!(s
+            .check_anchored(a.base, a.base + 40, a.base + 48, AccessKind::Write)
+            .is_ok());
+        assert!(s.counters().stack_sim_ops > 0);
+    }
+
+    #[test]
+    fn freed_slot_detected_until_reuse() {
+        let mut s = san();
+        let a = s.alloc(32, Region::Heap).unwrap();
+        s.free(a.base).unwrap();
+        let err = s.check_access(a.base, 8, AccessKind::Read).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UseAfterFree);
+        // After the slot is reallocated the dangling pointer aliases the new
+        // object: false negative.
+        let b = s.alloc(32, Region::Heap).unwrap();
+        assert_eq!(a.base, b.base);
+        assert!(s.check_access(a.base, 8, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn invalid_and_double_free_detected() {
+        let mut s = san();
+        let a = s.alloc(64, Region::Heap).unwrap();
+        assert_eq!(
+            s.free(a.base + 8).unwrap_err().kind,
+            ErrorKind::InvalidFree
+        );
+        s.free(a.base).unwrap();
+        assert_eq!(s.free(a.base).unwrap_err().kind, ErrorKind::DoubleFree);
+    }
+
+    #[test]
+    fn null_deref_reported() {
+        let mut s = san();
+        let err = s.check_access(Addr::NULL, 4, AccessKind::Read).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Wild);
+    }
+
+    #[test]
+    fn ground_truth_keeps_requested_size() {
+        // The oracle must see 600 bytes even though the slot is 768.
+        let mut s = san();
+        let a = s.alloc(600, Region::Heap).unwrap();
+        assert!(s.world().objects().valid_access(a.base, 600));
+        assert!(!s.world().objects().valid_access(a.base, 601));
+    }
+
+    #[test]
+    fn realloc_rounds_to_the_new_class() {
+        let mut s = san();
+        let a = s.alloc(100, Region::Heap).unwrap(); // 128-byte slot
+        s.world_mut().space_mut().write_u64(a.base, 42).unwrap();
+        let b = s.realloc(a.base, 600).unwrap(); // 768-byte slot
+        assert_eq!(s.world().space().read_u64(b.base).unwrap(), 42);
+        let info = s.world().objects().get(b.id).unwrap();
+        assert_eq!(info.block_len, 768, "reservation uses the new class");
+        // Overflow within the new slot is (characteristically) missed.
+        assert!(s
+            .check_anchored(b.base, b.base + 700, b.base + 701, AccessKind::Read)
+            .is_ok());
+        assert!(s
+            .check_anchored(b.base, b.base + 768, b.base + 769, AccessKind::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn arith_checks_counted() {
+        let mut s = san();
+        let a = s.alloc(64, Region::Heap).unwrap();
+        for i in 0..10 {
+            s.check_access(a.base + i * 4, 4, AccessKind::Read).unwrap();
+        }
+        assert_eq!(s.counters().arith_checks, 10);
+        assert_eq!(s.counters().shadow_loads, 0, "LFP loads no shadow");
+    }
+}

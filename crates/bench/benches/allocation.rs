@@ -1,0 +1,74 @@
+//! Allocator-path overhead: alloc/free churn under each runtime.
+//!
+//! Sanitizer allocators pay for redzone poisoning and quarantine bookkeeping
+//! (ASan, GiantSan) or size-class arithmetic (LFP). This bench isolates that
+//! cost — the component that dominates allocation-heavy workloads like
+//! omnetpp and leela, where LFP's lean allocator wins rows of Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use giantsan_baselines::{Asan, Lfp};
+use giantsan_core::GiantSan;
+use giantsan_runtime::{NullSanitizer, Region, RuntimeConfig, Sanitizer};
+
+fn churn(san: &mut dyn Sanitizer, rounds: u64, size: u64) {
+    for _ in 0..rounds {
+        let a = san.alloc(size, Region::Heap).expect("alloc");
+        san.free(a.base).expect("free");
+    }
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    const ROUNDS: u64 = 256;
+    let mut group = c.benchmark_group("alloc_free_churn");
+    for size in [16u64, 256, 4096] {
+        group.throughput(Throughput::Elements(ROUNDS));
+        group.bench_with_input(BenchmarkId::new("Native", size), &size, |b, &size| {
+            let mut san = NullSanitizer::new(RuntimeConfig::default());
+            b.iter(|| churn(&mut san, ROUNDS, size))
+        });
+        group.bench_with_input(BenchmarkId::new("GiantSan", size), &size, |b, &size| {
+            let mut san = GiantSan::new(RuntimeConfig::default());
+            b.iter(|| churn(&mut san, ROUNDS, size))
+        });
+        group.bench_with_input(BenchmarkId::new("ASan", size), &size, |b, &size| {
+            let mut san = Asan::new(RuntimeConfig::default());
+            b.iter(|| churn(&mut san, ROUNDS, size))
+        });
+        group.bench_with_input(BenchmarkId::new("LFP", size), &size, |b, &size| {
+            let mut san = Lfp::new(RuntimeConfig::default());
+            b.iter(|| churn(&mut san, ROUNDS, size))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stack_frames(c: &mut Criterion) {
+    // Frame push/alloca/pop cycles: the stack-protection cost.
+    const ROUNDS: u64 = 256;
+    let mut group = c.benchmark_group("stack_frames");
+    group.throughput(Throughput::Elements(ROUNDS));
+    let run = |san: &mut dyn Sanitizer| {
+        for _ in 0..ROUNDS {
+            san.push_frame();
+            let _ = san.alloc(128, Region::Stack).expect("alloca");
+            san.pop_frame();
+        }
+    };
+    group.bench_function("Native", |b| {
+        let mut san = NullSanitizer::new(RuntimeConfig::default());
+        b.iter(|| run(&mut san))
+    });
+    group.bench_function("GiantSan", |b| {
+        let mut san = GiantSan::new(RuntimeConfig::default());
+        b.iter(|| run(&mut san))
+    });
+    group.bench_function("ASan", |b| {
+        let mut san = Asan::new(RuntimeConfig::default());
+        b.iter(|| run(&mut san))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_free, bench_stack_frames);
+criterion_main!(benches);

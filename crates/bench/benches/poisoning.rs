@@ -1,0 +1,46 @@
+//! §4.1: poisoning with the folding pattern is linear time, like ASan's
+//! flat poisoning ("updating the shadow memory with the new encoding does
+//! not take extra computation").
+//!
+//! Benches the run-based folding writer against a flat `memset`-style
+//! poisoner and against the segment-by-segment reference implementation
+//! across object sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use giantsan_core::encoding;
+use giantsan_core::poison::{poison_object, poison_object_reference, poison_range};
+use giantsan_shadow::{AddressSpace, ShadowMemory};
+
+fn bench_poisoning(c: &mut Criterion) {
+    let space = AddressSpace::new(0x1_0000, 4 << 20);
+    let mut shadow = ShadowMemory::new(&space, encoding::UNALLOCATED);
+    let base = space.lo();
+
+    let mut group = c.benchmark_group("poisoning");
+    for size in [64u64, 1024, 16384, 262144, 1 << 20] {
+        group.throughput(Throughput::Bytes(size));
+        group.bench_with_input(
+            BenchmarkId::new("folding_runs", size),
+            &size,
+            |b, &size| b.iter(|| poison_object(&mut shadow, base, size)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("folding_reference", size),
+            &size,
+            |b, &size| b.iter(|| poison_object_reference(&mut shadow, base, size)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat_asan_style", size),
+            &size,
+            |b, &size| {
+                let len = size / 8 * 8;
+                b.iter(|| poison_range(&mut shadow, base, len, encoding::FREED))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poisoning);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! §4.3: history caching. An unbounded loop over a buffer costs GiantSan
+//! `⌈log2(n/8)⌉` metadata loads in total (quasi-bound refreshes); every other
+//! access is a register compare. ASan loads shadow on every access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use giantsan_baselines::Asan;
+use giantsan_core::GiantSan;
+use giantsan_runtime::{AccessKind, CacheSlot, Region, RuntimeConfig, Sanitizer};
+
+fn bench_cached_loop(c: &mut Criterion) {
+    let n: u64 = 16384;
+    let mut gs = GiantSan::new(RuntimeConfig::default());
+    let gbuf = gs.alloc(n, Region::Heap).unwrap();
+    let mut asan = Asan::new(RuntimeConfig::default());
+    let abuf = asan.alloc(n, Region::Heap).unwrap();
+
+    let mut group = c.benchmark_group("quasi_bound_loop");
+    group.throughput(Throughput::Elements(n / 8));
+    group.bench_function(BenchmarkId::new("GiantSan_cached", n), |b| {
+        b.iter(|| {
+            let mut slot = CacheSlot::new();
+            for off in (0..n).step_by(8) {
+                gs.cached_check(&mut slot, gbuf.base, off as i64, 8, AccessKind::Read)
+                    .unwrap();
+            }
+            gs.loop_final_check(&slot, gbuf.base, AccessKind::Read)
+                .unwrap();
+            slot.updates
+        })
+    });
+    group.bench_function(BenchmarkId::new("GiantSan_uncached", n), |b| {
+        b.iter(|| {
+            for off in (0..n).step_by(8) {
+                gs.check_anchored(
+                    gbuf.base,
+                    gbuf.base + off,
+                    gbuf.base + off + 8,
+                    AccessKind::Read,
+                )
+                .unwrap();
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("ASan_per_access", n), |b| {
+        b.iter(|| {
+            for off in (0..n).step_by(8) {
+                asan.check_access(abuf.base + off, 8, AccessKind::Read)
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_reverse_loop(c: &mut Criterion) {
+    // The §5.4 weak spot: descending accesses anchored at the buffer end
+    // pay a dedicated underflow check each.
+    let n: u64 = 16384;
+    let mut gs = GiantSan::new(RuntimeConfig::default());
+    let gbuf = gs.alloc(n, Region::Heap).unwrap();
+    let end = gbuf.base + n;
+    let mut asan = Asan::new(RuntimeConfig::default());
+    let abuf = asan.alloc(n, Region::Heap).unwrap();
+    let aend = abuf.base + n;
+
+    let mut group = c.benchmark_group("reverse_loop");
+    group.throughput(Throughput::Elements(n / 8));
+    group.bench_function("GiantSan_reverse", |b| {
+        b.iter(|| {
+            let mut slot = CacheSlot::new();
+            for k in 1..=(n / 8) {
+                gs.cached_check(&mut slot, end, -(8 * k as i64), 8, AccessKind::Read)
+                    .unwrap();
+            }
+        })
+    });
+    group.bench_function("ASan_reverse", |b| {
+        b.iter(|| {
+            for k in 1..=(n / 8) {
+                asan.check_access(aend - 8 * k, 8, AccessKind::Read).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_loop, bench_reverse_loop);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+//! Shared helpers for the criterion benchmarks.
+//!
+//! The benches regenerate the paper's timing artefacts with wall-clock
+//! measurements (the analytic counterparts live in `giantsan-harness`):
+//!
+//! * `table2_spec` — Table 2: the SPEC-like suite under every tool;
+//! * `fig11_traversal` — Figure 11: forward/random/reverse traversals;
+//! * `region_check` — §4.2's headline: O(1) folded region checks vs ASan's
+//!   linear guardian across region sizes;
+//! * `poisoning` — §4.1: linear-time folding poisoner vs flat poisoning;
+//! * `quasi_bound` — §4.3: cached vs uncached loop protection.
+
+use giantsan_harness::Tool;
+use giantsan_ir::Program;
+use giantsan_runtime::RuntimeConfig;
+
+/// Builds the (tool, plan) pairs for a program, reusing plans across
+/// criterion iterations.
+pub fn plans_for(program: &Program, tools: &[Tool]) -> Vec<(Tool, giantsan_ir::CheckPlan)> {
+    tools.iter().map(|t| (*t, t.plan(program))).collect()
+}
+
+/// The runtime configuration used by all wall-clock benches.
+pub fn bench_config() -> RuntimeConfig {
+    RuntimeConfig::default()
+}

@@ -1,0 +1,204 @@
+//! GiantSan's shadow state codes (paper §4.1, Definition 1).
+//!
+//! One 8-bit unsigned code per 8-byte segment:
+//!
+//! | code        | meaning                                           |
+//! |-------------|---------------------------------------------------|
+//! | `64 − i`    | *(i)-folded* segment: the next `2^i` segments are all addressable |
+//! | `72 − k`    | *k-partial* segment: only its first `k` bytes (1 ≤ k ≤ 7) are addressable |
+//! | `> 72`      | error codes (redzones, freed, unallocated)        |
+//!
+//! The encoding is *monotone*: a smaller code means more consecutive
+//! addressable bytes follow, so "is this segment at least (x)-folded?" is the
+//! single comparison `m[p] ≤ 64 − x`.
+
+/// Code of a plain "good" segment — an (0)-folded segment summarising itself.
+pub const GOOD: u8 = 64;
+
+/// Largest folding degree the codec will emit.
+///
+/// The paper bounds the degree by 64 (object sizes < 2^64); we cap at 60 so
+/// that the decode shift `67 − code` stays below 64 and the decoded byte
+/// count fits in a `u64` without overflow. A degree-60 fold already covers
+/// 8 · 2^60 bytes, far beyond any simulated object.
+pub const MAX_DEGREE: u32 = 60;
+
+/// Smallest folded code (`64 − MAX_DEGREE`).
+pub const MIN_FOLDED: u8 = GOOD - MAX_DEGREE as u8;
+
+/// First partial code (`7`-partial).
+pub const PARTIAL_7: u8 = 65;
+
+/// Last partial code (`1`-partial).
+pub const PARTIAL_1: u8 = 71;
+
+/// Error code: heap right redzone (overflow).
+pub const HEAP_RIGHT_REDZONE: u8 = 73;
+/// Error code: heap left redzone (underflow).
+pub const HEAP_LEFT_REDZONE: u8 = 74;
+/// Error code: freed memory held in quarantine.
+pub const FREED: u8 = 75;
+/// Error code: stack redzone or dead stack slot.
+pub const STACK_REDZONE: u8 = 76;
+/// Error code: global redzone.
+pub const GLOBAL_REDZONE: u8 = 77;
+/// Error code: memory the allocator never handed out.
+pub const UNALLOCATED: u8 = 78;
+
+/// Returns the shadow code of an *(degree)*-folded segment.
+///
+/// # Panics
+///
+/// Panics if `degree > MAX_DEGREE`.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_core::encoding::{folded, GOOD};
+/// assert_eq!(folded(0), GOOD);
+/// assert_eq!(folded(3), 61);
+/// ```
+pub const fn folded(degree: u32) -> u8 {
+    assert!(degree <= MAX_DEGREE, "folding degree out of range");
+    GOOD - degree as u8
+}
+
+/// Returns the shadow code of a *k*-partial segment.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `1..=7`.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_core::encoding::partial;
+/// assert_eq!(partial(4), 68);
+/// ```
+pub const fn partial(k: u32) -> u8 {
+    assert!(k >= 1 && k <= 7, "partial byte count out of range");
+    72 - k as u8
+}
+
+/// Extracts the folding degree of a folded code, or `None` otherwise.
+pub const fn folding_degree(code: u8) -> Option<u32> {
+    if code <= GOOD && code >= MIN_FOLDED {
+        Some((GOOD - code) as u32)
+    } else {
+        None
+    }
+}
+
+/// Extracts `k` from a *k*-partial code, or `None` otherwise.
+pub const fn partial_bytes(code: u8) -> Option<u32> {
+    if code >= PARTIAL_7 && code <= PARTIAL_1 {
+        Some((72 - code) as u32)
+    } else {
+        None
+    }
+}
+
+/// Returns `true` for error codes (`> 72`).
+pub const fn is_error(code: u8) -> bool {
+    code > 72
+}
+
+/// The paper's branch-free decode (§4.2): the number of addressable bytes
+/// guaranteed to follow the *segment base* of a segment with this code —
+/// `(code ≤ 64) << (67 − code)`, i.e. `8 · 2^degree` for folded segments and
+/// `0` for everything else.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_core::encoding::{addressable_bytes, folded, partial, FREED};
+/// assert_eq!(addressable_bytes(folded(0)), 8);
+/// assert_eq!(addressable_bytes(folded(5)), 8 << 5);
+/// assert_eq!(addressable_bytes(partial(3)), 0);
+/// assert_eq!(addressable_bytes(FREED), 0);
+/// ```
+#[inline]
+pub const fn addressable_bytes(code: u8) -> u64 {
+    if code <= GOOD {
+        // Codes below MIN_FOLDED never occur; clamp defensively so the shift
+        // cannot exceed 63 even on corrupted shadow.
+        let shift = 67 - if code < MIN_FOLDED { MIN_FOLDED } else { code } as u32;
+        1u64 << shift
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_layout_matches_definition_1() {
+        assert_eq!(folded(0), 64);
+        assert_eq!(folded(1), 63);
+        assert_eq!(folded(MAX_DEGREE), MIN_FOLDED);
+        assert_eq!(partial(1), 71);
+        assert_eq!(partial(7), 65);
+        assert!(is_error(HEAP_RIGHT_REDZONE));
+        assert!(is_error(UNALLOCATED));
+        assert!(!is_error(partial(1)));
+        assert!(!is_error(folded(0)));
+    }
+
+    #[test]
+    fn monotonicity_smaller_code_means_more_bytes() {
+        // Folded codes decode to strictly more bytes as they shrink.
+        let mut prev = 0;
+        for degree in 0..=MAX_DEGREE {
+            let bytes = addressable_bytes(folded(degree));
+            assert!(bytes > prev);
+            prev = bytes;
+        }
+        // Partial and error codes decode to zero.
+        for code in PARTIAL_7..=u8::MAX {
+            assert_eq!(addressable_bytes(code), 0, "code {code}");
+        }
+    }
+
+    #[test]
+    fn decode_matches_paper_shift_trick() {
+        for degree in 0..=MAX_DEGREE {
+            let code = folded(degree);
+            assert_eq!(addressable_bytes(code), 8u64 << degree);
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        for degree in 0..=MAX_DEGREE {
+            assert_eq!(folding_degree(folded(degree)), Some(degree));
+        }
+        for k in 1..=7 {
+            assert_eq!(partial_bytes(partial(k)), Some(k));
+        }
+        assert_eq!(folding_degree(partial(1)), None);
+        assert_eq!(partial_bytes(folded(0)), None);
+        assert_eq!(folding_degree(FREED), None);
+        assert_eq!(partial_bytes(FREED), None);
+    }
+
+    #[test]
+    fn is_folded_check_is_single_comparison() {
+        // "at least (3)-folded" <=> code <= 61, the paper's monotonicity
+        // argument.
+        for degree in 0..=MAX_DEGREE {
+            let code = folded(degree);
+            assert_eq!(code <= folded(3), degree >= 3);
+        }
+        assert!(partial(7) > folded(3));
+        assert!(FREED > folded(3));
+    }
+
+    #[test]
+    fn corrupted_low_codes_decode_safely() {
+        // Codes below MIN_FOLDED are invalid; decode clamps instead of
+        // shifting out of range.
+        assert_eq!(addressable_bytes(0), addressable_bytes(MIN_FOLDED));
+    }
+}

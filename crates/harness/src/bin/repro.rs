@@ -1,0 +1,196 @@
+//! `repro` — regenerate the GiantSan paper's tables and figures.
+//!
+//! ```text
+//! repro table2 [--scale N]          Table 2: SPEC overhead (+ ablation)
+//! repro table2 --wall [--scale N]   ... wall-clock variant
+//! repro fig10  [--scale N]          Figure 10: check breakdown
+//! repro table3 [--div N]            Table 3: Juliet detection
+//! repro table4                      Table 4: CVE detection
+//! repro table5 [--div N]            Table 5: Magma redzone study
+//! repro fig11  [--rounds N]         Figure 11: traversal patterns
+//! repro ablation                    §5.4 mitigations + quarantine study
+//! repro memory [--scale N]          memory-overhead study
+//! repro density [--scale N]         achieved protection-density study
+//! repro all    [--div N] [--scale N] everything
+//! ```
+//!
+//! `--div 1` runs the full detection corpora (5,948 Juliet cases, 58,969
+//! Magma cases); the default subsamples for a quick pass.
+
+use std::env;
+use std::process::ExitCode;
+
+use giantsan_harness::csv;
+use giantsan_harness::experiments::{ablation, density, fig10, fig11, memory, table2, table3, table4, table5};
+
+struct Opts {
+    scale: u64,
+    div: u32,
+    rounds: u64,
+    wall: bool,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        scale: 1,
+        div: 10,
+        rounds: 4,
+        wall: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--div" => {
+                opts.div = it
+                    .next()
+                    .ok_or("--div needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --div: {e}"))?
+            }
+            "--rounds" => {
+                opts.rounds = it
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?
+            }
+            "--wall" => opts.wall = true,
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a directory")?.into());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Writes `content` to `<out>/<name>` when `--out` was given.
+fn write_csv(opts: &Opts, name: &str, content: &str) {
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join(name), content))
+        {
+            eprintln!("warning: failed to write {name}: {e}");
+        } else {
+            println!("(wrote {})", dir.join(name).display());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!(
+            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|memory|density|all> \
+             [--scale N] [--div N] [--rounds N] [--wall] [--out DIR]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run_table2 = |opts: &Opts| {
+        println!("== Table 2: runtime overhead on the SPEC-like suite ==");
+        println!("(paper geomeans: GiantSan 146.04%, ASan 212.58%, ASan-- 174.89%, LFP 161.76%,");
+        println!(" CacheOnly 175.63%, EliminationOnly 170.24%)\n");
+        let t = table2::table2(opts.scale);
+        println!("{}", t.render());
+        write_csv(opts, "table2.csv", &csv::table2_csv(&t));
+        if opts.wall {
+            println!("\n-- wall-clock variant --\n{}", t.render_wall());
+        }
+    };
+    let run_fig10 = |opts: &Opts| {
+        println!("== Figure 10: checks per optimisation category (GiantSan) ==\n");
+        let f = fig10::fig10(opts.scale);
+        println!("{}", f.render());
+        write_csv(opts, "fig10.csv", &csv::fig10_csv(&f));
+    };
+    let run_table3 = |opts: &Opts| {
+        println!("== Table 3: Juliet-like detection ==\n");
+        let t = table3::table3(opts.div);
+        println!("{}", t.render());
+        write_csv(opts, "table3.csv", &csv::table3_csv(&t));
+    };
+    let run_table4 = |opts: &Opts| {
+        println!("== Table 4: Linux-Flaw-Project-like CVE detection ==\n");
+        let t = table4::table4();
+        println!("{}", t.render());
+        write_csv(opts, "table4.csv", &csv::table4_csv(&t));
+    };
+    let run_table5 = |opts: &Opts| {
+        println!("== Table 5: Magma-like redzone study ==\n");
+        let t = table5::table5(opts.div);
+        println!("{}", t.render());
+        write_csv(opts, "table5.csv", &csv::table5_csv(&t));
+    };
+    let run_density = |opts: &Opts| {
+        println!("== Supporting study: achieved protection density ==\n");
+        println!("{}", density::density_study(opts.scale).render());
+    };
+    let run_memory = |opts: &Opts| {
+        println!("== Supporting study: memory overhead ==\n");
+        println!("{}", memory::memory_study(opts.scale).render());
+    };
+    let run_ablation = |_opts: &Opts| {
+        println!("== Supporting ablations (DESIGN.md §5) ==\n");
+        println!("{}", ablation::render(8192, 2));
+    };
+    let run_fig11 = |opts: &Opts| {
+        println!("== Figure 11: traversal patterns ==");
+        println!("(paper: GiantSan 1.48x faster random, 1.07x faster forward, 1.39x slower reverse)");
+        let f = fig11::fig11(opts.rounds);
+        println!("{}", f.render());
+        write_csv(opts, "fig11.csv", &csv::fig11_csv(&f));
+    };
+
+    match cmd.as_str() {
+        "table2" => run_table2(&opts),
+        "fig10" => run_fig10(&opts),
+        "table3" => run_table3(&opts),
+        "table4" => run_table4(&opts),
+        "table5" => run_table5(&opts),
+        "fig11" => run_fig11(&opts),
+        "ablation" => run_ablation(&opts),
+        "memory" => run_memory(&opts),
+        "density" => run_density(&opts),
+        "all" => {
+            run_table2(&opts);
+            println!();
+            run_fig10(&opts);
+            println!();
+            run_table3(&opts);
+            println!();
+            run_table4(&opts);
+            println!();
+            run_table5(&opts);
+            println!();
+            run_fig11(&opts);
+            println!();
+            run_ablation(&opts);
+            println!();
+            run_memory(&opts);
+            println!();
+            run_density(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

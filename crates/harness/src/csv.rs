@@ -1,0 +1,162 @@
+//! CSV export of experiment results (for plotting outside the repo).
+//!
+//! Each experiment type knows how to serialise itself into a simple RFC-4180
+//! CSV (no external dependency needed — all fields are numeric or
+//! identifier-shaped).
+
+use std::fmt::Write as _;
+
+use crate::experiments::{fig10::Fig10, fig11::Fig11, table2::Table2, table3::Table3};
+use crate::experiments::{table4::Table4, table5::Table5};
+use crate::experiments::{table2, table3 as t3, table4 as t4, table5 as t5};
+
+fn esc(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialises Table 2 (one row per benchmark, one column per tool ratio).
+pub fn table2_csv(t: &Table2) -> String {
+    let mut out = String::from("program,native_units");
+    for tool in table2::COLUMNS {
+        let _ = write!(out, ",{}_ratio_pct", tool.name().replace('-', "m"));
+    }
+    out.push('\n');
+    for r in &t.rows {
+        let _ = write!(out, "{},{:.1}", esc(&r.id), r.native_units);
+        for v in &r.ratios {
+            let _ = write!(out, ",{v:.2}");
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "geomean,");
+    for v in &t.geomeans {
+        let _ = write!(out, ",{v:.2}");
+    }
+    out.push('\n');
+    out
+}
+
+/// Serialises Figure 10 (fractions per category).
+pub fn fig10_csv(f: &Fig10) -> String {
+    let mut out = String::from("program,full_check,fast_only,cached,eliminated\n");
+    for r in &f.rows {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.4},{:.4}",
+            esc(&r.id),
+            r.full_check,
+            r.fast_only,
+            r.cached,
+            r.eliminated
+        );
+    }
+    out
+}
+
+/// Serialises Table 3 (detections per CWE per tool).
+pub fn table3_csv(t: &Table3) -> String {
+    let mut out = String::from("cwe");
+    for tool in t3::COLUMNS {
+        let _ = write!(out, ",{}", tool.name().replace('-', "m"));
+    }
+    out.push_str(",total\n");
+    for r in &t.rows {
+        let _ = write!(out, "{}", r.cwe);
+        for d in &r.detected {
+            let _ = write!(out, ",{d}");
+        }
+        let _ = writeln!(out, ",{}", r.total);
+    }
+    out
+}
+
+/// Serialises Table 4 (one row per CVE, 1 = detected).
+pub fn table4_csv(t: &Table4) -> String {
+    let mut out = String::from("project,cve");
+    for tool in t4::COLUMNS {
+        let _ = write!(out, ",{}", tool.name().replace('-', "m"));
+    }
+    out.push('\n');
+    for r in &t.rows {
+        let _ = write!(out, "{},{}", esc(r.project), esc(r.cve));
+        for d in &r.detected {
+            let _ = write!(out, ",{}", *d as u8);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises Table 5 (detections per project per configuration).
+pub fn table5_csv(t: &Table5) -> String {
+    let mut out = String::from("project");
+    for c in t5::CONFIGS {
+        let _ = write!(out, ",{}_rz{}", c.tool.name().replace('-', "m"), c.redzone);
+    }
+    out.push_str(",total\n");
+    for r in &t.rows {
+        let _ = write!(out, "{}", esc(r.project));
+        for d in &r.detected {
+            let _ = write!(out, ",{d}");
+        }
+        let _ = writeln!(out, ",{}", r.total);
+    }
+    out
+}
+
+/// Serialises Figure 11 (units and wall time per pattern/size/tool).
+pub fn fig11_csv(f: &Fig11) -> String {
+    let mut out = String::from("pattern,size_bytes,tool,model_units,wall_us\n");
+    for s in &f.series {
+        for p in &s.points {
+            for (i, tool) in crate::experiments::fig11::SERIES.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{:.1},{:.1}",
+                    s.pattern.name(),
+                    p.size,
+                    tool.name().replace('-', "m"),
+                    p.units[i],
+                    p.wall_us[i]
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_csv_round_trips_structure() {
+        let t = crate::experiments::table4::table4();
+        let csv = table4_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), t.rows.len() + 1);
+        assert!(lines[0].starts_with("project,cve,GiantSan"));
+        // The libzip row shows LFP's miss as a 0.
+        let libzip = lines.iter().find(|l| l.contains("libzip")).unwrap();
+        assert!(libzip.ends_with(",1,1,1,0"), "{libzip}");
+    }
+
+    #[test]
+    fn escaping_quotes_and_commas() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fig10_csv_has_all_rows() {
+        let f = crate::experiments::fig10::fig10(1);
+        let csv = fig10_csv(&f);
+        assert_eq!(csv.lines().count(), f.rows.len() + 1);
+        assert!(csv.contains("519.lbm_r"));
+    }
+}

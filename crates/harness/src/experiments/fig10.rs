@@ -1,0 +1,164 @@
+//! Figure 10: proportion of memory instructions per optimisation category.
+
+use giantsan_runtime::RuntimeConfig;
+use giantsan_workloads::spec_suite;
+
+use crate::table::TextTable;
+use crate::tool::{run_tool, Tool};
+
+/// The dynamic check breakdown of one benchmark under GiantSan.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark id.
+    pub id: String,
+    /// Fraction of memory instructions that needed fast + slow checks.
+    pub full_check: f64,
+    /// Fraction where the fast check alone sufficed.
+    pub fast_only: f64,
+    /// Fraction admitted by the history cache.
+    pub cached: f64,
+    /// Fraction whose checks were eliminated (merged or promoted away).
+    pub eliminated: f64,
+}
+
+/// The figure's data: one row per benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig10Row>,
+    /// Mean fraction optimised (cached + eliminated), the paper's 52.56%.
+    pub mean_optimised: f64,
+}
+
+/// Computes the breakdown by running every SPEC-like workload under full
+/// GiantSan and attributing each dynamic memory instruction to the check
+/// path that admitted it.
+pub fn fig10(scale: u64) -> Fig10 {
+    let cfg = RuntimeConfig::default();
+    let mut rows = Vec::new();
+    for w in spec_suite(scale) {
+        let out = run_tool(Tool::GiantSan, &w.program, &w.inputs, &cfg);
+        let c = &out.counters;
+        // Dynamic memory instructions: accesses plus memop segments (the
+        // same units ASan would have to check one by one).
+        let m = out.result.native_work.max(1) as f64;
+        let cached = (c.cache_hits + c.cache_updates) as f64;
+        let fast = c.fast_checks as f64;
+        let full = c.slow_checks as f64;
+        let eliminated = (m - cached - fast - full).max(0.0);
+        rows.push(Fig10Row {
+            id: w.id,
+            full_check: full / m,
+            fast_only: fast / m,
+            cached: cached / m,
+            eliminated: eliminated / m,
+        });
+    }
+    let mean_optimised =
+        rows.iter().map(|r| r.cached + r.eliminated).sum::<f64>() / rows.len().max(1) as f64;
+    Fig10 {
+        rows,
+        mean_optimised,
+    }
+}
+
+impl Fig10 {
+    /// Renders the figure's data as a table plus a text bar chart.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Programs".into(),
+            "FullCheck".into(),
+            "FastOnly".into(),
+            "Cached".into(),
+            "Eliminated".into(),
+            "bar (E=eliminated C=cached f=fast F=full)".into(),
+        ]);
+        for r in &self.rows {
+            let bar = render_bar(r, 32);
+            t.row(vec![
+                r.id.clone(),
+                format!("{:.1}%", r.full_check * 100.0),
+                format!("{:.1}%", r.fast_only * 100.0),
+                format!("{:.1}%", r.cached * 100.0),
+                format!("{:.1}%", r.eliminated * 100.0),
+                bar,
+            ]);
+        }
+        let mut s = t.render();
+        s.push_str(&format!(
+            "\nMean optimised (eliminated + cached): {:.2}% (paper: 52.56%)\n",
+            self.mean_optimised * 100.0
+        ));
+        s
+    }
+}
+
+fn render_bar(r: &Fig10Row, width: usize) -> String {
+    let mut bar = String::new();
+    let mut push = (|| {
+        let mut emitted = 0usize;
+        move |frac: f64, ch: char, bar: &mut String| {
+            let n = ((frac * width as f64).round() as usize).min(width - emitted.min(width));
+            for _ in 0..n {
+                bar.push(ch);
+            }
+            emitted += n;
+        }
+    })();
+    push(r.eliminated, 'E', &mut bar);
+    push(r.cached, 'C', &mut bar);
+    push(r.fast_only, 'f', &mut bar);
+    push(r.full_check, 'F', &mut bar);
+    bar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_normalised() {
+        let f = fig10(1);
+        assert_eq!(f.rows.len(), 24);
+        for r in &f.rows {
+            let sum = r.full_check + r.fast_only + r.cached + r.eliminated;
+            assert!(
+                (0.9..=1.01).contains(&sum),
+                "{}: fractions sum to {sum}",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn a_majority_of_checks_is_optimised() {
+        // The paper reports 52.56% eliminated+cached on average.
+        let f = fig10(1);
+        assert!(
+            f.mean_optimised > 0.35,
+            "only {:.1}% optimised",
+            f.mean_optimised * 100.0
+        );
+    }
+
+    #[test]
+    fn stencil_kernels_are_mostly_eliminated() {
+        // lbm's checks live in bounded affine loops: like the paper's lbm,
+        // the overwhelming majority should be eliminated or cached.
+        let f = fig10(1);
+        let lbm = f.rows.iter().find(|r| r.id == "519.lbm_r").unwrap();
+        assert!(
+            lbm.eliminated + lbm.cached > 0.8,
+            "lbm optimised fraction {:.2}",
+            lbm.eliminated + lbm.cached
+        );
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let f = fig10(1);
+        let s = f.render();
+        assert!(s.contains("Mean optimised"));
+        assert!(s.contains('E') || s.contains('C'));
+    }
+}

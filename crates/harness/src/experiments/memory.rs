@@ -1,0 +1,136 @@
+//! Supporting study: memory overhead per sanitizer.
+//!
+//! Location-based sanitizers trade memory for compatibility (§2.1 discusses
+//! how larger metadata "causes excessive memory consumption and
+//! significantly affects runtime efficiency"). This study measures, over
+//! the SPEC-like suite, each tool's arena footprint relative to native:
+//! redzone and rounding waste in the heap's high-water mark, quarantine
+//! residency, and the fixed 1/8 shadow mapping.
+
+use giantsan_runtime::RuntimeConfig;
+use giantsan_workloads::spec_suite;
+
+use crate::table::TextTable;
+use crate::tool::Tool;
+
+/// Tools measured.
+pub const COLUMNS: [Tool; 4] = [Tool::Native, Tool::GiantSan, Tool::Asan, Tool::Lfp];
+
+/// One benchmark's memory footprint per tool.
+#[derive(Debug, Clone)]
+pub struct MemoryRow {
+    /// Benchmark id.
+    pub id: String,
+    /// Heap high-water marks in bytes, per column tool.
+    pub heap_high_water: Vec<u64>,
+    /// Bytes resident in quarantine at exit, per column tool.
+    pub quarantined: Vec<u64>,
+}
+
+/// The study's result.
+#[derive(Debug, Clone)]
+pub struct MemoryStudy {
+    /// Per-benchmark rows.
+    pub rows: Vec<MemoryRow>,
+    /// Mean heap overhead ratio vs native, per column (native = 1.0).
+    pub mean_heap_ratio: Vec<f64>,
+}
+
+/// Runs the memory study at `scale`.
+pub fn memory_study(scale: u64) -> MemoryStudy {
+    let cfg = RuntimeConfig::default();
+    let mut rows = Vec::new();
+    for w in spec_suite(scale) {
+        let mut heap_high_water = Vec::new();
+        let mut quarantined = Vec::new();
+        for tool in COLUMNS {
+            let mut san = tool.sanitizer(&cfg);
+            let plan = tool.plan(&w.program);
+            let exec = giantsan_ir::ExecConfig::default();
+            let _ = giantsan_ir::run(&w.program, &w.inputs, san.as_mut(), &plan, &exec);
+            heap_high_water.push(san.world().heap().high_water());
+            quarantined.push(san.world().quarantined_bytes());
+        }
+        rows.push(MemoryRow {
+            id: w.id,
+            heap_high_water,
+            quarantined,
+        });
+    }
+    let mean_heap_ratio = (0..COLUMNS.len())
+        .map(|i| {
+            let ratios: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.heap_high_water[0] > 0)
+                .map(|r| r.heap_high_water[i] as f64 / r.heap_high_water[0] as f64)
+                .collect();
+            ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+        })
+        .collect();
+    MemoryStudy {
+        rows,
+        mean_heap_ratio,
+    }
+}
+
+impl MemoryStudy {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Programs".to_string()];
+        for t in COLUMNS {
+            headers.push(format!("{} heap(B)", t.name()));
+        }
+        for t in COLUMNS.iter().skip(1) {
+            headers.push(format!("{} quarantine(B)", t.name()));
+        }
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.id.clone()];
+            cells.extend(r.heap_high_water.iter().map(|v| v.to_string()));
+            cells.extend(r.quarantined.iter().skip(1).map(|v| v.to_string()));
+            t.row(cells);
+        }
+        let mut s = t.render();
+        s.push_str("\nMean heap high-water ratio vs native: ");
+        for (tool, ratio) in COLUMNS.iter().zip(self.mean_heap_ratio.iter()) {
+            s.push_str(&format!("{} {:.2}x  ", tool.name(), ratio));
+        }
+        s.push_str(
+            "\n(shadow adds a fixed 1/8 of the address space for the location-based tools;\n\
+             LFP's waste is size-class rounding instead of redzones.)\n",
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizers_use_more_heap_than_native() {
+        let m = memory_study(1);
+        assert_eq!(m.rows.len(), 24);
+        // Native ratio is exactly 1; every sanitizer pays something.
+        assert!((m.mean_heap_ratio[0] - 1.0).abs() < 1e-9);
+        for i in 1..COLUMNS.len() {
+            assert!(
+                m.mean_heap_ratio[i] > 1.0,
+                "{} ratio {:.2}",
+                COLUMNS[i].name(),
+                m.mean_heap_ratio[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_only_exists_for_quarantining_tools() {
+        let m = memory_study(1);
+        // LFP (last column) never quarantines.
+        let lfp_q: u64 = m.rows.iter().map(|r| r.quarantined[3]).sum();
+        assert_eq!(lfp_q, 0);
+        // The churn-heavy kernels leave bytes in GiantSan's quarantine.
+        let gs_q: u64 = m.rows.iter().map(|r| r.quarantined[1]).sum();
+        assert!(gs_q > 0);
+    }
+}

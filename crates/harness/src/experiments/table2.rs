@@ -1,0 +1,163 @@
+//! Table 2: runtime overhead on the SPEC-like suite, with ablation columns.
+
+use giantsan_runtime::RuntimeConfig;
+use giantsan_workloads::spec_suite;
+
+use crate::cost::{geomean, CostModel};
+use crate::table::{pct, TextTable};
+use crate::tool::{run_tool, RunOutcome, Tool};
+
+/// Tool columns in the paper's order (plus the two ablations).
+pub const COLUMNS: [Tool; 6] = [
+    Tool::GiantSan,
+    Tool::Asan,
+    Tool::AsanMinusMinus,
+    Tool::Lfp,
+    Tool::CacheOnly,
+    Tool::EliminationOnly,
+];
+
+/// One benchmark row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark id (`"519.lbm_r"`).
+    pub id: String,
+    /// Native modelled time units.
+    pub native_units: f64,
+    /// Native wall-clock microseconds.
+    pub native_wall_us: f64,
+    /// Modelled ratio percentage per column tool.
+    pub ratios: Vec<f64>,
+    /// Wall-clock ratio percentage per column tool.
+    pub wall_ratios: Vec<f64>,
+}
+
+/// The full reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Table2Row>,
+    /// Geometric means of the modelled ratios, per column.
+    pub geomeans: Vec<f64>,
+    /// Geometric means of the wall-clock ratios, per column.
+    pub wall_geomeans: Vec<f64>,
+}
+
+/// Runs the performance study at `scale` (1 = quick, larger = steadier
+/// wall-clock numbers).
+pub fn table2(scale: u64) -> Table2 {
+    let model = CostModel::default();
+    let cfg = RuntimeConfig::default();
+    let mut rows = Vec::new();
+    for w in spec_suite(scale) {
+        let native = run_tool(Tool::Native, &w.program, &w.inputs, &cfg);
+        let mut ratios = Vec::new();
+        let mut wall_ratios = Vec::new();
+        for tool in COLUMNS {
+            let out = run_tool(tool, &w.program, &w.inputs, &cfg);
+            debug_assert!(
+                out.result.reports.is_empty(),
+                "{}: {} raised reports",
+                w.id,
+                tool.name()
+            );
+            ratios.push(model.ratio_percent(tool, &native, &out));
+            wall_ratios.push(wall_ratio(&native, &out));
+        }
+        rows.push(Table2Row {
+            id: w.id,
+            native_units: model.native_units(&native),
+            native_wall_us: native.wall.as_secs_f64() * 1e6,
+            ratios,
+            wall_ratios,
+        });
+    }
+    let geomeans = (0..COLUMNS.len())
+        .map(|i| geomean(&rows.iter().map(|r| r.ratios[i]).collect::<Vec<_>>()))
+        .collect();
+    let wall_geomeans = (0..COLUMNS.len())
+        .map(|i| geomean(&rows.iter().map(|r| r.wall_ratios[i]).collect::<Vec<_>>()))
+        .collect();
+    Table2 {
+        rows,
+        geomeans,
+        wall_geomeans,
+    }
+}
+
+fn wall_ratio(native: &RunOutcome, run: &RunOutcome) -> f64 {
+    let n = native.wall.as_secs_f64().max(1e-9);
+    100.0 * run.wall.as_secs_f64() / n
+}
+
+impl Table2 {
+    /// Renders the table in the paper's layout (modelled ratios).
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Programs".to_string(), "Native(u)".to_string()];
+        headers.extend(COLUMNS.iter().map(|t| format!("{} R", t.name())));
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.id.clone(), format!("{:.0}", r.native_units)];
+            cells.extend(r.ratios.iter().map(|v| pct(*v)));
+            t.row(cells);
+        }
+        t.separator();
+        let mut cells = vec!["Geometric Means.".to_string(), String::new()];
+        cells.extend(self.geomeans.iter().map(|v| pct(*v)));
+        t.row(cells);
+        t.render()
+    }
+
+    /// Renders the wall-clock variant of the table.
+    pub fn render_wall(&self) -> String {
+        let mut headers = vec!["Programs".to_string(), "Native(us)".to_string()];
+        headers.extend(COLUMNS.iter().map(|t| format!("{} wall", t.name())));
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.id.clone(), format!("{:.0}", r.native_wall_us)];
+            cells.extend(r.wall_ratios.iter().map(|v| pct(*v)));
+            t.row(cells);
+        }
+        t.separator();
+        let mut cells = vec!["Geometric Means.".to_string(), String::new()];
+        cells.extend(self.wall_geomeans.iter().map(|v| pct(*v)));
+        t.row(cells);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let t = table2(1);
+        assert_eq!(t.rows.len(), 24);
+        let gm: std::collections::HashMap<&str, f64> = COLUMNS
+            .iter()
+            .zip(t.geomeans.iter())
+            .map(|(tool, g)| (tool.name(), *g))
+            .collect();
+        // The paper's headline ordering: GiantSan < LFP, ASan-- < ASan, all
+        // above native.
+        assert!(gm["GiantSan"] < gm["ASan--"], "{gm:?}");
+        assert!(gm["ASan--"] < gm["ASan"], "{gm:?}");
+        assert!(gm["GiantSan"] < gm["LFP"], "{gm:?}");
+        assert!(gm["GiantSan"] > 100.0);
+        // Ablations fall between full GiantSan and ASan.
+        assert!(gm["CacheOnly"] > gm["GiantSan"]);
+        assert!(gm["EliminationOnly"] > gm["GiantSan"]);
+        assert!(gm["CacheOnly"] < gm["ASan"]);
+        assert!(gm["EliminationOnly"] < gm["ASan"]);
+    }
+
+    #[test]
+    fn render_contains_every_row() {
+        let t = table2(1);
+        let s = t.render();
+        assert!(s.contains("500.perlbench_r"));
+        assert!(s.contains("657.xz_s"));
+        assert!(s.contains("Geometric Means."));
+    }
+}

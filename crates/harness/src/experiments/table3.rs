@@ -1,0 +1,186 @@
+//! Table 3: detection capability on the Juliet-like suite.
+
+use std::collections::HashMap;
+
+use giantsan_ir::CheckPlan;
+use giantsan_runtime::RuntimeConfig;
+use giantsan_workloads::juliet::{juliet_suite_scaled, paper_totals, JulietSuite};
+
+use crate::table::TextTable;
+use crate::tool::{run_planned, Tool};
+
+/// Detection tools of Table 3, in column order.
+pub const COLUMNS: [Tool; 4] = [Tool::GiantSan, Tool::Asan, Tool::AsanMinusMinus, Tool::Lfp];
+
+/// One CWE row of the table.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// CWE number.
+    pub cwe: u32,
+    /// Detected cases per column tool.
+    pub detected: Vec<u32>,
+    /// False positives on the safe twins per column tool (the paper reports
+    /// none; this column validates that).
+    pub false_positives: Vec<u32>,
+    /// Total buggy cases.
+    pub total: u32,
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Per-CWE rows, ascending.
+    pub rows: Vec<Table3Row>,
+    /// Scaling divisor used (1 = the paper's full counts).
+    pub divisor: u32,
+}
+
+/// Runs the detection study. `divisor = 1` reproduces the full Table 3
+/// counts; larger values subsample each family.
+pub fn table3(divisor: u32) -> Table3 {
+    let suite = juliet_suite_scaled(divisor);
+    let cfg = RuntimeConfig::small();
+    // One plan per (template, tool): templates are shared across thousands
+    // of cases.
+    let plans: Vec<HashMap<usize, CheckPlan>> = COLUMNS
+        .iter()
+        .map(|tool| {
+            suite
+                .templates
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, tool.plan(p)))
+                .collect()
+        })
+        .collect();
+
+    let mut rows: Vec<Table3Row> = paper_totals()
+        .iter()
+        .map(|&(cwe, _)| Table3Row {
+            cwe,
+            detected: vec![0; COLUMNS.len()],
+            false_positives: vec![0; COLUMNS.len()],
+            total: 0,
+        })
+        .collect();
+
+    for case in &suite.cases {
+        let row = rows
+            .iter_mut()
+            .find(|r| r.cwe == case.cwe)
+            .expect("unknown CWE family");
+        row.total += 1;
+        for (t, tool) in COLUMNS.iter().enumerate() {
+            let plan = &plans[t][&case.template];
+            let program = &suite.templates[case.template];
+            let buggy = run_planned(*tool, program, plan, &case.buggy_inputs, &cfg);
+            if buggy.detected() {
+                row.detected[t] += 1;
+            }
+            let safe = run_planned(*tool, program, plan, &case.safe_inputs, &cfg);
+            if safe.detected() {
+                row.false_positives[t] += 1;
+            }
+        }
+    }
+    Table3 { rows, divisor }
+}
+
+/// Human-readable CWE titles (the paper's row labels).
+pub fn cwe_title(cwe: u32) -> &'static str {
+    match cwe {
+        121 => "Stack Buffer Overflow",
+        122 => "Heap Buffer Overflow",
+        124 => "Buffer Underwrite",
+        126 => "Buffer Overread",
+        127 => "Buffer Underread",
+        416 => "Use After Free",
+        476 => "NULL Pointer Dereference",
+        761 => "Free Pointer Not at Start of Buffer",
+        _ => "Unknown",
+    }
+}
+
+impl Table3 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["CWE ID & Type".to_string()];
+        headers.extend(COLUMNS.iter().map(|t| t.name().to_string()));
+        headers.push("Total".to_string());
+        let mut t = TextTable::new(headers);
+        let mut sums = vec![0u32; COLUMNS.len()];
+        let mut total = 0u32;
+        for r in &self.rows {
+            let mut cells = vec![format!("{}: {}", r.cwe, cwe_title(r.cwe))];
+            for (i, d) in r.detected.iter().enumerate() {
+                cells.push(d.to_string());
+                sums[i] += d;
+            }
+            cells.push(r.total.to_string());
+            total += r.total;
+            t.row(cells);
+        }
+        t.separator();
+        let mut cells = vec!["Total".to_string()];
+        cells.extend(sums.iter().map(|s| s.to_string()));
+        cells.push(total.to_string());
+        t.row(cells);
+        let mut s = t.render();
+        let fps: u32 = self
+            .rows
+            .iter()
+            .flat_map(|r| r.false_positives.iter())
+            .sum();
+        s.push_str(&format!(
+            "\nFalse positives on non-buggy twins: {fps} (paper: all tools pass all non-buggy tests)\n"
+        ));
+        if self.divisor > 1 {
+            s.push_str(&format!(
+                "(subsampled 1/{}; run with --div 1 for the paper's full counts)\n",
+                self.divisor
+            ));
+        }
+        s
+    }
+}
+
+/// Access to the underlying suite for integration tests.
+pub fn suite(divisor: u32) -> JulietSuite {
+    juliet_suite_scaled(divisor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsampled_table_has_paper_shape() {
+        let t = table3(30);
+        // Column indexes.
+        let (gs, asan, asanmm, lfp) = (0, 1, 2, 3);
+        for r in &t.rows {
+            // Location-based tools agree with each other everywhere.
+            assert_eq!(r.detected[gs], r.detected[asan], "CWE-{}", r.cwe);
+            assert_eq!(r.detected[asan], r.detected[asanmm], "CWE-{}", r.cwe);
+            // No tool reports on safe twins.
+            assert_eq!(r.false_positives.iter().sum::<u32>(), 0, "CWE-{}", r.cwe);
+            match r.cwe {
+                121 => assert!(r.detected[lfp] < r.detected[gs] / 4),
+                122 => assert!(r.detected[lfp] < r.detected[gs] / 4),
+                126 => assert!(r.detected[lfp] < r.detected[gs]),
+                124 | 127 | 416 | 476 | 761 => {
+                    assert_eq!(r.detected[lfp], r.detected[gs], "CWE-{}", r.cwe)
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn render_includes_titles() {
+        let t = table3(120);
+        let s = t.render();
+        assert!(s.contains("Use After Free"));
+        assert!(s.contains("False positives"));
+    }
+}

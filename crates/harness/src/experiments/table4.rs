@@ -1,0 +1,106 @@
+//! Table 4: detection of Linux-Flaw-Project-like CVE scenarios.
+
+use giantsan_runtime::RuntimeConfig;
+use giantsan_workloads::cve_scenarios;
+
+use crate::table::TextTable;
+use crate::tool::{run_tool, Tool};
+
+/// Tools of Table 4, in column order.
+pub const COLUMNS: [Tool; 4] = [Tool::GiantSan, Tool::Asan, Tool::AsanMinusMinus, Tool::Lfp];
+
+/// One CVE row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Project name.
+    pub project: &'static str,
+    /// CVE id.
+    pub cve: &'static str,
+    /// Per-tool detection verdicts.
+    pub detected: Vec<bool>,
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table4Row>,
+}
+
+/// Runs every CVE scenario under every tool.
+pub fn table4() -> Table4 {
+    let cfg = RuntimeConfig::small();
+    let rows = cve_scenarios()
+        .into_iter()
+        .map(|c| {
+            let detected = COLUMNS
+                .iter()
+                .map(|tool| run_tool(*tool, &c.program, &c.inputs, &cfg).detected())
+                .collect();
+            Table4Row {
+                project: c.project,
+                cve: c.cve,
+                detected,
+            }
+        })
+        .collect();
+    Table4 { rows }
+}
+
+impl Table4 {
+    /// Renders the table with ✓/✗ marks like the paper.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Program".to_string(), "CVE ID".to_string()];
+        headers.extend(COLUMNS.iter().map(|t| t.name().to_string()));
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![r.project.to_string(), r.cve.to_string()];
+            cells.extend(
+                r.detected
+                    .iter()
+                    .map(|d| if *d { "Y" } else { "-" }.to_string()),
+            );
+            t.row(cells);
+        }
+        t.render()
+    }
+
+    /// The CVEs a given column tool missed.
+    pub fn missed_by(&self, tool: Tool) -> Vec<&'static str> {
+        let idx = COLUMNS
+            .iter()
+            .position(|t| *t == tool)
+            .expect("tool not in table");
+        self.rows
+            .iter()
+            .filter(|r| !r.detected[idx])
+            .map(|r| r.cve)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_rows() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 25);
+        assert!(t.missed_by(Tool::GiantSan).is_empty());
+        assert!(t.missed_by(Tool::Asan).is_empty());
+        assert!(t.missed_by(Tool::AsanMinusMinus).is_empty());
+        assert_eq!(
+            t.missed_by(Tool::Lfp),
+            vec!["CVE-2017-12858", "CVE-2017-9165", "CVE-2017-14409"]
+        );
+    }
+
+    #[test]
+    fn render_marks_misses() {
+        let t = table4();
+        let s = t.render();
+        assert!(s.contains("CVE-2017-12858"));
+        assert!(s.lines().any(|l| l.contains("CVE-2017-9165") && l.contains('-')));
+    }
+}

@@ -1,0 +1,168 @@
+//! Table 5: redzone sensitivity on the Magma-like corpus.
+
+use giantsan_runtime::RuntimeConfig;
+use giantsan_workloads::magma::{magma_cases, magma_templates, PROJECTS};
+
+use crate::table::TextTable;
+use crate::tool::{run_planned, Tool};
+
+/// One detection configuration: a tool at a redzone size.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// The sanitizer.
+    pub tool: Tool,
+    /// Redzone size in bytes.
+    pub redzone: u64,
+}
+
+/// The five configurations of Table 5, in the paper's column order.
+pub const CONFIGS: [Config; 5] = [
+    Config {
+        tool: Tool::AsanMinusMinus,
+        redzone: 16,
+    },
+    Config {
+        tool: Tool::AsanMinusMinus,
+        redzone: 512,
+    },
+    Config {
+        tool: Tool::Asan,
+        redzone: 16,
+    },
+    Config {
+        tool: Tool::Asan,
+        redzone: 512,
+    },
+    Config {
+        tool: Tool::GiantSan,
+        redzone: 16,
+    },
+];
+
+/// One project row.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Project name.
+    pub project: &'static str,
+    /// Lines-of-code label from the paper.
+    pub loc: &'static str,
+    /// Detected POCs per configuration.
+    pub detected: Vec<u32>,
+    /// Total cases for the project.
+    pub total: u32,
+}
+
+/// The reproduced table.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// Per-project rows.
+    pub rows: Vec<Table5Row>,
+    /// Subsampling divisor (1 = full 58,969-case corpus).
+    pub divisor: u32,
+}
+
+/// Runs the redzone study. `divisor = 1` reproduces the paper's counts.
+pub fn table5(divisor: u32) -> Table5 {
+    let templates = magma_templates();
+    let cases = magma_cases(divisor);
+    // Plans per (config tool, template).
+    let plans: Vec<Vec<giantsan_ir::CheckPlan>> = CONFIGS
+        .iter()
+        .map(|c| templates.iter().map(|p| c.tool.plan(p)).collect())
+        .collect();
+    let mut rows: Vec<Table5Row> = PROJECTS
+        .iter()
+        .map(|&(project, loc, ..)| Table5Row {
+            project,
+            loc,
+            detected: vec![0; CONFIGS.len()],
+            total: 0,
+        })
+        .collect();
+    for case in &cases {
+        let row = rows
+            .iter_mut()
+            .find(|r| r.project == case.project)
+            .expect("unknown project");
+        row.total += 1;
+        for (i, c) in CONFIGS.iter().enumerate() {
+            let cfg = RuntimeConfig {
+                redzone: c.redzone,
+                ..RuntimeConfig::small()
+            };
+            let out = run_planned(
+                c.tool,
+                &templates[case.template],
+                &plans[i][case.template],
+                &case.inputs,
+                &cfg,
+            );
+            if out.detected() {
+                row.detected[i] += 1;
+            }
+        }
+    }
+    Table5 { rows, divisor }
+}
+
+impl Table5 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Project (LoC)".to_string()];
+        headers.extend(
+            CONFIGS
+                .iter()
+                .map(|c| format!("{} (rz={})", c.tool.name(), c.redzone)),
+        );
+        headers.push("Total".to_string());
+        let mut t = TextTable::new(headers);
+        for r in &self.rows {
+            let mut cells = vec![format!("{} ({})", r.project, r.loc)];
+            cells.extend(r.detected.iter().map(|d| d.to_string()));
+            cells.push(r.total.to_string());
+            t.row(cells);
+        }
+        let mut s = t.render();
+        if self.divisor > 1 {
+            s.push_str(&format!(
+                "(subsampled 1/{}; run with --div 1 for the paper's full counts)\n",
+                self.divisor
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn php_shows_the_redzone_bypass_gap() {
+        let t = table5(40);
+        let php = t.rows.iter().find(|r| r.project == "php").unwrap();
+        let (mm16, mm512, a16, a512, gs) = (
+            php.detected[0],
+            php.detected[1],
+            php.detected[2],
+            php.detected[3],
+            php.detected[4],
+        );
+        // ASan and ASan-- agree at the same redzone.
+        assert_eq!(mm16, a16);
+        assert_eq!(mm512, a512);
+        // Bigger redzones catch more; the anchor catches the most.
+        assert!(a16 < a512, "rz=512 must beat rz=16 ({a16} vs {a512})");
+        assert!(a512 < gs, "GiantSan must beat rz=512 ({a512} vs {gs})");
+        assert!(gs < php.total, "non-memory POCs stay undetected");
+    }
+
+    #[test]
+    fn projects_without_bypass_cases_tie() {
+        let t = table5(40);
+        for r in t.rows.iter().filter(|r| r.project == "libpng") {
+            let first = r.detected[0];
+            assert!(r.detected.iter().all(|&d| d == first), "{:?}", r.detected);
+        }
+    }
+}

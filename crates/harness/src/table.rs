@@ -1,0 +1,109 @@
+//! Minimal fixed-width text tables for experiment output.
+
+/// A simple text table builder.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_harness::TextTable;
+/// let mut t = TextTable::new(vec!["tool".into(), "R".into()]);
+/// t.row(vec!["GiantSan".into(), "146.0%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("GiantSan"));
+/// assert!(s.contains("146.0%"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (padded or truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Appends a separator row rendered as dashes.
+    pub fn separator(&mut self) {
+        self.rows.push(vec!["—".to_string(); 0]);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                out.push_str(&fmt_row(row, &widths));
+            }
+        }
+        out
+    }
+}
+
+/// Formats a ratio as the paper prints them, e.g. `146.04%`.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "bb".into(), "c".into()]);
+        t.row(vec!["x".into(), "1".into(), "2".into()]);
+        t.separator();
+        t.row(vec!["longer".into(), "10".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("bb"));
+        assert!(lines[2].starts_with('x'));
+        assert!(lines[4].starts_with("longer"));
+        // All data lines are the same width.
+        assert_eq!(lines[2].len(), lines[0].len());
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(146.0401), "146.04%");
+    }
+}

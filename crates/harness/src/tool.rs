@@ -1,0 +1,188 @@
+//! The tool registry: every sanitizer configuration the paper evaluates.
+
+use std::time::{Duration, Instant};
+
+use giantsan_analysis::{analyze, ToolProfile};
+use giantsan_baselines::{Asan, AsanMinusMinus, Lfp};
+use giantsan_core::GiantSan;
+use giantsan_ir::{run, CheckPlan, ExecConfig, ExecResult, Program};
+use giantsan_runtime::{Counters, NullSanitizer, RuntimeConfig, Sanitizer};
+
+/// A sanitizer configuration (one column of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// Uninstrumented execution (the overhead baseline).
+    Native,
+    /// Full GiantSan.
+    GiantSan,
+    /// AddressSanitizer.
+    Asan,
+    /// ASan-- (elimination-only instrumentation on the ASan runtime).
+    AsanMinusMinus,
+    /// Low-fat pointers.
+    Lfp,
+    /// Ablation: GiantSan with history caching only.
+    CacheOnly,
+    /// Ablation: GiantSan with check elimination only.
+    EliminationOnly,
+}
+
+impl Tool {
+    /// The five columns of the performance study plus the two ablations.
+    pub const ALL: [Tool; 7] = [
+        Tool::Native,
+        Tool::GiantSan,
+        Tool::Asan,
+        Tool::AsanMinusMinus,
+        Tool::Lfp,
+        Tool::CacheOnly,
+        Tool::EliminationOnly,
+    ];
+
+    /// Display name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Native => "Native",
+            Tool::GiantSan => "GiantSan",
+            Tool::Asan => "ASan",
+            Tool::AsanMinusMinus => "ASan--",
+            Tool::Lfp => "LFP",
+            Tool::CacheOnly => "CacheOnly",
+            Tool::EliminationOnly => "EliminationOnly",
+        }
+    }
+
+    /// The instrumentation capabilities this tool's compiler pass has.
+    pub fn profile(self) -> ToolProfile {
+        match self {
+            Tool::Native => ToolProfile::native(),
+            Tool::GiantSan => ToolProfile::giantsan(),
+            Tool::Asan => ToolProfile::asan(),
+            Tool::AsanMinusMinus => ToolProfile::asan_minus_minus(),
+            Tool::Lfp => ToolProfile::lfp(),
+            Tool::CacheOnly => ToolProfile::giantsan_cache_only(),
+            Tool::EliminationOnly => ToolProfile::giantsan_elimination_only(),
+        }
+    }
+
+    /// Computes this tool's instrumentation plan for `program`.
+    pub fn plan(self, program: &Program) -> CheckPlan {
+        match self {
+            Tool::Native => CheckPlan::none(program),
+            _ => analyze(program, &self.profile()).plan,
+        }
+    }
+
+    /// Instantiates the runtime over a fresh world.
+    pub fn sanitizer(self, config: &RuntimeConfig) -> Box<dyn Sanitizer> {
+        match self {
+            Tool::Native => Box::new(NullSanitizer::new(config.clone())),
+            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => {
+                Box::new(GiantSan::new(config.clone()))
+            }
+            Tool::Asan => Box::new(Asan::new(config.clone())),
+            Tool::AsanMinusMinus => Box::new(AsanMinusMinus::new(config.clone())),
+            Tool::Lfp => Box::new(Lfp::new(config.clone())),
+        }
+    }
+}
+
+/// Everything observed from one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Interpreter result (reports, termination, work).
+    pub result: ExecResult,
+    /// Sanitizer counters (shadow loads, check paths, poisoning).
+    pub counters: Counters,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl RunOutcome {
+    /// `true` if the run raised a report or crashed.
+    pub fn detected(&self) -> bool {
+        self.result.detected()
+    }
+}
+
+/// Runs `program` under `tool` with a pre-computed plan (reuse plans when
+/// running many inputs against one template).
+pub fn run_planned(
+    tool: Tool,
+    program: &Program,
+    plan: &CheckPlan,
+    inputs: &[i64],
+    config: &RuntimeConfig,
+) -> RunOutcome {
+    let mut san = tool.sanitizer(config);
+    let exec = ExecConfig {
+        halt_on_error: config.halt_on_error,
+        ..ExecConfig::default()
+    };
+    let start = Instant::now();
+    let result = run(program, inputs, san.as_mut(), plan, &exec);
+    let wall = start.elapsed();
+    RunOutcome {
+        result,
+        counters: *san.counters(),
+        wall,
+    }
+}
+
+/// Plans and runs in one step.
+pub fn run_tool(
+    tool: Tool,
+    program: &Program,
+    inputs: &[i64],
+    config: &RuntimeConfig,
+) -> RunOutcome {
+    let plan = tool.plan(program);
+    run_planned(tool, program, &plan, inputs, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_ir::ProgramBuilder;
+
+    fn tiny_program() -> (Program, Vec<i64>) {
+        let mut b = ProgramBuilder::new("tiny");
+        let p = b.alloc_heap(64);
+        b.for_loop(0i64, 8i64, |b, i| {
+            b.store(p, giantsan_ir::Expr::var(i) * 8, 8, 1i64);
+        });
+        b.free(p);
+        (b.build(), vec![])
+    }
+
+    #[test]
+    fn every_tool_runs_the_same_program() {
+        let (prog, inputs) = tiny_program();
+        for tool in Tool::ALL {
+            let out = run_tool(tool, &prog, &inputs, &RuntimeConfig::small());
+            assert!(!out.detected(), "{} raised on clean code", tool.name());
+        }
+    }
+
+    #[test]
+    fn check_counts_reflect_capabilities() {
+        let (prog, inputs) = tiny_program();
+        let native = run_tool(Tool::Native, &prog, &inputs, &RuntimeConfig::small());
+        let asan = run_tool(Tool::Asan, &prog, &inputs, &RuntimeConfig::small());
+        let gs = run_tool(Tool::GiantSan, &prog, &inputs, &RuntimeConfig::small());
+        assert_eq!(native.counters.shadow_loads, 0);
+        assert_eq!(asan.counters.shadow_loads, 8, "one per store");
+        assert!(
+            gs.counters.shadow_loads <= 2,
+            "promoted loop: one region check"
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for t in Tool::ALL {
+            assert!(seen.insert(t.name()));
+        }
+    }
+}

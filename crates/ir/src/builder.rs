@@ -1,0 +1,432 @@
+//! Fluent construction of mini-IR programs.
+
+use giantsan_runtime::Region;
+
+use crate::expr::{Expr, VarId};
+use crate::program::{LoopId, Program, PtrId, SiteId, Stmt};
+
+/// Builds a [`Program`] with dense ids.
+///
+/// Nested constructs (loops, frames, conditionals) take closures, so the
+/// builder reads like the source code the paper's examples show.
+///
+/// # Example
+///
+/// Figure 8a's kernel, `y[x[i]] = i` over a loop:
+///
+/// ```
+/// use giantsan_ir::{Expr, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new("figure8");
+/// let n = b.input(0);
+/// let x = b.alloc_heap(Expr::input(0) * 4);
+/// let y = b.alloc_heap(Expr::input(0) * 4);
+/// b.for_loop(Expr::Const(0), n, |b, i| {
+///     let j = b.load(x, Expr::var(i) * 4, 4);
+///     b.store(y, Expr::var(j) * 4, 4, Expr::var(i));
+/// });
+/// b.free(x);
+/// b.free(y);
+/// let prog = b.build();
+/// assert_eq!(prog.site_census(), (1, 1, 0));
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<Vec<Stmt>>,
+    num_vars: u32,
+    num_ptrs: u32,
+    num_sites: u32,
+    num_loops: u32,
+    num_inputs: usize,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            blocks: vec![Vec::new()],
+            num_vars: 0,
+            num_ptrs: 0,
+            num_sites: 0,
+            num_loops: 0,
+            num_inputs: 0,
+        }
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.blocks
+            .last_mut()
+            .expect("builder always has a block")
+            .push(stmt);
+    }
+
+    fn fresh_var(&mut self) -> VarId {
+        let v = VarId(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    fn fresh_ptr(&mut self) -> PtrId {
+        let p = PtrId(self.num_ptrs);
+        self.num_ptrs += 1;
+        p
+    }
+
+    fn fresh_site(&mut self) -> SiteId {
+        let s = SiteId(self.num_sites);
+        self.num_sites += 1;
+        s
+    }
+
+    /// References runtime input `k` and records that the program needs it.
+    pub fn input(&mut self, k: usize) -> Expr {
+        self.num_inputs = self.num_inputs.max(k + 1);
+        Expr::Input(k)
+    }
+
+    /// Emits `let v = expr` and returns `v`.
+    pub fn let_(&mut self, expr: impl Into<Expr>) -> VarId {
+        let var = self.fresh_var();
+        self.push(Stmt::Let {
+            var,
+            expr: expr.into(),
+        });
+        var
+    }
+
+    fn alloc(&mut self, size: impl Into<Expr>, region: Region) -> PtrId {
+        let ptr = self.fresh_ptr();
+        self.push(Stmt::Alloc {
+            ptr,
+            size: size.into(),
+            region,
+        });
+        ptr
+    }
+
+    /// Allocates a heap object of `size` bytes.
+    pub fn alloc_heap(&mut self, size: impl Into<Expr>) -> PtrId {
+        self.alloc(size, Region::Heap)
+    }
+
+    /// Allocates a stack slot of `size` bytes in the current frame.
+    pub fn alloc_stack(&mut self, size: impl Into<Expr>) -> PtrId {
+        self.alloc(size, Region::Stack)
+    }
+
+    /// Allocates a global object of `size` bytes.
+    pub fn alloc_global(&mut self, size: impl Into<Expr>) -> PtrId {
+        self.alloc(size, Region::Global)
+    }
+
+    /// Emits `free(ptr)`.
+    pub fn free(&mut self, ptr: PtrId) {
+        self.free_at(ptr, 0i64);
+    }
+
+    /// Emits `free(ptr + offset)` (non-zero offsets model CWE-761).
+    pub fn free_at(&mut self, ptr: PtrId, offset: impl Into<Expr>) {
+        self.push(Stmt::Free {
+            ptr,
+            offset: offset.into(),
+        });
+    }
+
+    /// Emits `ptr = realloc(ptr, new_size)`.
+    pub fn realloc(&mut self, ptr: PtrId, new_size: impl Into<Expr>) {
+        self.push(Stmt::Realloc {
+            ptr,
+            new_size: new_size.into(),
+        });
+    }
+
+    /// Emits a `width`-byte load of `ptr + offset` into a fresh variable.
+    pub fn load(&mut self, ptr: PtrId, offset: impl Into<Expr>, width: u8) -> VarId {
+        let dst = self.fresh_var();
+        let site = self.fresh_site();
+        self.push(Stmt::Load {
+            site,
+            ptr,
+            offset: offset.into(),
+            width,
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Emits a load whose value is discarded (pure traversal work).
+    pub fn load_discard(&mut self, ptr: PtrId, offset: impl Into<Expr>, width: u8) {
+        let site = self.fresh_site();
+        self.push(Stmt::Load {
+            site,
+            ptr,
+            offset: offset.into(),
+            width,
+            dst: None,
+        });
+    }
+
+    /// Emits a `width`-byte store of `value` to `ptr + offset`.
+    pub fn store(&mut self, ptr: PtrId, offset: impl Into<Expr>, width: u8, value: impl Into<Expr>) {
+        let site = self.fresh_site();
+        self.push(Stmt::Store {
+            site,
+            ptr,
+            offset: offset.into(),
+            width,
+            value: value.into(),
+        });
+    }
+
+    /// Emits `memset(ptr + offset, value, len)`.
+    pub fn memset(
+        &mut self,
+        ptr: PtrId,
+        offset: impl Into<Expr>,
+        len: impl Into<Expr>,
+        value: impl Into<Expr>,
+    ) {
+        let site = self.fresh_site();
+        self.push(Stmt::MemSet {
+            site,
+            ptr,
+            offset: offset.into(),
+            len: len.into(),
+            value: value.into(),
+        });
+    }
+
+    /// Emits `memcpy(dst + dst_offset, src + src_offset, len)`.
+    pub fn memcpy(
+        &mut self,
+        dst: PtrId,
+        dst_offset: impl Into<Expr>,
+        src: PtrId,
+        src_offset: impl Into<Expr>,
+        len: impl Into<Expr>,
+    ) {
+        let site = self.fresh_site();
+        self.push(Stmt::MemCpy {
+            site,
+            dst,
+            dst_offset: dst_offset.into(),
+            src,
+            src_offset: src_offset.into(),
+            len: len.into(),
+        });
+    }
+
+    /// Emits `strcpy(dst + dst_offset, src + src_offset)`.
+    pub fn strcpy(
+        &mut self,
+        dst: PtrId,
+        dst_offset: impl Into<Expr>,
+        src: PtrId,
+        src_offset: impl Into<Expr>,
+    ) {
+        let site = self.fresh_site();
+        self.push(Stmt::StrCpy {
+            site,
+            dst,
+            dst_offset: dst_offset.into(),
+            src,
+            src_offset: src_offset.into(),
+        });
+    }
+
+    fn for_loop_inner(
+        &mut self,
+        lo: Expr,
+        hi: Expr,
+        reverse: bool,
+        opaque_bound: bool,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> LoopId {
+        let id = LoopId(self.num_loops);
+        self.num_loops += 1;
+        let var = self.fresh_var();
+        self.blocks.push(Vec::new());
+        f(self, var);
+        let body = self.blocks.pop().expect("loop body block");
+        self.push(Stmt::For {
+            id,
+            var,
+            lo,
+            hi,
+            reverse,
+            opaque_bound,
+            body,
+        });
+        id
+    }
+
+    /// Emits `for v in lo..hi { ... }` with an analysable bound.
+    pub fn for_loop(
+        &mut self,
+        lo: impl Into<Expr>,
+        hi: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> LoopId {
+        self.for_loop_inner(lo.into(), hi.into(), false, false, f)
+    }
+
+    /// Emits a descending loop `for v in (lo..hi).rev() { ... }`.
+    pub fn for_loop_rev(
+        &mut self,
+        lo: impl Into<Expr>,
+        hi: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> LoopId {
+        self.for_loop_inner(lo.into(), hi.into(), true, false, f)
+    }
+
+    /// Emits a loop whose trip count is hidden from static analysis —
+    /// the model of an unbounded `while` loop.
+    pub fn for_loop_opaque(
+        &mut self,
+        lo: impl Into<Expr>,
+        hi: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> LoopId {
+        self.for_loop_inner(lo.into(), hi.into(), false, true, f)
+    }
+
+    /// Emits a descending loop with an opaque bound (reverse traversal of an
+    /// unbounded loop — the paper's §5.4 worst case).
+    pub fn for_loop_rev_opaque(
+        &mut self,
+        lo: impl Into<Expr>,
+        hi: impl Into<Expr>,
+        f: impl FnOnce(&mut Self, VarId),
+    ) -> LoopId {
+        self.for_loop_inner(lo.into(), hi.into(), true, true, f)
+    }
+
+    /// Emits `if cond != 0 { ... }`.
+    pub fn if_nonzero(&mut self, cond: impl Into<Expr>, then: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then, |_| {});
+    }
+
+    /// Emits `if cond != 0 { ... } else { ... }`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Expr>,
+        then: impl FnOnce(&mut Self),
+        otherwise: impl FnOnce(&mut Self),
+    ) {
+        self.blocks.push(Vec::new());
+        then(self);
+        let then_body = self.blocks.pop().expect("then block");
+        self.blocks.push(Vec::new());
+        otherwise(self);
+        let else_body = self.blocks.pop().expect("else block");
+        self.push(Stmt::If {
+            cond: cond.into(),
+            then_body,
+            else_body,
+        });
+    }
+
+    /// Emits a stack frame (function scope) around `f`'s statements.
+    pub fn frame(&mut self, f: impl FnOnce(&mut Self)) {
+        self.blocks.push(Vec::new());
+        f(self);
+        let body = self.blocks.pop().expect("frame block");
+        self.push(Stmt::Frame { body });
+    }
+
+    /// Declares a pointer local that is never assigned: its runtime value is
+    /// the null address (the interpreter zero-initialises pointers), used to
+    /// model null-dereference bugs (CWE-476).
+    pub fn null_ptr(&mut self) -> PtrId {
+        self.fresh_ptr()
+    }
+
+    /// Emits `dst = src + offset` and returns `dst`.
+    pub fn ptr_add(&mut self, src: PtrId, offset: impl Into<Expr>) -> PtrId {
+        let dst = self.fresh_ptr();
+        self.push(Stmt::PtrCopy {
+            dst,
+            src,
+            offset: offset.into(),
+        });
+        dst
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a nested block was left open (a builder bug).
+    pub fn build(mut self) -> Program {
+        assert_eq!(self.blocks.len(), 1, "unclosed block in builder");
+        Program {
+            name: self.name,
+            stmts: self.blocks.pop().expect("root block"),
+            num_vars: self.num_vars,
+            num_ptrs: self.num_ptrs,
+            num_sites: self.num_sites,
+            num_loops: self.num_loops,
+            num_inputs: self.num_inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(16);
+        let q = b.alloc_heap(16);
+        let v = b.load(p, 0i64, 8);
+        b.store(q, 8i64, 8, Expr::var(v));
+        let prog = b.build();
+        assert_eq!(prog.num_ptrs, 2);
+        assert_eq!(prog.num_sites, 2);
+        assert_eq!(prog.num_vars, 1);
+        assert_eq!(prog.name, "t");
+    }
+
+    #[test]
+    fn nested_loops_count() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(1024);
+        b.for_loop(0i64, 4i64, |b, i| {
+            b.for_loop(0i64, 4i64, |b, j| {
+                b.store(p, Expr::var(i) * 32 + Expr::var(j) * 8, 8, 0i64);
+            });
+        });
+        let prog = b.build();
+        assert_eq!(prog.num_loops, 2);
+        assert_eq!(prog.num_inputs, 0);
+    }
+
+    #[test]
+    fn inputs_tracked() {
+        let mut b = ProgramBuilder::new("t");
+        let _ = b.input(3);
+        let prog = b.build();
+        assert_eq!(prog.num_inputs, 4);
+    }
+
+    #[test]
+    fn frames_and_branches_nest() {
+        let mut b = ProgramBuilder::new("t");
+        b.frame(|b| {
+            let s = b.alloc_stack(32);
+            b.if_else(
+                1i64,
+                |b| b.store(s, 0i64, 8, 1i64),
+                |b| b.store(s, 8i64, 8, 2i64),
+            );
+        });
+        let prog = b.build();
+        assert_eq!(prog.num_sites, 2);
+        assert!(matches!(prog.stmts[0], Stmt::Frame { .. }));
+    }
+}

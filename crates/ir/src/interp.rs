@@ -1,0 +1,805 @@
+//! The mini-IR interpreter.
+//!
+//! Executes a [`Program`] against a [`Sanitizer`]'s world, performing *real*
+//! data loads and stores in the simulated address space and running the
+//! checks prescribed by a [`CheckPlan`]. With `halt_on_error = false` (the
+//! paper's SPEC configuration) execution continues past reports, so buggy
+//! workloads yield complete report lists; unmapped accesses behave like
+//! hardware faults and abort the run for every tool, native included.
+
+use giantsan_runtime::{AccessKind, CacheSlot, ErrorReport, Sanitizer};
+use giantsan_shadow::Addr;
+
+use crate::expr::Expr;
+use crate::plan::{CheckPlan, SiteAction};
+use crate::program::{Program, Stmt};
+
+/// Interpreter limits and error policy.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Abort after this many executed statements (runaway-loop backstop).
+    pub max_steps: u64,
+    /// Stop at the first error report (the paper runs with `false`).
+    pub halt_on_error: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            max_steps: 200_000_000,
+            halt_on_error: false,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Termination {
+    /// Ran to completion.
+    Finished,
+    /// Stopped at the first report (only with `halt_on_error`).
+    Halted,
+    /// Hardware-fault analogue: an access left the simulated address space.
+    Crashed {
+        /// Human-readable fault description.
+        reason: String,
+    },
+    /// Exceeded [`ExecConfig::max_steps`].
+    StepLimit,
+}
+
+/// The observable outcome of one run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Error reports raised by the sanitizer, in order.
+    pub reports: Vec<ErrorReport>,
+    /// How the run ended.
+    pub termination: Termination,
+    /// XOR-rotate digest of every loaded value: identical across sanitizers
+    /// for the same program and inputs (checked by differential tests).
+    pub checksum: u64,
+    /// Executed statement count.
+    pub steps: u64,
+    /// Abstract units of real memory work (accesses + memop segments); the
+    /// denominator of the analytic overhead model.
+    pub native_work: u64,
+}
+
+impl ExecResult {
+    /// `true` if the run produced at least one report or crashed — the
+    /// "detected" predicate of the detection studies (Tables 3–5).
+    pub fn detected(&self) -> bool {
+        !self.reports.is_empty() || matches!(self.termination, Termination::Crashed { .. })
+    }
+}
+
+/// Runs `program` with `inputs` under `san`, instrumented per `plan`.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_ir::{CheckPlan, ExecConfig, ProgramBuilder, run, Expr};
+/// use giantsan_runtime::{NullSanitizer, RuntimeConfig};
+///
+/// let mut b = ProgramBuilder::new("sum");
+/// let buf = b.alloc_heap(80);
+/// b.for_loop(0i64, 10i64, |b, i| {
+///     b.store(buf, Expr::var(i) * 8, 8, Expr::var(i));
+/// });
+/// let prog = b.build();
+///
+/// let mut native = NullSanitizer::new(RuntimeConfig::small());
+/// let plan = CheckPlan::none(&prog);
+/// let result = run(&prog, &[], &mut native, &plan, &ExecConfig::default());
+/// assert!(!result.detected());
+/// assert_eq!(result.native_work, 10);
+/// ```
+pub fn run(
+    program: &Program,
+    inputs: &[i64],
+    san: &mut dyn Sanitizer,
+    plan: &CheckPlan,
+    config: &ExecConfig,
+) -> ExecResult {
+    debug_assert_eq!(plan.sites.len(), program.num_sites as usize);
+    let mut interp = Interp {
+        san,
+        plan,
+        inputs,
+        config,
+        vars: vec![0; program.num_vars as usize],
+        ptrs: vec![0; program.num_ptrs as usize],
+        slots: vec![CacheSlot::new(); plan.num_caches as usize],
+        result: ExecResult {
+            reports: Vec::new(),
+            termination: Termination::Finished,
+            checksum: 0,
+            steps: 0,
+            native_work: 0,
+        },
+    };
+    match interp.exec_block(&program.stmts) {
+        Ok(()) => {}
+        Err(stop) => interp.result.termination = stop,
+    }
+    interp.result
+}
+
+struct Interp<'a> {
+    san: &'a mut dyn Sanitizer,
+    plan: &'a CheckPlan,
+    inputs: &'a [i64],
+    config: &'a ExecConfig,
+    vars: Vec<i64>,
+    ptrs: Vec<u64>,
+    slots: Vec<CacheSlot>,
+    result: ExecResult,
+}
+
+impl Interp<'_> {
+    fn eval(&self, e: &Expr) -> i64 {
+        e.eval(&self.vars, self.inputs)
+    }
+
+    fn step(&mut self) -> Result<(), Termination> {
+        self.result.steps += 1;
+        if self.result.steps > self.config.max_steps {
+            return Err(Termination::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn note_report(&mut self, report: ErrorReport) -> Result<(), Termination> {
+        self.result.reports.push(report);
+        if self.config.halt_on_error {
+            Err(Termination::Halted)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn crash(&self, what: &str, addr: Addr) -> Termination {
+        Termination::Crashed {
+            reason: format!("{what} fault at {addr}"),
+        }
+    }
+
+    /// Runs the planned check for an ordinary access site.
+    fn check_site(
+        &mut self,
+        site: crate::program::SiteId,
+        base: Addr,
+        offset: i64,
+        width: u8,
+        kind: AccessKind,
+    ) -> Result<(), Termination> {
+        let verdict = match self.plan.action(site) {
+            SiteAction::Skip => Ok(()),
+            SiteAction::Direct => self
+                .san
+                .check_access(base.offset(offset), width as u32, kind),
+            SiteAction::Anchored => self.san.check_anchored(
+                base,
+                base.offset(offset),
+                base.offset(offset + width as i64),
+                kind,
+            ),
+            SiteAction::Region { lo, hi } => {
+                // The planner already folded any anchoring into `lo`, so a
+                // plain region check keeps non-anchored tools honest.
+                let lo = self.eval(lo);
+                let hi = self.eval(hi);
+                self.san
+                    .check_region(base.offset(lo), base.offset(hi.max(lo)), kind)
+            }
+            SiteAction::Cached { cache } => {
+                let slot = &mut self.slots[cache.0 as usize];
+                self.san.cached_check(slot, base, offset, width as u32, kind)
+            }
+        };
+        match verdict {
+            Ok(()) => Ok(()),
+            Err(r) => self.note_report(r.with_site(site.0)),
+        }
+    }
+
+    /// Runs a (possibly skipped) region check for a memory intrinsic.
+    fn check_memop(
+        &mut self,
+        site: crate::program::SiteId,
+        lo: Addr,
+        hi: Addr,
+        kind: AccessKind,
+    ) -> Result<(), Termination> {
+        let verdict = match self.plan.action(site) {
+            SiteAction::Skip => Ok(()),
+            _ => self.san.check_region(lo, hi, kind),
+        };
+        match verdict {
+            Ok(()) => Ok(()),
+            Err(r) => self.note_report(r.with_site(site.0)),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<(), Termination> {
+        for stmt in stmts {
+            self.exec(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), Termination> {
+        self.step()?;
+        match stmt {
+            Stmt::Let { var, expr } => {
+                self.vars[var.0 as usize] = self.eval(expr);
+            }
+            Stmt::Alloc { ptr, size, region } => {
+                let size = self.eval(size).max(0) as u64;
+                match self.san.alloc(size, *region) {
+                    Ok(a) => self.ptrs[ptr.0 as usize] = a.base.raw(),
+                    Err(e) => {
+                        return Err(Termination::Crashed {
+                            reason: format!("allocation failure: {e}"),
+                        })
+                    }
+                }
+            }
+            Stmt::Free { ptr, offset } => {
+                let off = self.eval(offset);
+                let addr = Addr::new(self.ptrs[ptr.0 as usize]).offset(off);
+                if let Err(r) = self.san.free(addr) {
+                    self.note_report(r)?;
+                }
+            }
+            Stmt::Realloc { ptr, new_size } => {
+                let size = self.eval(new_size).max(0) as u64;
+                let addr = Addr::new(self.ptrs[ptr.0 as usize]);
+                match self.san.realloc(addr, size) {
+                    Ok(a) => self.ptrs[ptr.0 as usize] = a.base.raw(),
+                    Err(r) => self.note_report(r)?,
+                }
+            }
+            Stmt::Load {
+                site,
+                ptr,
+                offset,
+                width,
+                dst,
+            } => {
+                let off = self.eval(offset);
+                let base = Addr::new(self.ptrs[ptr.0 as usize]);
+                self.check_site(*site, base, off, *width, AccessKind::Read)?;
+                let addr = base.offset(off);
+                self.result.native_work += 1;
+                match self.san.world().space().read_uint(addr, *width as u32) {
+                    Ok(v) => {
+                        self.result.checksum = self.result.checksum.rotate_left(1) ^ v;
+                        if let Some(d) = dst {
+                            self.vars[d.0 as usize] = v as i64;
+                        }
+                    }
+                    Err(_) => return Err(self.crash("load", addr)),
+                }
+            }
+            Stmt::Store {
+                site,
+                ptr,
+                offset,
+                width,
+                value,
+            } => {
+                let off = self.eval(offset);
+                let val = self.eval(value);
+                let base = Addr::new(self.ptrs[ptr.0 as usize]);
+                self.check_site(*site, base, off, *width, AccessKind::Write)?;
+                let addr = base.offset(off);
+                self.result.native_work += 1;
+                if self
+                    .san
+                    .world_mut()
+                    .space_mut()
+                    .write_uint(addr, val as u64, *width as u32)
+                    .is_err()
+                {
+                    return Err(self.crash("store", addr));
+                }
+            }
+            Stmt::MemSet {
+                site,
+                ptr,
+                offset,
+                len,
+                value,
+            } => {
+                let off = self.eval(offset);
+                let len = self.eval(len).max(0) as u64;
+                let val = self.eval(value) as u8;
+                let base = Addr::new(self.ptrs[ptr.0 as usize]);
+                let lo = base.offset(off);
+                let hi = lo.offset(len as i64);
+                self.check_memop(*site, lo, hi, AccessKind::Write)?;
+                self.result.native_work += len / 8 + 1;
+                if len > 0 && self.san.world_mut().space_mut().fill(lo, val, len).is_err() {
+                    return Err(self.crash("memset", lo));
+                }
+            }
+            Stmt::StrCpy {
+                site,
+                dst,
+                dst_offset,
+                src,
+                src_offset,
+            } => {
+                let doff = self.eval(dst_offset);
+                let soff = self.eval(src_offset);
+                let dbase = Addr::new(self.ptrs[dst.0 as usize]);
+                let sbase = Addr::new(self.ptrs[src.0 as usize]);
+                let slo = sbase.offset(soff);
+                let dlo = dbase.offset(doff);
+                // The libc scan: find the NUL. Reading an unterminated
+                // string off the end of the space is a fault.
+                let mut len = 1u64; // include the NUL
+                loop {
+                    match self.san.world().space().read_uint(slo.offset(len as i64 - 1), 1) {
+                        Ok(0) => break,
+                        Ok(_) => len += 1,
+                        Err(_) => return Err(self.crash("strcpy scan", slo)),
+                    }
+                }
+                // The guardian checks both regions before the copy.
+                self.check_memop(*site, slo, slo.offset(len as i64), AccessKind::Read)?;
+                self.check_memop(*site, dlo, dlo.offset(len as i64), AccessKind::Write)?;
+                self.result.native_work += len / 8 + 1;
+                if self
+                    .san
+                    .world_mut()
+                    .space_mut()
+                    .copy(dlo, slo, len)
+                    .is_err()
+                {
+                    return Err(self.crash("strcpy", dlo));
+                }
+            }
+            Stmt::MemCpy {
+                site,
+                dst,
+                dst_offset,
+                src,
+                src_offset,
+                len,
+            } => {
+                let doff = self.eval(dst_offset);
+                let soff = self.eval(src_offset);
+                let len = self.eval(len).max(0) as u64;
+                let dbase = Addr::new(self.ptrs[dst.0 as usize]);
+                let sbase = Addr::new(self.ptrs[src.0 as usize]);
+                let dlo = dbase.offset(doff);
+                let slo = sbase.offset(soff);
+                self.check_memop(*site, slo, slo.offset(len as i64), AccessKind::Read)?;
+                self.check_memop(*site, dlo, dlo.offset(len as i64), AccessKind::Write)?;
+                self.result.native_work += len / 8 + 1;
+                if len > 0
+                    && self
+                        .san
+                        .world_mut()
+                        .space_mut()
+                        .copy(dlo, slo, len)
+                        .is_err()
+                {
+                    return Err(self.crash("memcpy", dlo));
+                }
+            }
+            Stmt::For {
+                id,
+                var,
+                lo,
+                hi,
+                reverse,
+                body,
+                ..
+            } => {
+                let lo = self.eval(lo);
+                let hi = self.eval(hi);
+                // Loop pre-header: promoted region checks (guarded by a
+                // non-zero trip count, as a real compiler guards hoisted
+                // checks) and cache resets.
+                let loop_plan = self.plan.loops.get(id).cloned();
+                if let Some(ref lp) = loop_plan {
+                    if hi > lo {
+                        for pre in &lp.pre_checks {
+                            let plo = self.eval(&pre.lo);
+                            let phi = self.eval(&pre.hi);
+                            let base = Addr::new(self.ptrs[pre.ptr.0 as usize]);
+                            let verdict = self.san.check_region(
+                                base.offset(plo),
+                                base.offset(phi.max(plo)),
+                                pre.kind,
+                            );
+                            if let Err(r) = verdict {
+                                self.note_report(r)?;
+                            }
+                        }
+                    }
+                    for (cache, _) in &lp.caches {
+                        self.slots[cache.0 as usize] = CacheSlot::new();
+                    }
+                }
+                if hi > lo {
+                    if *reverse {
+                        let mut i = hi - 1;
+                        while i >= lo {
+                            self.vars[var.0 as usize] = i;
+                            self.exec_block(body)?;
+                            i -= 1;
+                        }
+                    } else {
+                        for i in lo..hi {
+                            self.vars[var.0 as usize] = i;
+                            self.exec_block(body)?;
+                        }
+                    }
+                }
+                // Loop exit: finalise caches (Figure 9 line 14).
+                if let Some(ref lp) = loop_plan {
+                    for (cache, ptr) in &lp.caches {
+                        let slot = self.slots[cache.0 as usize];
+                        let base = Addr::new(self.ptrs[ptr.0 as usize]);
+                        if let Err(r) = self.san.loop_final_check(&slot, base, AccessKind::Read) {
+                            self.note_report(r)?;
+                        }
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval(cond) != 0 {
+                    self.exec_block(then_body)?;
+                } else {
+                    self.exec_block(else_body)?;
+                }
+            }
+            Stmt::Frame { body } => {
+                self.san.push_frame();
+                let r = self.exec_block(body);
+                self.san.pop_frame();
+                r?;
+            }
+            Stmt::PtrCopy { dst, src, offset } => {
+                let off = self.eval(offset);
+                self.ptrs[dst.0 as usize] =
+                    Addr::new(self.ptrs[src.0 as usize]).offset(off).raw();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CheckPlan, ProgramBuilder};
+    use giantsan_runtime::{NullSanitizer, RuntimeConfig};
+
+    fn native() -> NullSanitizer {
+        NullSanitizer::new(RuntimeConfig::small())
+    }
+
+    #[test]
+    fn arithmetic_and_memory_round_trip() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(64);
+        b.store(p, 0i64, 8, 0xdeadi64);
+        let v = b.load(p, 0i64, 8);
+        let q = b.alloc_heap(8);
+        b.store(q, 0i64, 8, Expr::var(v) + 1);
+        let w = b.load(q, 0i64, 8);
+        let out = b.alloc_heap(8);
+        b.store(out, 0i64, 8, Expr::var(w));
+        let prog = b.build();
+        let mut san = native();
+        let plan = CheckPlan::all_direct(&prog);
+        let r = run(&prog, &[], &mut san, &plan, &ExecConfig::default());
+        assert_eq!(r.termination, Termination::Finished);
+        // checksum folds 0xdead then 0xdeae.
+        assert_ne!(r.checksum, 0);
+        assert_eq!(
+            san.world().space().read_u64(
+                san.world().objects().iter_live().last().unwrap().base
+            ).unwrap(),
+            0xdeae
+        );
+    }
+
+    #[test]
+    fn loops_forward_and_reverse() {
+        for reverse in [false, true] {
+            let mut b = ProgramBuilder::new("t");
+            let p = b.alloc_heap(80);
+            if reverse {
+                b.for_loop_rev(0i64, 10i64, |b, i| {
+                    b.store(p, Expr::var(i) * 8, 8, Expr::var(i));
+                });
+            } else {
+                b.for_loop(0i64, 10i64, |b, i| {
+                    b.store(p, Expr::var(i) * 8, 8, Expr::var(i));
+                });
+            }
+            let prog = b.build();
+            let mut san = native();
+            let plan = CheckPlan::none(&prog);
+            let r = run(&prog, &[], &mut san, &plan, &ExecConfig::default());
+            assert_eq!(r.native_work, 10);
+            let base = san.world().objects().iter_live().next().unwrap().base;
+            for i in 0..10u64 {
+                assert_eq!(san.world().space().read_u64(base + i * 8).unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_negative_ranges_skip() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(8);
+        b.for_loop(5i64, 5i64, |b, i| b.store(p, Expr::var(i), 8, 0i64));
+        b.for_loop(5i64, 2i64, |b, i| b.store(p, Expr::var(i), 8, 0i64));
+        let prog = b.build();
+        let mut san = native();
+        let r = run(
+            &prog,
+            &[],
+            &mut san,
+            &CheckPlan::none(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.native_work, 0);
+    }
+
+    #[test]
+    fn inputs_parameterise_runs() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.input(0);
+        let p = b.alloc_heap(Expr::input(0) * 8);
+        b.for_loop(0i64, n, |b, i| {
+            b.store(p, Expr::var(i) * 8, 8, Expr::var(i) * 2);
+        });
+        let prog = b.build();
+        for n in [1i64, 7, 32] {
+            let mut san = native();
+            let r = run(
+                &prog,
+                &[n],
+                &mut san,
+                &CheckPlan::none(&prog),
+                &ExecConfig::default(),
+            );
+            assert_eq!(r.native_work as i64, n);
+        }
+    }
+
+    #[test]
+    fn null_dereference_crashes() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(8);
+        let q = b.ptr_add(p, 0i64);
+        // Simulate p = NULL by pointer arithmetic down to zero.
+        let null = b.ptr_add(q, Expr::Const(-(1i64 << 62)));
+        b.load_discard(null, 0i64, 8);
+        let prog = b.build();
+        let mut san = native();
+        let r = run(
+            &prog,
+            &[],
+            &mut san,
+            &CheckPlan::none(&prog),
+            &ExecConfig::default(),
+        );
+        assert!(matches!(r.termination, Termination::Crashed { .. }));
+        assert!(r.detected());
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(8);
+        b.for_loop(0i64, 1_000_000i64, |b, _| {
+            b.store(p, 0i64, 8, 1i64);
+        });
+        let prog = b.build();
+        let mut san = native();
+        let cfg = ExecConfig {
+            max_steps: 1000,
+            halt_on_error: false,
+        };
+        let r = run(&prog, &[], &mut san, &CheckPlan::none(&prog), &cfg);
+        assert_eq!(r.termination, Termination::StepLimit);
+    }
+
+    #[test]
+    fn frames_push_and_pop() {
+        let mut b = ProgramBuilder::new("t");
+        b.frame(|b| {
+            let s = b.alloc_stack(32);
+            b.store(s, 0i64, 8, 42i64);
+        });
+        b.frame(|b| {
+            let s = b.alloc_stack(32);
+            b.store(s, 0i64, 8, 43i64);
+        });
+        let prog = b.build();
+        let mut san = native();
+        let r = run(
+            &prog,
+            &[],
+            &mut san,
+            &CheckPlan::none(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.termination, Termination::Finished);
+        assert_eq!(san.world().stack().bytes_in_use(), 0);
+        assert_eq!(san.world().stack().depth(), 0);
+    }
+
+    #[test]
+    fn memops_move_data() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.alloc_heap(64);
+        let c = b.alloc_heap(64);
+        b.memset(a, 0i64, 64i64, 0x5ai64);
+        b.memcpy(c, 0i64, a, 0i64, 64i64);
+        let v = b.load(c, 56i64, 8);
+        let out = b.alloc_heap(8);
+        b.store(out, 0i64, 8, Expr::var(v));
+        let prog = b.build();
+        let mut san = native();
+        let r = run(
+            &prog,
+            &[],
+            &mut san,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.termination, Termination::Finished);
+        let out_base = san.world().objects().iter_live().last().unwrap().base;
+        assert_eq!(
+            san.world().space().read_u64(out_base).unwrap(),
+            0x5a5a_5a5a_5a5a_5a5a
+        );
+    }
+
+    #[test]
+    fn strcpy_copies_through_the_nul() {
+        let mut b = ProgramBuilder::new("t");
+        let src = b.alloc_heap(32);
+        let dst = b.alloc_heap(32);
+        // Build "abc\0" at src.
+        b.store(src, 0i64, 1, 97i64);
+        b.store(src, 1i64, 1, 98i64);
+        b.store(src, 2i64, 1, 99i64);
+        b.store(src, 3i64, 1, 0i64);
+        b.memset(dst, 0i64, 32i64, 0x7fi64);
+        b.strcpy(dst, 0i64, src, 0i64);
+        let prog = b.build();
+        let mut san = native();
+        let r = run(
+            &prog,
+            &[],
+            &mut san,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.termination, Termination::Finished);
+        let dst_base = san.world().objects().iter_live().last().unwrap().base;
+        assert_eq!(
+            san.world().space().read_uint(dst_base, 8).unwrap() & 0xffff_ffff_ff,
+            0x7f00_636261, // "abc\0" then untouched 0x7f
+        );
+    }
+
+    #[test]
+    fn strcpy_overflow_detected_by_the_guardian() {
+        // The classic bug: a long string into a short stack buffer.
+        let mut b = ProgramBuilder::new("t");
+        let src = b.alloc_heap(64);
+        b.memset(src, 0i64, 48i64, 65i64); // 48 'A's, no NUL yet
+        b.store(src, 48i64, 1, 0i64);
+        b.frame(|b| {
+            let buf = b.alloc_stack(16);
+            b.strcpy(buf, 0i64, src, 0i64);
+        });
+        let prog = b.build();
+        let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
+        let r = run(
+            &prog,
+            &[],
+            &mut gs,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.reports.len(), 1, "{:?}", r.reports);
+        assert!(r.reports[0].kind.is_spatial());
+    }
+
+    #[test]
+    fn checksum_is_sanitizer_independent() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(128);
+        b.for_loop(0i64, 16i64, |b, i| {
+            b.store(p, Expr::var(i) * 8, 8, Expr::var(i) * 31);
+        });
+        b.for_loop(0i64, 16i64, |b, i| {
+            b.load_discard(p, Expr::var(i) * 8, 8);
+        });
+        let prog = b.build();
+
+        let mut native = native();
+        let r1 = run(
+            &prog,
+            &[],
+            &mut native,
+            &CheckPlan::none(&prog),
+            &ExecConfig::default(),
+        );
+        let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
+        let r2 = run(
+            &prog,
+            &[],
+            &mut gs,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r1.checksum, r2.checksum);
+    }
+
+    #[test]
+    fn halt_on_error_stops_at_first_report() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(8);
+        b.for_loop(0i64, 10i64, |b, i| {
+            b.store(p, Expr::var(i) * 8 + 8, 8, 0i64); // always OOB
+        });
+        let prog = b.build();
+        let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
+        let cfg = ExecConfig {
+            halt_on_error: true,
+            ..ExecConfig::default()
+        };
+        let r = run(&prog, &[], &mut gs, &CheckPlan::all_direct(&prog), &cfg);
+        assert_eq!(r.reports.len(), 1);
+        assert_eq!(r.termination, Termination::Halted);
+        // And without halting we get one report per iteration (offset 8..80
+        // stays inside the 16-byte redzone for the first iteration only —
+        // farther offsets are still poisoned, some land in the next block's
+        // left zone, all invalid).
+        let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
+        let r = run(
+            &prog,
+            &[],
+            &mut gs,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert!(r.reports.len() >= 2);
+    }
+
+    #[test]
+    fn reports_carry_site_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(8);
+        b.load_discard(p, 16i64, 8);
+        let prog = b.build();
+        let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
+        let r = run(
+            &prog,
+            &[],
+            &mut gs,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.reports.len(), 1);
+        assert_eq!(r.reports[0].site, Some(0));
+    }
+}

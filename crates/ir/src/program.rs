@@ -1,0 +1,288 @@
+//! Statements and programs of the mini-IR.
+//!
+//! A [`Program`] is a structured tree (no gotos): allocations, frees, typed
+//! loads/stores with byte-offset expressions, the memory intrinsics the
+//! paper's Table 1 analyses (`memset`/`memcpy`), counted loops with
+//! optionally *opaque* bounds (modelling unbounded `while` loops), stack
+//! frames, conditionals, and pointer arithmetic. This is exactly the shape
+//! the paper's static analyses consume: constant propagation, must-alias,
+//! SCEV loop bounds, and check-in-loop promotion all operate on these nodes.
+
+use std::fmt;
+
+use giantsan_runtime::Region;
+
+use crate::expr::{Expr, VarId};
+
+/// Identifier of a pointer-typed local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PtrId(pub u32);
+
+impl fmt::Display for PtrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a static memory-access site (one per syntactic access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One statement of the mini-IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let var = expr`.
+    Let {
+        /// Destination variable.
+        var: VarId,
+        /// Value expression.
+        expr: Expr,
+    },
+    /// `ptr = alloc(size)` in `region`.
+    Alloc {
+        /// Destination pointer.
+        ptr: PtrId,
+        /// Requested size in bytes.
+        size: Expr,
+        /// Memory region kind.
+        region: Region,
+    },
+    /// `free(ptr + offset)`; a non-zero offset models CWE-761.
+    Free {
+        /// Pointer to free.
+        ptr: PtrId,
+        /// Byte offset added before the call.
+        offset: Expr,
+    },
+    /// `ptr = realloc(ptr, new_size)`: moves the object, preserving the
+    /// overlapping data prefix; the old block is quarantined.
+    Realloc {
+        /// Pointer reallocated (updated in place).
+        ptr: PtrId,
+        /// New size in bytes.
+        new_size: Expr,
+    },
+    /// `dst = *(ptr + offset)` reading `width` bytes.
+    Load {
+        /// Static site id.
+        site: SiteId,
+        /// Base pointer (the access's anchor).
+        ptr: PtrId,
+        /// Byte offset expression.
+        offset: Expr,
+        /// Access width (1, 2, 4 or 8).
+        width: u8,
+        /// Variable receiving the loaded value, if any.
+        dst: Option<VarId>,
+    },
+    /// `*(ptr + offset) = value` writing `width` bytes.
+    Store {
+        /// Static site id.
+        site: SiteId,
+        /// Base pointer (the access's anchor).
+        ptr: PtrId,
+        /// Byte offset expression.
+        offset: Expr,
+        /// Access width (1, 2, 4 or 8).
+        width: u8,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `memset(ptr + offset, value, len)`.
+    MemSet {
+        /// Static site id.
+        site: SiteId,
+        /// Base pointer.
+        ptr: PtrId,
+        /// Byte offset of the destination start.
+        offset: Expr,
+        /// Length in bytes.
+        len: Expr,
+        /// Fill byte (low 8 bits of the value).
+        value: Expr,
+    },
+    /// `strcpy(dst + dst_offset, src + src_offset)`: copies bytes up to and
+    /// including the first NUL of the source string.
+    ///
+    /// This is the paper's guardian-function case (§4.5): the length is only
+    /// known at run time, so ASan's interceptor validates both regions with
+    /// a linear walk while GiantSan's does it in O(1).
+    StrCpy {
+        /// Static site id (covers both the read and the write).
+        site: SiteId,
+        /// Destination pointer.
+        dst: PtrId,
+        /// Destination byte offset.
+        dst_offset: Expr,
+        /// Source pointer.
+        src: PtrId,
+        /// Source byte offset.
+        src_offset: Expr,
+    },
+    /// `memcpy(dst + dst_offset, src + src_offset, len)`.
+    MemCpy {
+        /// Static site id (covers both the read and the write).
+        site: SiteId,
+        /// Destination pointer.
+        dst: PtrId,
+        /// Destination byte offset.
+        dst_offset: Expr,
+        /// Source pointer.
+        src: PtrId,
+        /// Source byte offset.
+        src_offset: Expr,
+        /// Length in bytes.
+        len: Expr,
+    },
+    /// `for var in lo..hi { body }` (or descending when `reverse`).
+    ///
+    /// `lo`/`hi` are evaluated once at loop entry. When `opaque_bound` is
+    /// set, static analysis must treat the trip count as unknown — the
+    /// mini-IR's model of `while (data[i] != 0)`-style unbounded loops,
+    /// which is where the paper's history caching earns its keep (§4.3).
+    For {
+        /// Loop identity.
+        id: LoopId,
+        /// Induction variable.
+        var: VarId,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Exclusive upper bound.
+        hi: Expr,
+        /// Iterate from `hi-1` down to `lo` when set.
+        reverse: bool,
+        /// Hide the bound from static analysis.
+        opaque_bound: bool,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if cond != 0 { then_body } else { else_body }`.
+    If {
+        /// Condition expression (non-zero = true).
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_body: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_body: Vec<Stmt>,
+    },
+    /// Push a stack frame around `body` (a function scope).
+    Frame {
+        /// Statements executed inside the frame.
+        body: Vec<Stmt>,
+    },
+    /// `dst = src + offset` (pointer arithmetic producing a derived pointer).
+    PtrCopy {
+        /// Destination pointer.
+        dst: PtrId,
+        /// Source pointer.
+        src: PtrId,
+        /// Byte offset added.
+        offset: Expr,
+    },
+}
+
+/// A complete mini-IR program.
+///
+/// Use [`crate::ProgramBuilder`] to construct programs; the builder assigns
+/// dense ids that the interpreter and analyses index by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Human-readable name (workload id).
+    pub name: String,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+    /// Number of scalar variables.
+    pub num_vars: u32,
+    /// Number of pointer locals.
+    pub num_ptrs: u32,
+    /// Number of static access sites.
+    pub num_sites: u32,
+    /// Number of loops.
+    pub num_loops: u32,
+    /// Number of runtime inputs the program expects.
+    pub num_inputs: usize,
+}
+
+impl Program {
+    /// Visits every statement in the tree, depth-first.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        fn walk<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::For { body, .. } | Stmt::Frame { body } => walk(body, f),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, f);
+                        walk(else_body, f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.stmts, f);
+    }
+
+    /// Counts static access sites of each kind `(loads, stores, memops)`.
+    pub fn site_census(&self) -> (u32, u32, u32) {
+        let (mut loads, mut stores, mut memops) = (0, 0, 0);
+        self.visit(&mut |s| match s {
+            Stmt::Load { .. } => loads += 1,
+            Stmt::Store { .. } => stores += 1,
+            Stmt::MemSet { .. } | Stmt::MemCpy { .. } | Stmt::StrCpy { .. } => memops += 1,
+            _ => {}
+        });
+        (loads, stores, memops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn visit_reaches_nested_statements() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(64);
+        let n = b.input(0);
+        b.for_loop(Expr::Const(0), n, |b, i| {
+            b.store(p, Expr::var(i) * 8, 8, Expr::Const(1));
+            b.if_nonzero(Expr::var(i), |b| {
+                let _ = b.load(p, Expr::var(i) * 8, 8);
+            });
+        });
+        let prog = b.build();
+        let mut count = 0;
+        prog.visit(&mut |_| count += 1);
+        assert!(count >= 5);
+        assert_eq!(prog.site_census(), (1, 1, 0));
+        assert_eq!(prog.num_loops, 1);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(format!("{}", PtrId(1)), "p1");
+        assert_eq!(format!("{}", SiteId(2)), "s2");
+        assert_eq!(format!("{}", LoopId(3)), "L3");
+    }
+}

@@ -1,0 +1,101 @@
+//! Runtime configuration shared by all sanitizers.
+
+/// Configuration of the simulated runtime environment.
+///
+/// Defaults follow the paper's evaluation setup (§5): 16-byte redzones (the
+/// ASan default the performance study uses) and a generous quarantine.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::RuntimeConfig;
+/// let cfg = RuntimeConfig {
+///     redzone: 512,
+///     ..RuntimeConfig::default()
+/// };
+/// assert_eq!(cfg.redzone, 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Redzone size in bytes placed on each side of heap objects.
+    ///
+    /// Table 5 of the paper varies this between 16 and 512 to demonstrate
+    /// redzone bypassing.
+    pub redzone: u64,
+    /// Maximum number of bytes held in the quarantine before the oldest
+    /// freed block is recycled. `0` disables the quarantine entirely.
+    pub quarantine_cap: u64,
+    /// Size of the heap arena in bytes.
+    pub heap_size: u64,
+    /// Size of the simulated stack in bytes.
+    pub stack_size: u64,
+    /// Size of the global-object arena in bytes.
+    pub global_size: u64,
+    /// Whether execution stops at the first error report.
+    ///
+    /// The paper sets `halt_on_error=false` for SPEC (§5, Configuration), and
+    /// the detection studies need every report counted, so the default is
+    /// `false`.
+    pub halt_on_error: bool,
+}
+
+impl RuntimeConfig {
+    /// Default redzone size used throughout the paper's performance study.
+    pub const DEFAULT_REDZONE: u64 = 16;
+
+    /// Configuration with a given redzone size, other fields default.
+    pub fn with_redzone(redzone: u64) -> Self {
+        RuntimeConfig {
+            redzone,
+            ..Self::default()
+        }
+    }
+
+    /// A small-arena configuration for fast unit tests.
+    pub fn small() -> Self {
+        RuntimeConfig {
+            heap_size: 1 << 20,
+            stack_size: 1 << 16,
+            global_size: 1 << 16,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            redzone: Self::DEFAULT_REDZONE,
+            quarantine_cap: 1 << 20,
+            heap_size: 64 << 20,
+            stack_size: 4 << 20,
+            global_size: 1 << 20,
+            halt_on_error: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let cfg = RuntimeConfig::default();
+        assert_eq!(cfg.redzone, 16);
+        assert!(!cfg.halt_on_error);
+        assert!(cfg.quarantine_cap > 0);
+    }
+
+    #[test]
+    fn with_redzone_overrides_only_redzone() {
+        let cfg = RuntimeConfig::with_redzone(512);
+        assert_eq!(cfg.redzone, 512);
+        assert_eq!(cfg.heap_size, RuntimeConfig::default().heap_size);
+    }
+
+    #[test]
+    fn small_is_smaller() {
+        assert!(RuntimeConfig::small().heap_size < RuntimeConfig::default().heap_size);
+    }
+}

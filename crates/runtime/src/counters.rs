@@ -1,0 +1,139 @@
+//! Check and metadata-loading statistics.
+//!
+//! These counters drive the reproduction of the paper's ablation study
+//! (Figure 10) and the analytic cost model used for Table 2: every sanitizer
+//! records how many shadow bytes it loaded, which check path each protection
+//! task took, and how much poisoning work it performed.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Runtime statistics accumulated by a [`crate::Sanitizer`].
+///
+/// All fields are plain event counts; the harness combines them with a cost
+/// model to estimate overhead, and reports the `fast_checks` /
+/// `slow_checks` / `cache_hits` split that Figure 10 of the paper plots.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::Counters;
+/// let mut a = Counters::default();
+/// a.shadow_loads = 10;
+/// let mut b = Counters::default();
+/// b.shadow_loads = 5;
+/// a += &b;
+/// assert_eq!(a.shadow_loads, 15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Shadow bytes loaded by checks (not by poisoning).
+    pub shadow_loads: u64,
+    /// Region/instruction checks where the fast path sufficed.
+    pub fast_checks: u64,
+    /// Checks that had to run the slow path (prefix + suffix + partial).
+    pub slow_checks: u64,
+    /// Accesses admitted by a history cache (quasi-bound) without any
+    /// metadata load.
+    pub cache_hits: u64,
+    /// Cache misses that refreshed the quasi-bound (each implies a check).
+    pub cache_updates: u64,
+    /// Dedicated underflow (negative offset) checks.
+    pub underflow_checks: u64,
+    /// Pointer-arithmetic bounds computations (LFP-style tools).
+    pub arith_checks: u64,
+    /// Shadow bytes written while poisoning/unpoisoning.
+    pub shadow_stores: u64,
+    /// Heap allocations served.
+    pub allocs: u64,
+    /// Heap frees served.
+    pub frees: u64,
+    /// Stack slots created.
+    pub stack_allocs: u64,
+    /// Extra instructions spent simulating a protected stack (LFP's
+    /// incomplete stack protection penalty, paper §5.2).
+    pub stack_sim_ops: u64,
+    /// Error reports raised.
+    pub reports: u64,
+}
+
+impl Counters {
+    /// Total number of checks executed on any path.
+    pub fn total_checks(&self) -> u64 {
+        self.fast_checks + self.slow_checks + self.cache_hits + self.underflow_checks
+            + self.arith_checks
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Counters::default();
+    }
+}
+
+impl AddAssign<&Counters> for Counters {
+    fn add_assign(&mut self, rhs: &Counters) {
+        self.shadow_loads += rhs.shadow_loads;
+        self.fast_checks += rhs.fast_checks;
+        self.slow_checks += rhs.slow_checks;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_updates += rhs.cache_updates;
+        self.underflow_checks += rhs.underflow_checks;
+        self.arith_checks += rhs.arith_checks;
+        self.shadow_stores += rhs.shadow_stores;
+        self.allocs += rhs.allocs;
+        self.frees += rhs.frees;
+        self.stack_allocs += rhs.stack_allocs;
+        self.stack_sim_ops += rhs.stack_sim_ops;
+        self.reports += rhs.reports;
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "loads={} fast={} slow={} cached={} updates={} under={} arith={} \
+             stores={} allocs={} frees={} reports={}",
+            self.shadow_loads,
+            self.fast_checks,
+            self.slow_checks,
+            self.cache_hits,
+            self.cache_updates,
+            self.underflow_checks,
+            self.arith_checks,
+            self.shadow_stores,
+            self.allocs,
+            self.frees,
+            self.reports
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = Counters {
+            fast_checks: 3,
+            slow_checks: 1,
+            cache_hits: 5,
+            underflow_checks: 2,
+            arith_checks: 4,
+            ..Counters::default()
+        };
+        assert_eq!(a.total_checks(), 15);
+        let b = a;
+        a += &b;
+        assert_eq!(a.total_checks(), 30);
+        a.reset();
+        assert_eq!(a, Counters::default());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let c = Counters::default();
+        assert!(format!("{c}").contains("loads=0"));
+    }
+}

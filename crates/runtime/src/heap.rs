@@ -1,0 +1,309 @@
+//! First-fit free-list heap over a range of the simulated address space.
+//!
+//! The heap deals purely in address-range bookkeeping — bytes live in the
+//! [`giantsan_shadow::AddressSpace`] — which keeps allocation policy
+//! independent from data storage, exactly like a real allocator's metadata
+//! being out-of-band. Blocks handed out are always 8-byte aligned (the
+//! paper's and ASan's baseline assumption, §4.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use giantsan_shadow::{align_up, Addr, SEGMENT_SIZE};
+
+/// Error returned when the heap cannot serve a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// No free block large enough for the request.
+    OutOfMemory {
+        /// Bytes requested (including redzones).
+        requested: u64,
+    },
+    /// The freed address does not correspond to an outstanding block.
+    UnknownBlock {
+        /// Address passed to `release`.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested } => {
+                write!(f, "simulated heap exhausted serving {requested} bytes")
+            }
+            HeapError::UnknownBlock { addr } => {
+                write!(f, "release of unknown heap block at {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// A first-fit free-list allocator over `[lo, hi)`.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::SimHeap;
+/// use giantsan_shadow::Addr;
+///
+/// let mut heap = SimHeap::new(Addr::new(0x1_0000), Addr::new(0x2_0000));
+/// let a = heap.acquire(100)?;
+/// assert_eq!(a.raw() % 8, 0);
+/// heap.release(a, 100)?;
+/// # Ok::<(), giantsan_runtime::HeapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimHeap {
+    lo: Addr,
+    hi: Addr,
+    /// Free blocks keyed by start address; values are lengths. Invariant:
+    /// blocks are disjoint, non-empty, sorted, and never adjacent (adjacent
+    /// blocks are coalesced on release).
+    free: BTreeMap<u64, u64>,
+    /// Outstanding blocks keyed by start, for double-release detection.
+    live: BTreeMap<u64, u64>,
+    bytes_in_use: u64,
+    high_water: u64,
+}
+
+impl SimHeap {
+    /// Creates a heap over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not segment aligned.
+    pub fn new(lo: Addr, hi: Addr) -> Self {
+        assert!(lo < hi, "empty heap range");
+        assert!(lo.is_segment_aligned() && hi.is_segment_aligned());
+        let mut free = BTreeMap::new();
+        free.insert(lo.raw(), hi - lo);
+        SimHeap {
+            lo,
+            hi,
+            free,
+            live: BTreeMap::new(),
+            bytes_in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Lowest address managed by the heap.
+    pub fn lo(&self) -> Addr {
+        self.lo
+    }
+
+    /// One past the highest address managed by the heap.
+    pub fn hi(&self) -> Addr {
+        self.hi
+    }
+
+    /// Bytes currently handed out (including callers' redzones).
+    pub fn bytes_in_use(&self) -> u64 {
+        self.bytes_in_use
+    }
+
+    /// Peak of [`SimHeap::bytes_in_use`] over the heap's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Acquires a block of at least `len` bytes (rounded up to 8).
+    ///
+    /// First-fit over the sorted free list: deterministic and, combined with
+    /// the quarantine, reproduces the address-reuse behaviour temporal-error
+    /// detection depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when no block fits.
+    pub fn acquire(&mut self, len: u64) -> Result<Addr, HeapError> {
+        let len = align_up(len.max(1), SEGMENT_SIZE);
+        let found = self
+            .free
+            .iter()
+            .find(|(_, &blen)| blen >= len)
+            .map(|(&start, &blen)| (start, blen));
+        let (start, blen) = found.ok_or(HeapError::OutOfMemory { requested: len })?;
+        self.free.remove(&start);
+        if blen > len {
+            self.free.insert(start + len, blen - len);
+        }
+        self.live.insert(start, len);
+        self.bytes_in_use += len;
+        self.high_water = self.high_water.max(self.bytes_in_use);
+        Ok(Addr::new(start))
+    }
+
+    /// Returns a block previously handed out by [`SimHeap::acquire`].
+    ///
+    /// Adjacent free blocks are coalesced so the heap does not fragment
+    /// irrecoverably under alloc/free churn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownBlock`] if `start` is not an outstanding
+    /// block of exactly `len` rounded-up bytes.
+    pub fn release(&mut self, start: Addr, len: u64) -> Result<(), HeapError> {
+        let len = align_up(len.max(1), SEGMENT_SIZE);
+        match self.live.remove(&start.raw()) {
+            Some(l) if l == len => {}
+            Some(l) => {
+                // Restore and reject: releasing with the wrong length would
+                // corrupt the free list.
+                self.live.insert(start.raw(), l);
+                return Err(HeapError::UnknownBlock { addr: start });
+            }
+            None => return Err(HeapError::UnknownBlock { addr: start }),
+        }
+        self.bytes_in_use -= len;
+        let mut new_start = start.raw();
+        let mut new_len = len;
+        // Coalesce with the predecessor.
+        if let Some((&ps, &pl)) = self.free.range(..new_start).next_back() {
+            if ps + pl == new_start {
+                self.free.remove(&ps);
+                new_start = ps;
+                new_len += pl;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some((&ss, &sl)) = self.free.range(new_start + new_len..).next() {
+            if new_start + new_len == ss {
+                self.free.remove(&ss);
+                new_len += sl;
+            }
+        }
+        self.free.insert(new_start, new_len);
+        Ok(())
+    }
+
+    /// Number of blocks on the free list (useful for fragmentation tests).
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> SimHeap {
+        SimHeap::new(Addr::new(0x1_0000), Addr::new(0x1_0000 + 4096))
+    }
+
+    #[test]
+    fn acquire_is_aligned_and_first_fit() {
+        let mut h = heap();
+        let a = h.acquire(10).unwrap();
+        let b = h.acquire(1).unwrap();
+        assert_eq!(a, Addr::new(0x1_0000));
+        assert_eq!(b, Addr::new(0x1_0000 + 16)); // 10 rounds to 16
+        assert!(b.is_segment_aligned());
+        assert_eq!(h.bytes_in_use(), 24);
+    }
+
+    #[test]
+    fn release_coalesces() {
+        let mut h = heap();
+        let a = h.acquire(64).unwrap();
+        let b = h.acquire(64).unwrap();
+        let c = h.acquire(64).unwrap();
+        h.release(a, 64).unwrap();
+        h.release(c, 64).unwrap();
+        assert_eq!(h.free_blocks(), 2); // [a] and [c..end]
+        h.release(b, 64).unwrap();
+        assert_eq!(h.free_blocks(), 1); // fully coalesced
+        assert_eq!(h.bytes_in_use(), 0);
+        // The whole arena is available again.
+        let big = h.acquire(4096).unwrap();
+        assert_eq!(big, Addr::new(0x1_0000));
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut h = heap();
+        assert!(matches!(
+            h.acquire(8192),
+            Err(HeapError::OutOfMemory { requested: 8192 })
+        ));
+        let _ = h.acquire(4096).unwrap();
+        assert!(h.acquire(8).is_err());
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let mut h = heap();
+        let a = h.acquire(32).unwrap();
+        h.release(a, 32).unwrap();
+        assert!(matches!(
+            h.release(a, 32),
+            Err(HeapError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_length_release_rejected_and_state_kept() {
+        let mut h = heap();
+        let a = h.acquire(32).unwrap();
+        assert!(h.release(a, 64).is_err());
+        // The block is still live and can be released correctly.
+        h.release(a, 32).unwrap();
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut h = heap();
+        let a = h.acquire(128).unwrap();
+        let b = h.acquire(128).unwrap();
+        h.release(a, 128).unwrap();
+        h.release(b, 128).unwrap();
+        assert_eq!(h.high_water(), 256);
+        assert_eq!(h.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn reuse_is_deterministic_first_fit() {
+        let mut h = heap();
+        let a = h.acquire(64).unwrap();
+        let _b = h.acquire(64).unwrap();
+        h.release(a, 64).unwrap();
+        let c = h.acquire(32).unwrap();
+        assert_eq!(c, a, "first fit must reuse the earliest hole");
+    }
+
+    #[test]
+    fn fragmentation_stress_recovers_fully() {
+        // Alternating alloc/free of mixed sizes must not leak arena: after
+        // releasing everything, one maximal allocation succeeds again.
+        let mut h = SimHeap::new(Addr::new(0x1_0000), Addr::new(0x1_0000 + 65536));
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for round in 0..500u64 {
+            let len = 8 + (round * 24) % 512;
+            if let Ok(a) = h.acquire(len) {
+                live.push((a, len));
+            }
+            if live.len() > 20 {
+                // Free from the middle to maximise fragmentation.
+                let (a, l) = live.remove(live.len() / 2);
+                h.release(a, l).unwrap();
+            }
+        }
+        for (a, l) in live {
+            h.release(a, l).unwrap();
+        }
+        assert_eq!(h.bytes_in_use(), 0);
+        assert_eq!(h.free_blocks(), 1, "coalescing must fully recover");
+        assert!(h.acquire(65536).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = HeapError::OutOfMemory { requested: 7 };
+        assert!(format!("{e}").contains("exhausted"));
+        let e = HeapError::UnknownBlock { addr: Addr::new(8) };
+        assert!(format!("{e}").contains("unknown heap block"));
+    }
+}

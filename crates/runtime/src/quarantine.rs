@@ -1,0 +1,129 @@
+//! FIFO quarantine for freed heap blocks.
+//!
+//! Location-based sanitizers delay the reuse of freed memory so that dangling
+//! pointers keep landing on poisoned shadow (paper §2.2). The quarantine is a
+//! byte-capped FIFO: pushing a block may evict the oldest blocks, which then
+//! become available for reallocation — the "quarantine bypassing" limitation
+//! the paper acknowledges in §5.4.
+
+use std::collections::VecDeque;
+
+use crate::ObjectId;
+
+/// A byte-capped FIFO of quarantined (freed, not yet reusable) blocks.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::Quarantine;
+/// use giantsan_runtime::ObjectId;
+///
+/// let mut q = Quarantine::new(100);
+/// assert!(q.push(ObjectId(1), 60).is_empty());
+/// // Pushing 60 more exceeds the 100-byte cap: the first block is evicted.
+/// let evicted = q.push(ObjectId(2), 60);
+/// assert_eq!(evicted, vec![ObjectId(1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    cap: u64,
+    used: u64,
+    queue: VecDeque<(ObjectId, u64)>,
+}
+
+impl Quarantine {
+    /// Creates a quarantine holding at most `cap` bytes. A zero cap disables
+    /// quarantining: every push evicts immediately.
+    pub fn new(cap: u64) -> Self {
+        Quarantine {
+            cap,
+            used: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Bytes currently quarantined.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of blocks currently quarantined.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no blocks are quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Quarantines a block of `len` bytes, returning the ids of blocks
+    /// evicted to stay within the cap (oldest first). The pushed block itself
+    /// is evicted immediately when `len` alone exceeds the cap.
+    pub fn push(&mut self, id: ObjectId, len: u64) -> Vec<ObjectId> {
+        self.queue.push_back((id, len));
+        self.used += len;
+        let mut evicted = Vec::new();
+        while self.used > self.cap {
+            let (old, olen) = self
+                .queue
+                .pop_front()
+                .expect("used > cap implies nonempty queue");
+            self.used -= olen;
+            evicted.push(old);
+        }
+        evicted
+    }
+
+    /// Drains every block from the quarantine (oldest first), e.g. at world
+    /// teardown.
+    pub fn drain(&mut self) -> Vec<ObjectId> {
+        self.used = 0;
+        self.queue.drain(..).map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction_order() {
+        let mut q = Quarantine::new(100);
+        assert!(q.push(ObjectId(1), 40).is_empty());
+        assert!(q.push(ObjectId(2), 40).is_empty());
+        let ev = q.push(ObjectId(3), 40);
+        assert_eq!(ev, vec![ObjectId(1)]);
+        assert_eq!(q.used_bytes(), 80);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn oversized_block_evicts_through_itself() {
+        let mut q = Quarantine::new(50);
+        assert!(q.push(ObjectId(1), 10).is_empty());
+        let ev = q.push(ObjectId(2), 100);
+        assert_eq!(ev, vec![ObjectId(1), ObjectId(2)]);
+        assert!(q.is_empty());
+        assert_eq!(q.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_cap_disables_quarantine() {
+        let mut q = Quarantine::new(0);
+        let ev = q.push(ObjectId(7), 8);
+        assert_eq!(ev, vec![ObjectId(7)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_returns_all_in_order() {
+        let mut q = Quarantine::new(1000);
+        q.push(ObjectId(1), 10);
+        q.push(ObjectId(2), 10);
+        q.push(ObjectId(3), 10);
+        assert_eq!(q.drain(), vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert!(q.is_empty());
+        assert_eq!(q.used_bytes(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Error reports produced by sanitizers.
+
+use std::fmt;
+
+use giantsan_shadow::Addr;
+
+/// Whether a faulting operation was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load from memory.
+    Read,
+    /// A store to memory.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "READ",
+            AccessKind::Write => "WRITE",
+        })
+    }
+}
+
+/// Classification of a detected memory error.
+///
+/// The variants mirror ASan's report kinds, which is what GiantSan inherits:
+/// spatial errors (over/underflow per region kind), temporal errors
+/// (use-after-free), allocator-API misuse, and wild/null accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Access beyond the end of a heap object (into a right redzone).
+    HeapBufferOverflow,
+    /// Access before the start of a heap object (into a left redzone).
+    HeapBufferUnderflow,
+    /// Access outside a stack slot.
+    StackBufferOverflow,
+    /// Access before a stack slot.
+    StackBufferUnderflow,
+    /// Access outside a global object.
+    GlobalBufferOverflow,
+    /// Access to a freed (quarantined) region.
+    UseAfterFree,
+    /// `free` called with a pointer that is not an allocation base
+    /// (CWE-761).
+    InvalidFree,
+    /// `free` called twice on the same allocation.
+    DoubleFree,
+    /// Access to unmapped memory (includes null dereference), reported as a
+    /// crash by every tool including native execution.
+    Wild,
+    /// The tool knows the access is bad but cannot classify it further.
+    Unknown,
+}
+
+impl ErrorKind {
+    /// Returns `true` for spatial violations (out-of-bounds).
+    pub fn is_spatial(self) -> bool {
+        matches!(
+            self,
+            ErrorKind::HeapBufferOverflow
+                | ErrorKind::HeapBufferUnderflow
+                | ErrorKind::StackBufferOverflow
+                | ErrorKind::StackBufferUnderflow
+                | ErrorKind::GlobalBufferOverflow
+        )
+    }
+
+    /// Returns `true` for temporal violations.
+    pub fn is_temporal(self) -> bool {
+        matches!(self, ErrorKind::UseAfterFree | ErrorKind::DoubleFree)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorKind::HeapBufferOverflow => "heap-buffer-overflow",
+            ErrorKind::HeapBufferUnderflow => "heap-buffer-underflow",
+            ErrorKind::StackBufferOverflow => "stack-buffer-overflow",
+            ErrorKind::StackBufferUnderflow => "stack-buffer-underflow",
+            ErrorKind::GlobalBufferOverflow => "global-buffer-overflow",
+            ErrorKind::UseAfterFree => "heap-use-after-free",
+            ErrorKind::InvalidFree => "invalid-free",
+            ErrorKind::DoubleFree => "double-free",
+            ErrorKind::Wild => "SEGV on unknown address",
+            ErrorKind::Unknown => "invalid-memory-access",
+        })
+    }
+}
+
+/// A single error report, the sanitizer-visible unit of detection.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::{AccessKind, ErrorKind, ErrorReport};
+/// use giantsan_shadow::Addr;
+///
+/// let r = ErrorReport::new(ErrorKind::HeapBufferOverflow, Addr::new(0x1000), 4)
+///     .with_access(AccessKind::Write);
+/// assert!(r.kind.is_spatial());
+/// assert!(format!("{r}").contains("heap-buffer-overflow"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReport {
+    /// Error classification.
+    pub kind: ErrorKind,
+    /// First faulting address.
+    pub addr: Addr,
+    /// Size of the faulting access or region in bytes.
+    pub len: u64,
+    /// Read or write, when known.
+    pub access: Option<AccessKind>,
+    /// Static site that raised the report (mini-IR site id), when known.
+    pub site: Option<u32>,
+}
+
+impl ErrorReport {
+    /// Creates a report for `len` bytes at `addr`.
+    pub fn new(kind: ErrorKind, addr: Addr, len: u64) -> Self {
+        ErrorReport {
+            kind,
+            addr,
+            len,
+            access: None,
+            site: None,
+        }
+    }
+
+    /// Tags the report with the access direction.
+    pub fn with_access(mut self, access: AccessKind) -> Self {
+        self.access = Some(access);
+        self
+    }
+
+    /// Tags the report with the static check site that raised it.
+    pub fn with_site(mut self, site: u32) -> Self {
+        self.site = Some(site);
+        self
+    }
+}
+
+impl fmt::Display for ErrorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ERROR: {}", self.kind)?;
+        if let Some(a) = self.access {
+            write!(f, " on {a}")?;
+        }
+        write!(f, " of {} byte(s) at {}", self.len, self.addr)?;
+        if let Some(s) = self.site {
+            write!(f, " (site {s})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ErrorReport {}
+
+/// Result of a runtime check: `Ok` when the access is admitted.
+pub type CheckResult = Result<(), ErrorReport>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(ErrorKind::HeapBufferOverflow.is_spatial());
+        assert!(ErrorKind::StackBufferUnderflow.is_spatial());
+        assert!(!ErrorKind::UseAfterFree.is_spatial());
+        assert!(ErrorKind::UseAfterFree.is_temporal());
+        assert!(ErrorKind::DoubleFree.is_temporal());
+        assert!(!ErrorKind::Wild.is_temporal());
+        assert!(!ErrorKind::Wild.is_spatial());
+    }
+
+    #[test]
+    fn report_builders_and_display() {
+        let r = ErrorReport::new(ErrorKind::UseAfterFree, Addr::new(64), 8)
+            .with_access(AccessKind::Read)
+            .with_site(7);
+        let s = format!("{r}");
+        assert!(s.contains("heap-use-after-free"));
+        assert!(s.contains("READ"));
+        assert!(s.contains("site 7"));
+        assert!(s.contains("8 byte(s)"));
+    }
+
+    #[test]
+    fn all_kinds_display_distinctly() {
+        use ErrorKind::*;
+        let kinds = [
+            HeapBufferOverflow,
+            HeapBufferUnderflow,
+            StackBufferOverflow,
+            StackBufferUnderflow,
+            GlobalBufferOverflow,
+            UseAfterFree,
+            InvalidFree,
+            DoubleFree,
+            Wild,
+            Unknown,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(format!("{k}")), "duplicate display for {k:?}");
+        }
+    }
+}

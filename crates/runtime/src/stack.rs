@@ -1,0 +1,206 @@
+//! Simulated call-stack frames with redzoned slots.
+//!
+//! ASan-style tools protect stack variables by padding each `alloca` slot
+//! with redzones inside an enlarged frame. The simulator reproduces the
+//! address-level effect: frames grow downward, each slot is separated from
+//! its neighbours by a redzone-sized gap, and popping a frame releases every
+//! slot at once.
+
+use giantsan_shadow::{align_up, Addr, SEGMENT_SIZE};
+
+use crate::HeapError;
+
+/// A downward-growing stack of frames, each holding redzoned slots.
+///
+/// The stack only does address bookkeeping; object registration and shadow
+/// poisoning are coordinated by [`crate::World`] and the sanitizers.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::StackSim;
+/// use giantsan_shadow::Addr;
+///
+/// let mut stack = StackSim::new(Addr::new(0x10_0000), Addr::new(0x11_0000));
+/// stack.push_frame();
+/// let slot = stack.alloca(64)?;
+/// assert_eq!(slot.raw() % 8, 0);
+/// let released = stack.pop_frame();
+/// assert_eq!(released, vec![(slot, 64)]);
+/// # Ok::<(), giantsan_runtime::HeapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackSim {
+    lo: Addr,
+    hi: Addr,
+    sp: Addr,
+    /// Per-frame saved stack pointers and the blocks allocated in the frame.
+    frames: Vec<Frame>,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    saved_sp: Addr,
+    blocks: Vec<(Addr, u64)>,
+}
+
+impl StackSim {
+    /// Creates a stack over `[lo, hi)` with the stack pointer at `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not segment aligned.
+    pub fn new(lo: Addr, hi: Addr) -> Self {
+        assert!(lo < hi, "empty stack range");
+        assert!(lo.is_segment_aligned() && hi.is_segment_aligned());
+        StackSim {
+            lo,
+            hi,
+            sp: hi,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Current simulated stack pointer.
+    pub fn sp(&self) -> Addr {
+        self.sp
+    }
+
+    /// Lowest address of the stack arena.
+    pub fn lo(&self) -> Addr {
+        self.lo
+    }
+
+    /// One past the highest address of the stack arena.
+    pub fn hi(&self) -> Addr {
+        self.hi
+    }
+
+    /// Current frame depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Enters a new frame.
+    pub fn push_frame(&mut self) {
+        self.frames.push(Frame {
+            saved_sp: self.sp,
+            blocks: Vec::new(),
+        });
+    }
+
+    /// Allocates a block of `len` bytes (rounded up to 8) in the current
+    /// frame and returns its first address.
+    ///
+    /// Blocks are carved downward from the stack pointer; the *caller*
+    /// accounts for redzone gaps by requesting `redzone + len` and offsetting,
+    /// exactly as [`crate::World::alloc`] does for the heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] on stack overflow (exhausting the
+    /// simulated stack arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with no frame pushed.
+    pub fn alloca(&mut self, len: u64) -> Result<Addr, HeapError> {
+        let len = align_up(len.max(1), SEGMENT_SIZE);
+        let frame = self
+            .frames
+            .last_mut()
+            .expect("alloca outside any stack frame");
+        if self.sp - self.lo < len {
+            return Err(HeapError::OutOfMemory { requested: len });
+        }
+        self.sp = self.sp - len;
+        frame.blocks.push((self.sp, len));
+        Ok(self.sp)
+    }
+
+    /// Leaves the current frame, returning every block it held (most recently
+    /// allocated first) so the caller can unregister and unpoison them.
+    ///
+    /// Returns an empty vector when no frame is active.
+    pub fn pop_frame(&mut self) -> Vec<(Addr, u64)> {
+        match self.frames.pop() {
+            Some(frame) => {
+                self.sp = frame.saved_sp;
+                frame.blocks.into_iter().rev().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Bytes of stack currently in use.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.hi - self.sp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> StackSim {
+        StackSim::new(Addr::new(0x10_0000), Addr::new(0x10_1000))
+    }
+
+    #[test]
+    fn frames_nest_and_release() {
+        let mut s = stack();
+        s.push_frame();
+        let a = s.alloca(32).unwrap();
+        s.push_frame();
+        let b = s.alloca(64).unwrap();
+        assert!(b < a, "stack grows downward");
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.pop_frame(), vec![(b, 64)]);
+        assert_eq!(s.sp(), a);
+        assert_eq!(s.pop_frame(), vec![(a, 32)]);
+        assert_eq!(s.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn multiple_slots_in_one_frame_pop_in_reverse() {
+        let mut s = stack();
+        s.push_frame();
+        let a = s.alloca(8).unwrap();
+        let b = s.alloca(8).unwrap();
+        let c = s.alloca(8).unwrap();
+        assert_eq!(s.pop_frame(), vec![(c, 8), (b, 8), (a, 8)]);
+    }
+
+    #[test]
+    fn alloca_rounds_to_segment() {
+        let mut s = stack();
+        s.push_frame();
+        let a = s.alloca(1).unwrap();
+        let b = s.alloca(1).unwrap();
+        assert_eq!(a - b, 8);
+        assert!(a.is_segment_aligned() && b.is_segment_aligned());
+    }
+
+    #[test]
+    fn stack_overflow_errors() {
+        let mut s = stack();
+        s.push_frame();
+        assert!(s.alloca(0x2000).is_err());
+        // A fitting request still succeeds afterwards.
+        assert!(s.alloca(0x800).is_ok());
+        assert!(s.alloca(0x900).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any stack frame")]
+    fn alloca_without_frame_panics() {
+        let mut s = stack();
+        let _ = s.alloca(8);
+    }
+
+    #[test]
+    fn pop_without_frame_is_empty() {
+        let mut s = stack();
+        assert!(s.pop_frame().is_empty());
+    }
+}

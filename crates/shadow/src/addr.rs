@@ -1,0 +1,232 @@
+//! Simulated virtual addresses and segment geometry.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size in bytes of one shadow segment.
+///
+/// Both ASan and GiantSan map each aligned 8-byte block of application memory
+/// to one shadow byte (paper §4.1: "We choose the commonly used eight-byte
+/// segment shadow memory as ASan").
+pub const SEGMENT_SIZE: u64 = 8;
+
+/// `log2(SEGMENT_SIZE)`; shifting an address right by this yields its segment
+/// index, mirroring ASan's `addr >> 3` shadow address computation.
+pub const SEGMENT_SHIFT: u32 = 3;
+
+/// A simulated virtual address.
+///
+/// Addresses are plain 64-bit values inside one [`crate::AddressSpace`]. The
+/// newtype keeps simulated addresses from being confused with sizes, offsets,
+/// or segment indexes (all of which are also integers in this codebase).
+///
+/// # Example
+///
+/// ```
+/// use giantsan_shadow::Addr;
+/// let a = Addr::new(0x1000);
+/// assert_eq!((a + 8) - a, 8);
+/// assert!(a.is_segment_aligned());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address; dereferencing it is always invalid.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the index of the segment containing this address.
+    pub const fn segment(self) -> u64 {
+        self.0 >> SEGMENT_SHIFT
+    }
+
+    /// Returns the byte offset of this address within its segment (`addr & 7`).
+    pub const fn segment_offset(self) -> u64 {
+        self.0 & (SEGMENT_SIZE - 1)
+    }
+
+    /// Returns `true` if this address is aligned to a segment boundary.
+    pub const fn is_segment_aligned(self) -> bool {
+        self.segment_offset() == 0
+    }
+
+    /// Offsets the address by a signed byte delta, saturating at zero.
+    ///
+    /// Negative results clamp to [`Addr::NULL`], which is never a valid
+    /// location, so underflowing arithmetic surfaces as an invalid access
+    /// instead of wrapping around the 64-bit space.
+    pub fn offset(self, delta: i64) -> Addr {
+        if delta >= 0 {
+            Addr(self.0.saturating_add(delta as u64))
+        } else {
+            Addr(self.0.saturating_sub(delta.unsigned_abs()))
+        }
+    }
+
+    /// Returns the distance in bytes from `other` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other > self`.
+    pub fn distance_from(self, other: Addr) -> u64 {
+        debug_assert!(other <= self, "distance_from: {other:?} > {self:?}");
+        self.0 - other.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+/// Rounds `value` up to the next multiple of `align` (a power of two).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(giantsan_shadow::align_up(13, 8), 16);
+/// assert_eq!(giantsan_shadow::align_up(16, 8), 16);
+/// ```
+pub const fn align_up(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+/// Rounds `value` down to the previous multiple of `align` (a power of two).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(giantsan_shadow::align_down(13, 8), 8);
+/// ```
+pub const fn align_down(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    value & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_math_matches_asan_shift() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.segment(), 0x1234 >> 3);
+        assert_eq!(a.segment_offset(), 0x1234 & 7);
+    }
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(Addr::new(0).is_segment_aligned());
+        assert!(Addr::new(8).is_segment_aligned());
+        assert!(!Addr::new(9).is_segment_aligned());
+        assert!(!Addr::new(15).is_segment_aligned());
+    }
+
+    #[test]
+    fn offset_saturates_below_zero() {
+        let a = Addr::new(4);
+        assert_eq!(a.offset(-16), Addr::NULL);
+        assert_eq!(a.offset(4), Addr::new(8));
+        assert_eq!(a.offset(-4), Addr::new(0));
+    }
+
+    #[test]
+    fn align_helpers() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 16), 16);
+        assert_eq!(align_down(15, 8), 8);
+        assert_eq!(align_down(16, 8), 16);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Addr::new(100);
+        assert_eq!(a + 20, Addr::new(120));
+        assert_eq!(a - 20, Addr::new(80));
+        assert_eq!(Addr::new(120) - a, 20);
+        assert_eq!(a.distance_from(Addr::new(40)), 60);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b, Addr::new(104));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let a = Addr::new(0xdead);
+        assert_eq!(format!("{a}"), "0xdead");
+        assert_eq!(format!("{a:?}"), "Addr(0xdead)");
+        assert_eq!(format!("{a:x}"), "dead");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Addr = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

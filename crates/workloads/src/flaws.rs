@@ -1,0 +1,207 @@
+//! Linux-Flaw-Project-like CVE scenarios (Table 4 of the paper).
+//!
+//! Each CVE row of Table 4 becomes a small program whose error geometry
+//! matches the class of the real vulnerability. Three rows are the
+//! interesting ones — the three LFP misses, each for a mechanically distinct
+//! reason:
+//!
+//! * **CVE-2017-12858** (libzip): use-after-free where the freed chunk is
+//!   reallocated before the dangling use — LFP has no quarantine, so the
+//!   dangling pointer aliases the new object; quarantine-based tools keep
+//!   the region poisoned;
+//! * **CVE-2017-9165** (autotrace) and **CVE-2017-14409** (mp3gain): small
+//!   heap overflows that stay within LFP's size-class rounding slack.
+
+use giantsan_ir::{Expr, Program, ProgramBuilder};
+
+/// The vulnerability class a CVE scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CveKind {
+    /// Heap overflow far past the allocation (parser trusting a length
+    /// field).
+    HeapOverflowLarge,
+    /// Heap overflow of a few bytes, inside size-class rounding slack.
+    HeapOverflowRounded,
+    /// Heap overread past the allocation.
+    HeapOverreadLarge,
+    /// Heap underflow (negative index from a parsed value).
+    HeapUnderflow,
+    /// Use-after-free with the chunk reallocated before the dangling use.
+    UseAfterFreeRealloc,
+}
+
+/// One CVE scenario.
+#[derive(Debug, Clone)]
+pub struct CveScenario {
+    /// Project the CVE belongs to.
+    pub project: &'static str,
+    /// CVE identifier.
+    pub cve: &'static str,
+    /// Vulnerability class.
+    pub kind: CveKind,
+    /// The buggy program.
+    pub program: Program,
+    /// Inputs triggering the vulnerability.
+    pub inputs: Vec<i64>,
+}
+
+fn heap_overflow_large() -> (Program, Vec<i64>) {
+    // A parser copies a length-prefixed record without validating it.
+    let mut b = ProgramBuilder::new("cve-heap-overflow-large");
+    let size = b.input(0);
+    let claimed = b.input(1);
+    let dst = b.alloc_heap(size);
+    let src = b.alloc_heap(claimed.clone());
+    b.memcpy(dst, 0i64, src, 0i64, claimed);
+    b.free(src);
+    b.free(dst);
+    (b.build(), vec![96, 512])
+}
+
+fn heap_overflow_rounded() -> (Program, Vec<i64>) {
+    // Off-by-a-few write: 100-byte object, LFP slot is 128 bytes.
+    let mut b = ProgramBuilder::new("cve-heap-overflow-rounded");
+    let size = b.input(0);
+    let p = b.alloc_heap(size);
+    b.store(p, Expr::input(1), 1, 0x41i64);
+    b.free(p);
+    (b.build(), vec![100, 102])
+}
+
+fn heap_overread_large() -> (Program, Vec<i64>) {
+    let mut b = ProgramBuilder::new("cve-heap-overread-large");
+    let size = b.input(0);
+    let n = b.input(1);
+    let p = b.alloc_heap(size);
+    b.for_loop(0i64, n, |b, i| {
+        b.load_discard(p, Expr::var(i), 1);
+    });
+    b.free(p);
+    (b.build(), vec![64, 640])
+}
+
+fn heap_underflow() -> (Program, Vec<i64>) {
+    let mut b = ProgramBuilder::new("cve-heap-underflow");
+    let size = b.input(0);
+    let p = b.alloc_heap(size);
+    b.store(p, Expr::input(1), 2, 0i64);
+    b.free(p);
+    (b.build(), vec![128, -6])
+}
+
+fn uaf_realloc() -> (Program, Vec<i64>) {
+    // Free, reallocate the same size (the allocator hands the slot back
+    // unless a quarantine delays it), then use the dangling pointer.
+    let mut b = ProgramBuilder::new("cve-uaf-realloc");
+    let size = b.input(0);
+    let p = b.alloc_heap(size.clone());
+    b.store(p, 0i64, 8, 7i64);
+    b.free(p);
+    let q = b.alloc_heap(size);
+    b.store(q, 0i64, 8, 9i64);
+    b.load_discard(p, 8i64, 8); // dangling
+    b.free(q);
+    (b.build(), vec![48])
+}
+
+/// Table 4's rows: `(project, cve, kind)`.
+const ROWS: &[(&'static str, &'static str, CveKind)] = &[
+    ("libzip", "CVE-2017-12858", CveKind::UseAfterFreeRealloc),
+    ("autotrace", "CVE-2017-9164", CveKind::HeapOverflowLarge),
+    ("autotrace", "CVE-2017-9165", CveKind::HeapOverflowRounded),
+    ("autotrace", "CVE-2017-9166", CveKind::HeapOverflowLarge),
+    ("autotrace", "CVE-2017-9167", CveKind::HeapOverreadLarge),
+    ("autotrace", "CVE-2017-9168", CveKind::HeapOverreadLarge),
+    ("autotrace", "CVE-2017-9169", CveKind::HeapOverflowLarge),
+    ("autotrace", "CVE-2017-9170", CveKind::HeapOverreadLarge),
+    ("autotrace", "CVE-2017-9171", CveKind::HeapOverflowLarge),
+    ("autotrace", "CVE-2017-9172", CveKind::HeapOverreadLarge),
+    ("autotrace", "CVE-2017-9173", CveKind::HeapOverflowLarge),
+    ("imageworsener", "CVE-2017-9204", CveKind::HeapOverflowLarge),
+    ("imageworsener", "CVE-2017-9205", CveKind::HeapOverflowLarge),
+    ("imageworsener", "CVE-2017-9206", CveKind::HeapOverreadLarge),
+    ("imageworsener", "CVE-2017-9207", CveKind::HeapOverreadLarge),
+    ("lame", "CVE-2015-9101", CveKind::HeapOverflowLarge),
+    ("zziplib", "CVE-2017-5976", CveKind::HeapOverflowLarge),
+    ("zziplib", "CVE-2017-5977", CveKind::HeapOverreadLarge),
+    ("libtiff", "CVE-2016-10270", CveKind::HeapOverreadLarge),
+    ("libtiff", "CVE-2016-10271", CveKind::HeapOverflowLarge),
+    ("libtiff", "CVE-2016-10095", CveKind::HeapUnderflow),
+    ("potrace", "CVE-2017-7263", CveKind::HeapOverflowLarge),
+    ("mp3gain", "CVE-2017-14407", CveKind::HeapUnderflow),
+    ("mp3gain", "CVE-2017-14408", CveKind::HeapOverflowLarge),
+    ("mp3gain", "CVE-2017-14409", CveKind::HeapOverflowRounded),
+];
+
+/// Builds every CVE scenario of Table 4.
+///
+/// # Example
+///
+/// ```
+/// let cves = giantsan_workloads::cve_scenarios();
+/// assert_eq!(cves.len(), 25);
+/// assert!(cves.iter().any(|c| c.cve == "CVE-2017-12858"));
+/// ```
+pub fn cve_scenarios() -> Vec<CveScenario> {
+    ROWS.iter()
+        .map(|&(project, cve, kind)| {
+            let (program, inputs) = match kind {
+                CveKind::HeapOverflowLarge => heap_overflow_large(),
+                CveKind::HeapOverflowRounded => heap_overflow_rounded(),
+                CveKind::HeapOverreadLarge => heap_overread_large(),
+                CveKind::HeapUnderflow => heap_underflow(),
+                CveKind::UseAfterFreeRealloc => uaf_realloc(),
+            };
+            CveScenario {
+                project,
+                cve,
+                kind,
+                program,
+                inputs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_analysis::{analyze, ToolProfile};
+    use giantsan_baselines::{Asan, Lfp};
+    use giantsan_core::GiantSan;
+    use giantsan_ir::{run, ExecConfig};
+    use giantsan_runtime::RuntimeConfig;
+
+    #[test]
+    fn giantsan_and_asan_detect_every_cve() {
+        for c in cve_scenarios() {
+            let plan = analyze(&c.program, &ToolProfile::giantsan()).plan;
+            let mut g = GiantSan::new(RuntimeConfig::small());
+            let r = run(&c.program, &c.inputs, &mut g, &plan, &ExecConfig::default());
+            assert!(r.detected(), "GiantSan missed {}", c.cve);
+
+            let plan = analyze(&c.program, &ToolProfile::asan()).plan;
+            let mut a = Asan::new(RuntimeConfig::small());
+            let r = run(&c.program, &c.inputs, &mut a, &plan, &ExecConfig::default());
+            assert!(r.detected(), "ASan missed {}", c.cve);
+        }
+    }
+
+    #[test]
+    fn lfp_misses_exactly_the_three_paper_rows() {
+        let mut missed = Vec::new();
+        for c in cve_scenarios() {
+            let plan = analyze(&c.program, &ToolProfile::lfp()).plan;
+            let mut l = Lfp::new(RuntimeConfig::small());
+            let r = run(&c.program, &c.inputs, &mut l, &plan, &ExecConfig::default());
+            if !r.detected() {
+                missed.push(c.cve);
+            }
+        }
+        assert_eq!(
+            missed,
+            vec!["CVE-2017-12858", "CVE-2017-9165", "CVE-2017-14409"],
+            "LFP misses must match Table 4"
+        );
+    }
+}

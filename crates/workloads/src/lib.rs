@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+//! Workload generators for every experiment in the GiantSan paper.
+//!
+//! | Paper artefact | Module | Entry point |
+//! |---|---|---|
+//! | Table 2 / Figure 10 — SPEC CPU2017 performance & check breakdown | [`spec`] | [`spec_suite`] |
+//! | Table 3 — Juliet Test Suite detection | [`juliet`] | [`juliet_suite`] |
+//! | Table 4 — Linux Flaw Project CVEs | [`flaws`] | [`cve_scenarios`] |
+//! | Table 5 — Magma redzone study | [`magma`] | [`magma_cases`] |
+//! | Figure 11 — traversal patterns | [`traversal`] | [`traversal_program`] |
+//!
+//! The real corpora (SPEC sources/inputs, Juliet 1.3, the CVE projects,
+//! Magma) cannot ship in this reproduction; each generator synthesises
+//! programs with the same *decision-relevant geometry* — access-pattern mix
+//! for the performance rows, error geometry for the detection rows — as
+//! documented per module and in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use giantsan_workloads::{spec_suite, juliet_suite_scaled};
+//!
+//! assert_eq!(spec_suite(1).len(), 24); // the 24 rows of Table 2
+//! let juliet = juliet_suite_scaled(100);
+//! assert!(juliet.cases.len() > 40);
+//! ```
+
+pub mod ablation;
+pub mod flaws;
+pub mod fuzz;
+pub mod juliet;
+pub mod magma;
+pub mod spec;
+pub mod traversal;
+
+pub use ablation::{quarantine_probe, underflow_bypass_probe};
+pub use flaws::{cve_scenarios, CveKind, CveScenario};
+pub use fuzz::{buggy_program, safe_program, FuzzProgram, InjectedBug};
+pub use juliet::{juliet_suite, juliet_suite_scaled, JulietCase, JulietSuite};
+pub use magma::{magma_cases, magma_templates, MagmaCase, PocClass};
+pub use spec::{spec_suite, spec_workload, Workload};
+pub use traversal::{figure11_sizes, traversal_program, Pattern};

@@ -1,0 +1,216 @@
+//! Magma-like redzone-bypass study (Table 5 of the paper).
+//!
+//! Magma's 58,969 fuzzing test cases distil, for redzone purposes, into one
+//! question per case: *how far past the object does the proof-of-concept
+//! access land?* Four geometries appear:
+//!
+//! * **near** — within 16 bytes of the end: caught by any redzone setting;
+//! * **mid** — beyond the 16-byte redzone but inside a 512-byte one: a
+//!   neighbouring object absorbs the access under `rz=16` (the classic
+//!   bypass), while `rz=512` and anchor-based checks report it;
+//! * **far** — beyond even a 512-byte redzone (the CVE-2018-14883-class PHP
+//!   POCs): only the anchor-based check catches it;
+//! * **non-memory** — POCs for non-address bugs no sanitizer reports.
+//!
+//! Counts per project reproduce Table 5's totals; the 463 = 2019 − 1556 and
+//! 57 = 2019 − 1962 PHP gaps come from the mid and far families.
+
+use giantsan_ir::{Expr, Program, ProgramBuilder};
+
+/// Geometry class of one Magma-like POC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PocClass {
+    /// Overflow distance < 16 bytes.
+    Near,
+    /// Overflow distance within [48, 400] bytes — bypasses a 16-byte
+    /// redzone into a neighbouring object.
+    Mid,
+    /// Overflow distance ≥ 1100 bytes — bypasses even a 512-byte redzone.
+    Far,
+    /// Not an address-safety bug.
+    NonMemory,
+}
+
+/// One Magma-like test case.
+#[derive(Debug, Clone)]
+pub struct MagmaCase {
+    /// Project name (Table 5 rows).
+    pub project: &'static str,
+    /// Geometry class.
+    pub class: PocClass,
+    /// Which template program to run (index into [`magma_templates`]).
+    pub template: usize,
+    /// Inputs.
+    pub inputs: Vec<i64>,
+}
+
+/// Per-project Table 5 row: `(project, loc, near, mid, far, total)`.
+pub const PROJECTS: &[(&str, &str, u32, u32, u32, u32)] = &[
+    ("php", "1.3M", 1556, 406, 57, 3072),
+    ("libpng", "86K", 1881, 0, 0, 1881),
+    ("libtiff", "91K", 9858, 0, 0, 9858),
+    ("libxml2", "284K", 30566, 0, 0, 30574),
+    ("openssl", "535K", 46, 0, 0, 1509),
+    ("sqlite3", "367K", 1528, 0, 0, 1528),
+    ("poppler", "43K", 10201, 0, 0, 10547),
+];
+
+/// Builds the two template programs: index 0 is the overflow POC, index 1
+/// the non-memory workload.
+pub fn magma_templates() -> Vec<Program> {
+    // 0: overflow POC. `in0` = object size, `in1` = absolute store offset
+    // from the object base. A large neighbour absorbs bypassing accesses.
+    let mut b = ProgramBuilder::new("magma-poc");
+    let size = b.input(0);
+    let p = b.alloc_heap(size);
+    let victim = b.alloc_heap(4096);
+    b.store(victim, 0i64, 8, 1i64); // keep the neighbour live and touched
+    b.store(p, Expr::input(1), 1, 0x41i64);
+    b.free(victim);
+    b.free(p);
+    let poc = b.build();
+
+    // 1: non-memory bug (e.g. an integer/logic error): valid accesses only.
+    let mut b = ProgramBuilder::new("magma-nonmem");
+    let n = b.input(0);
+    let p = b.alloc_heap(256);
+    b.for_loop(0i64, n, |b, i| {
+        b.store(p, (Expr::var(i) * 8) - (Expr::var(i) * 8), 8, Expr::var(i));
+    });
+    b.free(p);
+    let nonmem = b.build();
+
+    vec![poc, nonmem]
+}
+
+fn class_offset(size: i64, class: PocClass, salt: u32) -> i64 {
+    // Offsets are measured from the 8-aligned end of the object so the
+    // geometry is stable across sizes.
+    let end8 = (size + 7) / 8 * 8;
+    match class {
+        PocClass::Near => end8 + (salt as i64 % 8),
+        PocClass::Mid => end8 + 48 + (salt as i64 % 350),
+        PocClass::Far => end8 + 1100 + (salt as i64 % 1800),
+        PocClass::NonMemory => 0,
+    }
+}
+
+/// Generates every `div`-th case of the full 58,969-case corpus
+/// (`div = 1` reproduces Table 5 exactly; larger values keep the
+/// per-project proportions).
+///
+/// # Example
+///
+/// ```
+/// let cases = giantsan_workloads::magma_cases(1);
+/// assert_eq!(cases.len(), 58_969);
+/// let php: Vec<_> = cases.iter().filter(|c| c.project == "php").collect();
+/// assert_eq!(php.len(), 3072);
+/// ```
+pub fn magma_cases(div: u32) -> Vec<MagmaCase> {
+    let div = div.max(1);
+    let sizes = [40i64, 100, 200, 333, 600, 1000];
+    let mut out = Vec::new();
+    for &(project, _, near, mid, far, total) in PROJECTS {
+        let nonmem = total - near - mid - far;
+        let families = [
+            (PocClass::Near, near),
+            (PocClass::Mid, mid),
+            (PocClass::Far, far),
+            (PocClass::NonMemory, nonmem),
+        ];
+        for (class, count) in families {
+            for i in (0..count).step_by(div as usize) {
+                let case = match class {
+                    PocClass::NonMemory => MagmaCase {
+                        project,
+                        class,
+                        template: 1,
+                        inputs: vec![4 + (i as i64 % 12)],
+                    },
+                    _ => {
+                        let size = sizes[i as usize % sizes.len()];
+                        MagmaCase {
+                            project,
+                            class,
+                            template: 0,
+                            inputs: vec![size, class_offset(size, class, i)],
+                        }
+                    }
+                };
+                out.push(case);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_analysis::{analyze, ToolProfile};
+    use giantsan_baselines::Asan;
+    use giantsan_core::GiantSan;
+    use giantsan_ir::{run, ExecConfig};
+    use giantsan_runtime::RuntimeConfig;
+
+    fn detected(case: &MagmaCase, anchored: bool, rz: u64) -> bool {
+        let templates = magma_templates();
+        let prog = &templates[case.template];
+        let cfg = RuntimeConfig {
+            redzone: rz,
+            ..RuntimeConfig::small()
+        };
+        if anchored {
+            let plan = analyze(prog, &ToolProfile::giantsan()).plan;
+            let mut san = GiantSan::new(cfg);
+            run(prog, &case.inputs, &mut san, &plan, &ExecConfig::default()).detected()
+        } else {
+            let plan = analyze(prog, &ToolProfile::asan()).plan;
+            let mut san = Asan::new(cfg);
+            run(prog, &case.inputs, &mut san, &plan, &ExecConfig::default()).detected()
+        }
+    }
+
+    #[test]
+    fn geometry_drives_detection() {
+        let cases = magma_cases(500);
+        for case in cases.iter().filter(|c| c.project == "php") {
+            match case.class {
+                PocClass::Near => {
+                    assert!(detected(case, false, 16), "near must be caught at rz=16");
+                    assert!(detected(case, true, 16));
+                }
+                PocClass::Mid => {
+                    assert!(!detected(case, false, 16), "mid bypasses rz=16");
+                    assert!(detected(case, false, 512), "mid caught at rz=512");
+                    assert!(detected(case, true, 16), "anchor catches mid at rz=16");
+                }
+                PocClass::Far => {
+                    assert!(!detected(case, false, 16));
+                    assert!(!detected(case, false, 512), "far bypasses rz=512");
+                    assert!(detected(case, true, 16), "anchor catches far");
+                }
+                PocClass::NonMemory => {
+                    assert!(!detected(case, false, 16));
+                    assert!(!detected(case, true, 16));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_counts_match_table_5() {
+        let cases = magma_cases(1);
+        assert_eq!(cases.len(), 58_969);
+        for &(project, _, near, mid, far, total) in PROJECTS {
+            let n = cases.iter().filter(|c| c.project == project).count();
+            assert_eq!(n as u32, total, "{project}");
+            let spatial = cases
+                .iter()
+                .filter(|c| c.project == project && c.class != PocClass::NonMemory)
+                .count();
+            assert_eq!(spatial as u32, near + mid + far, "{project} spatial");
+        }
+    }
+}

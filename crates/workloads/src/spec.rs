@@ -1,0 +1,682 @@
+//! SPEC CPU2017-like synthetic workloads (the rows of Table 2).
+//!
+//! The paper's performance study runs the 24 C/C++ SPEC CPU2017 benchmarks.
+//! Those inputs and sources cannot ship here, so each benchmark is replaced
+//! by a kernel reproducing its *dominant memory-access pattern* — the factor
+//! sanitizer overhead actually depends on: how many accesses sit in bounded
+//! affine loops (promotable), how many are data-dependent (cacheable), how
+//! much is stack-allocated (LFP's weakness), how much flows through
+//! `memset`/`memcpy` (linear vs O(1) guardians), and how much allocation
+//! churn blocks hoisting. The kernels are small, deterministic, and scale
+//! with a single factor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use giantsan_ir::{Expr, Program, ProgramBuilder};
+
+/// A runnable workload: a program plus its inputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// SPEC-style row id, e.g. `"519.lbm_r"`.
+    pub id: String,
+    /// Kernel family name, e.g. `"stencil"`.
+    pub kernel: &'static str,
+    /// The mini-IR program.
+    pub program: Program,
+    /// Runtime inputs (sizes plus data tapes).
+    pub inputs: Vec<i64>,
+}
+
+/// Deterministic shuffled indexes in `0..n`, used as a data tape.
+fn shuffled(n: i64, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<i64> = (0..n).collect();
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// `perlbench`: interpreter dispatch — hash-table probes with data-dependent
+/// indexes inside an opaque loop, short string copies, field accesses.
+fn perl_interp(scale: u64) -> (Program, Vec<i64>) {
+    let ops = (400 * scale) as i64;
+    let tbl = 512i64;
+    let mut b = ProgramBuilder::new("perl-interp");
+    let n_ops = b.input(0);
+    let table = b.alloc_heap(tbl * 8);
+    let strings = b.alloc_heap(4096);
+    let scratch = b.alloc_heap(256);
+    // Fill the hash table (bounded, promotable for capable tools) with
+    // in-range probe targets from the shuffled tape.
+    b.for_loop(0i64, tbl, |b, i| {
+        b.store(table, Expr::var(i) * 8, 8, Expr::input_at(Expr::var(i) + 2));
+    });
+    // Opcode dispatch: opaque trip count, data-dependent probes. Every value
+    // stored into the table stays below `tbl`, keeping probe chains in
+    // bounds.
+    b.for_loop_opaque(0i64, n_ops, |b, i| {
+        let h = b.let_(Expr::input_at(Expr::var(i) + 2));
+        let slot = b.load(table, Expr::var(h) * 8, 8); // cached (data-dep)
+        // The bucket is manipulated through a derived pointer, like a perl
+        // SV*: the pointer changes per op, so these stay fast-checked.
+        let sv = b.ptr_add(table, Expr::var(slot) * 8);
+        let refcnt = b.load(sv, 0i64, 8);
+        b.store(sv, 0i64, 8, Expr::var(refcnt) - Expr::var(refcnt) + Expr::var(h));
+        // Short string op: constant-offset header then a small copy.
+        b.load_discard(strings, 0i64, 8);
+        b.load_discard(strings, 8i64, 8);
+        b.memcpy(scratch, 0i64, strings, 16i64, 24i64);
+    });
+    b.free(scratch);
+    b.free(strings);
+    b.free(table);
+    let mut inputs = vec![ops, tbl];
+    inputs.extend(shuffled(tbl, 0x9e1));
+    // Extend the tape so i+2 never runs off it.
+    while (inputs.len() as i64) < ops + 2 {
+        let k = inputs.len();
+        inputs.push(inputs[2 + (k % tbl as usize)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `gcc`: IR manipulation — node-pool allocation churn, constant-offset
+/// field writes, pointer-chasing reads.
+fn gcc_ir(scale: u64) -> (Program, Vec<i64>) {
+    let nodes = (300 * scale) as i64;
+    let mut b = ProgramBuilder::new("gcc-ir");
+    let n = b.input(0);
+    let pool = b.alloc_heap(nodes * 8);
+    b.for_loop(0i64, n, |b, i| {
+        // Allocation inside the loop: a hoisting barrier for every tool.
+        let node = b.alloc_heap(48);
+        // Field initialisation at constant offsets (must-alias mergeable).
+        b.store(node, 0i64, 8, Expr::var(i));
+        b.store(node, 8i64, 8, Expr::var(i) + 1);
+        b.store(node, 16i64, 8, 0i64);
+        b.store(node, 40i64, 4, 7i64);
+        // Chase a data-dependent edge through the pool, manipulating the
+        // successor through a derived use-def pointer.
+        let succ = b.let_(Expr::input_at(Expr::var(i) + 1));
+        let edge = b.load(pool, Expr::var(succ) * 8, 8);
+        let def = b.ptr_add(pool, Expr::var(edge) * 8);
+        let uses = b.load(def, 0i64, 8);
+        b.store(def, 0i64, 8, Expr::var(uses) - Expr::var(uses) + Expr::var(succ));
+        b.free(node);
+    });
+    b.free(pool);
+    let mut inputs = vec![nodes];
+    inputs.extend(shuffled(nodes, 0x6cc));
+    inputs.push(0);
+    (b.build(), inputs)
+}
+
+/// `mcf`: network simplex — long affine scans over the arc array plus
+/// data-dependent node follows.
+fn mcf_simplex(scale: u64) -> (Program, Vec<i64>) {
+    let arcs = (2000 * scale) as i64;
+    let mut b = ProgramBuilder::new("mcf-simplex");
+    let n = b.input(0);
+    let arc = b.alloc_heap(arcs * 8);
+    let node = b.alloc_heap(arcs * 8);
+    b.for_loop(0i64, n.clone(), |b, i| {
+        b.store(arc, Expr::var(i) * 8, 8, Expr::input_at(Expr::var(i) + 1));
+    });
+    // Price scan: promotable affine pass over the arcs, plus a follow of
+    // each arc's head through a derived node pointer (fast-checked: the
+    // pointer changes every iteration).
+    b.for_loop(0i64, n, |b, i| {
+        let cost = b.load(arc, Expr::var(i) * 8, 8);
+        // Potential lookup through the stable node array (cacheable), then
+        // an update through the derived head pointer (fast-checked).
+        b.load_discard(node, Expr::var(cost) * 8, 8);
+        let head = b.ptr_add(node, Expr::var(cost) * 8);
+        let pot = b.load(head, 0i64, 8);
+        b.store(head, 0i64, 8, Expr::var(pot) + 1);
+    });
+    b.free(node);
+    b.free(arc);
+    let mut inputs = vec![arcs];
+    inputs.extend(shuffled(arcs, 0x3cf));
+    inputs.push(0);
+    (b.build(), inputs)
+}
+
+/// `namd`: molecular dynamics — per-step stack-allocated temporaries and
+/// highly promotable numeric loops.
+fn namd_md(scale: u64) -> (Program, Vec<i64>) {
+    let steps = (6 * scale) as i64;
+    let atoms = 256i64;
+    let mut b = ProgramBuilder::new("namd-md");
+    let n_steps = b.input(0);
+    let pos = b.alloc_heap(atoms * 8);
+    let force = b.alloc_heap(atoms * 8);
+    b.for_loop(0i64, n_steps, |b, _| {
+        b.frame(|b| {
+            let tmp = b.alloc_stack(atoms * 8);
+            b.for_loop(0i64, atoms, |b, i| {
+                let p = b.load(pos, Expr::var(i) * 8, 8);
+                b.store(tmp, Expr::var(i) * 8, 8, Expr::var(p) * 3 + 1);
+            });
+            b.for_loop(0i64, atoms, |b, i| {
+                let t = b.load(tmp, Expr::var(i) * 8, 8);
+                let f = b.load(force, Expr::var(i) * 8, 8);
+                b.store(pos, Expr::var(i) * 8, 8, Expr::var(t) + Expr::var(f));
+            });
+        });
+    });
+    b.free(force);
+    b.free(pos);
+    (b.build(), vec![steps])
+}
+
+/// `parest`: finite elements — dense matrix sweeps and row copies.
+fn parest_fem(scale: u64) -> (Program, Vec<i64>) {
+    let dim = 48i64;
+    let sweeps = (3 * scale) as i64;
+    let mut b = ProgramBuilder::new("parest-fem");
+    let n_sweeps = b.input(0);
+    let m = b.alloc_heap(dim * dim * 8);
+    let rhs = b.alloc_heap(dim * 8);
+    b.for_loop(0i64, n_sweeps, |b, _| {
+        b.for_loop(0i64, dim, |b, r| {
+            b.for_loop(0i64, dim, |b, c| {
+                let v = b.load(m, (Expr::var(r) * dim + Expr::var(c)) * 8, 8);
+                b.store(rhs, Expr::var(r) * 8, 8, Expr::var(v) + 1);
+            });
+            // Row copy via the intrinsic: a big region per call.
+            b.memcpy(m, Expr::var(r) * (dim * 8), m, 0i64, dim * 8);
+        });
+    });
+    b.free(rhs);
+    b.free(m);
+    (b.build(), vec![sweeps])
+}
+
+/// `povray`: ray tracing — per-ray stack frames, struct fields, scene
+/// lookups.
+fn povray_trace(scale: u64) -> (Program, Vec<i64>) {
+    let rays = (250 * scale) as i64;
+    let objs = 128i64;
+    let mut b = ProgramBuilder::new("povray-trace");
+    let n = b.input(0);
+    let scene = b.alloc_heap(objs * 32);
+    b.for_loop(0i64, objs, |b, i| {
+        b.store(scene, Expr::var(i) * 32, 8, Expr::input_at(Expr::var(i) + 1));
+    });
+    b.for_loop_opaque(0i64, n, |b, i| {
+        b.frame(|b| {
+            let ray = b.alloc_stack(64);
+            b.store(ray, 0i64, 8, Expr::var(i));
+            b.store(ray, 8i64, 8, Expr::var(i) * 3);
+            b.store(ray, 16i64, 8, 1i64);
+            // The hit object is inspected through an object pointer that
+            // changes per ray: fast-checked field reads.
+            let oid = b.let_(Expr::input_at(Expr::var(i) + 1));
+            let obj = b.ptr_add(scene, Expr::var(oid) * 32);
+            let hit = b.load(obj, 0i64, 8);
+            b.load_discard(obj, 8i64, 8);
+            b.load_discard(obj, 16i64, 8);
+            b.store(ray, 24i64, 8, Expr::var(hit));
+            b.load_discard(ray, 24i64, 8);
+        });
+    });
+    b.free(scene);
+    let mut inputs = vec![rays];
+    inputs.extend(shuffled(objs, 0x90f));
+    while (inputs.len() as i64) < rays + 1 {
+        let k = inputs.len();
+        inputs.push(inputs[1 + (k % objs as usize)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `lbm`: lattice-Boltzmann — a stencil over a large grid, fully affine.
+fn lbm_stencil(scale: u64) -> (Program, Vec<i64>) {
+    let dim = 64i64;
+    let steps = (4 * scale) as i64;
+    let mut b = ProgramBuilder::new("lbm-stencil");
+    let n_steps = b.input(0);
+    let grid = b.alloc_heap(dim * dim * 8);
+    let next = b.alloc_heap(dim * dim * 8);
+    b.for_loop(0i64, n_steps, |b, _| {
+        b.for_loop(1i64, dim - 1, |b, y| {
+            b.for_loop(1i64, dim - 1, |b, x| {
+                let idx = Expr::var(y) * dim + Expr::var(x);
+                let c = b.load(grid, idx.clone() * 8, 8);
+                let w = b.load(grid, (idx.clone() - 1) * 8, 8);
+                let e = b.load(grid, (idx.clone() + 1) * 8, 8);
+                let s = b.load(grid, (idx.clone() - dim) * 8, 8);
+                let nn = b.load(grid, (idx.clone() + dim) * 8, 8);
+                b.store(
+                    next,
+                    idx * 8,
+                    8,
+                    Expr::var(c) + Expr::var(w) + Expr::var(e) + Expr::var(s) + Expr::var(nn),
+                );
+            });
+        });
+        b.memcpy(grid, 0i64, next, 0i64, dim * dim * 8);
+    });
+    b.free(next);
+    b.free(grid);
+    (b.build(), vec![steps])
+}
+
+/// `omnetpp`: discrete-event simulation — allocation-heavy event queue.
+fn omnetpp_events(scale: u64) -> (Program, Vec<i64>) {
+    let events = (350 * scale) as i64;
+    let mut b = ProgramBuilder::new("omnetpp-events");
+    let n = b.input(0);
+    let queue = b.alloc_heap(1024 * 8);
+    b.for_loop(0i64, n, |b, i| {
+        let ev = b.alloc_heap(64); // churn: barrier
+        b.store(ev, 0i64, 8, Expr::var(i));
+        b.store(ev, 8i64, 8, Expr::var(i) * 17);
+        b.store(ev, 56i64, 8, 0i64);
+        // The queue bucket is touched through a derived pointer (like a
+        // heap node in omnetpp's event queue).
+        let slot = b.let_(Expr::input_at(Expr::var(i) + 1));
+        let bucket = b.ptr_add(queue, Expr::var(slot) * 8);
+        let prev = b.load(bucket, 0i64, 8);
+        b.store(bucket, 0i64, 8, Expr::var(prev) + 1);
+        b.free(ev);
+    });
+    b.free(queue);
+    let mut inputs = vec![events];
+    inputs.extend(shuffled(1024, 0x0e7));
+    while (inputs.len() as i64) < events + 1 {
+        let k = inputs.len();
+        inputs.push(inputs[1 + (k % 1024)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `xalancbmk`: XML transformation — pointer-chasing DOM walks.
+fn xalanc_dom(scale: u64) -> (Program, Vec<i64>) {
+    let nodes = 600i64;
+    let walks = (220 * scale) as i64;
+    let mut b = ProgramBuilder::new("xalanc-dom");
+    let n_walks = b.input(0);
+    let dom = b.alloc_heap(nodes * 16);
+    b.for_loop(0i64, nodes, |b, i| {
+        b.store(dom, Expr::var(i) * 16, 8, Expr::input_at(Expr::var(i) + 1));
+        b.store(dom, Expr::var(i) * 16 + 8, 8, Expr::var(i));
+    });
+    b.for_loop_opaque(0i64, n_walks, |b, i| {
+        // Three-hop pointer chase from a data-chosen root. Each hop forms a
+        // *node pointer* (like `node->firstChild`), so the accessed pointer
+        // changes every iteration: neither promotable nor cacheable — the
+        // fast check carries these (FastOnly in Figure 10's terms).
+        let root = b.let_(Expr::input_at(Expr::var(i) + 1));
+        // First hop through the stable arena pointer (cacheable)...
+        let c1 = b.load(dom, Expr::var(root) * 16, 8);
+        b.load_discard(dom, Expr::var(root) * 16 + 8, 8);
+        // ...then node-pointer hops (fast-checked).
+        let n1 = b.ptr_add(dom, Expr::var(c1) * 16);
+        let c2 = b.load(n1, 0i64, 8);
+        let n2 = b.ptr_add(dom, Expr::var(c2) * 16);
+        let c3 = b.load(n2, 0i64, 8);
+        b.store(n2, 8i64, 8, Expr::var(c3) + Expr::var(i));
+    });
+    b.free(dom);
+    let mut inputs = vec![walks];
+    inputs.extend(shuffled(nodes, 0xd0a));
+    while (inputs.len() as i64) < walks + 1 {
+        let k = inputs.len();
+        inputs.push(inputs[1 + (k % nodes as usize)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `deepsjeng`: game-tree search — per-ply stack frames with board copies.
+fn deepsjeng_search(scale: u64) -> (Program, Vec<i64>) {
+    let plies = (60 * scale) as i64;
+    let board = 128i64;
+    let mut b = ProgramBuilder::new("deepsjeng-search");
+    let n = b.input(0);
+    let root = b.alloc_heap(board * 8);
+    b.for_loop(0i64, n, |b, i| {
+        b.frame(|b| {
+            let copy = b.alloc_stack(board * 8);
+            b.memcpy(copy, 0i64, root, 0i64, board * 8);
+            // Evaluate: affine scan over the copy.
+            b.for_loop(0i64, board, |b, s| {
+                b.load_discard(copy, Expr::var(s) * 8, 8);
+            });
+            // Make a data-dependent move on the root through a square
+            // pointer (fast-checked each ply).
+            let mv = b.let_(Expr::input_at(Expr::var(i) + 1));
+            let sq = b.ptr_add(root, Expr::var(mv) * 8);
+            let old = b.load(sq, 0i64, 8);
+            b.store(sq, 0i64, 8, Expr::var(old) + 1);
+        });
+    });
+    b.free(root);
+    let mut inputs = vec![plies];
+    inputs.extend(shuffled(board, 0xd33));
+    while (inputs.len() as i64) < plies + 1 {
+        let k = inputs.len();
+        inputs.push(inputs[1 + (k % board as usize)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `imagick`: image filtering — big-buffer intrinsics plus affine passes.
+fn imagick_filter(scale: u64) -> (Program, Vec<i64>) {
+    let w = 128i64;
+    let h = 64i64;
+    let passes = (3 * scale) as i64;
+    let mut b = ProgramBuilder::new("imagick-filter");
+    let n_passes = b.input(0);
+    let img = b.alloc_heap(w * h);
+    let out = b.alloc_heap(w * h);
+    b.memset(img, 0i64, w * h, 0x80i64);
+    b.for_loop(0i64, n_passes, |b, _| {
+        b.for_loop(0i64, h, |b, y| {
+            b.for_loop(0i64, w - 1, |b, x| {
+                let p = b.load(img, Expr::var(y) * w + Expr::var(x), 1);
+                let q = b.load(img, Expr::var(y) * w + Expr::var(x) + 1, 1);
+                b.store(
+                    out,
+                    Expr::var(y) * w + Expr::var(x),
+                    1,
+                    Expr::var(p) + Expr::var(q),
+                );
+            });
+        });
+        b.memcpy(img, 0i64, out, 0i64, w * h);
+    });
+    b.free(out);
+    b.free(img);
+    (b.build(), vec![passes])
+}
+
+/// `leela`: MCTS — node churn plus data-dependent tree descent.
+fn leela_mcts(scale: u64) -> (Program, Vec<i64>) {
+    let sims = (220 * scale) as i64;
+    let tree = 512i64;
+    let mut b = ProgramBuilder::new("leela-mcts");
+    let n = b.input(0);
+    let nodes = b.alloc_heap(tree * 16);
+    b.for_loop(0i64, n, |b, i| {
+        let path = b.alloc_heap(64); // churn
+        // UCT descent: root hop through the stable arena (cacheable), then
+        // per-node pointers (fast-checked).
+        let n0 = b.let_(Expr::input_at(Expr::var(i) + 1));
+        let n1 = b.load(nodes, Expr::var(n0) * 16, 8);
+        let p1 = b.ptr_add(nodes, Expr::var(n1) * 16);
+        let n2 = b.load(p1, 0i64, 8);
+        let p2 = b.ptr_add(nodes, Expr::var(n2) * 16);
+        let visits = b.load(p2, 8i64, 8);
+        b.store(p2, 8i64, 8, Expr::var(visits) + 1);
+        b.store(path, 0i64, 8, Expr::var(n2));
+        b.free(path);
+    });
+    b.free(nodes);
+    let mut inputs = vec![sims];
+    inputs.extend(shuffled(tree, 0x1ee));
+    while (inputs.len() as i64) < sims + 1 {
+        let k = inputs.len();
+        inputs.push(inputs[1 + (k % tree as usize)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `xz`: LZMA — window match copies with data-dependent offsets.
+fn xz_lzma(scale: u64) -> (Program, Vec<i64>) {
+    let window = 4096i64;
+    let matches = (250 * scale) as i64;
+    let mut b = ProgramBuilder::new("xz-lzma");
+    let n = b.input(0);
+    let win = b.alloc_heap(window);
+    b.memset(win, 0i64, window, 0x11i64);
+    b.for_loop_opaque(0i64, n, |b, i| {
+        let dist = b.let_(Expr::input_at(Expr::var(i) + 1));
+        // Match probe through the candidate pointer (fast-checked), like
+        // LZMA's `pb = cur - dist` comparisons.
+        // Hash probe via the stable window base (cacheable)...
+        b.load_discard(win, Expr::var(dist), 1);
+        b.load_discard(win, Expr::var(dist) + 1, 1);
+        // ...then comparisons through the candidate pointer (fast-checked).
+        let cand = b.ptr_add(win, Expr::var(dist));
+        b.load_discard(cand, 2i64, 1);
+        b.load_discard(cand, 3i64, 1);
+        // Copy the match forward.
+        b.memcpy(win, Expr::var(dist) + 64, win, Expr::var(dist), 32i64);
+    });
+    b.free(win);
+    let mut inputs = vec![matches];
+    let idx = shuffled(window - 128, 0x72a);
+    inputs.extend(idx.iter().take(4000).copied());
+    while (inputs.len() as i64) < matches + 1 {
+        let k = inputs.len();
+        inputs.push(inputs[1 + (k % 1000)]);
+    }
+    (b.build(), inputs)
+}
+
+/// `nab`: molecular modelling — plain affine numeric loops.
+fn nab_min(scale: u64) -> (Program, Vec<i64>) {
+    let atoms = 1200i64;
+    let iters = (6 * scale) as i64;
+    let mut b = ProgramBuilder::new("nab-min");
+    let n_iters = b.input(0);
+    let x = b.alloc_heap(atoms * 8);
+    let g = b.alloc_heap(atoms * 8);
+    b.for_loop(0i64, n_iters, |b, _| {
+        b.for_loop(0i64, atoms, |b, i| {
+            let xi = b.load(x, Expr::var(i) * 8, 8);
+            let gi = b.load(g, Expr::var(i) * 8, 8);
+            b.store(x, Expr::var(i) * 8, 8, Expr::var(xi) - Expr::var(gi));
+        });
+    });
+    b.free(g);
+    b.free(x);
+    (b.build(), vec![iters])
+}
+
+type KernelFn = fn(u64) -> (Program, Vec<i64>);
+
+/// The Table 2 rows: `(row id, kernel name, generator, scale multiplier)`.
+/// Speed (`_s`) rows run larger scales than rate (`_r`) rows, as in SPEC.
+const ROWS: &[(&str, &str, KernelFn, u64)] = &[
+    ("500.perlbench_r", "perl-interp", perl_interp, 1),
+    ("502.gcc_r", "gcc-ir", gcc_ir, 1),
+    ("505.mcf_r", "mcf-simplex", mcf_simplex, 1),
+    ("508.namd_r", "namd-md", namd_md, 1),
+    ("510.parest_r", "parest-fem", parest_fem, 1),
+    ("511.povray_r", "povray-trace", povray_trace, 1),
+    ("519.lbm_r", "lbm-stencil", lbm_stencil, 1),
+    ("520.omnetpp_r", "omnetpp-events", omnetpp_events, 1),
+    ("523.xalancbmk_r", "xalanc-dom", xalanc_dom, 1),
+    ("531.deepsjeng_r", "deepsjeng-search", deepsjeng_search, 1),
+    ("538.imagick_r", "imagick-filter", imagick_filter, 1),
+    ("541.leela_r", "leela-mcts", leela_mcts, 1),
+    ("557.xz_r", "xz-lzma", xz_lzma, 1),
+    ("600.perlbench_s", "perl-interp", perl_interp, 2),
+    ("602.gcc_s", "gcc-ir", gcc_ir, 2),
+    ("605.mcf_s", "mcf-simplex", mcf_simplex, 2),
+    ("619.lbm_s", "lbm-stencil", lbm_stencil, 2),
+    ("620.omnetpp_s", "omnetpp-events", omnetpp_events, 2),
+    ("623.xalancbmk_s", "xalanc-dom", xalanc_dom, 2),
+    ("631.deepsjeng_s", "deepsjeng-search", deepsjeng_search, 2),
+    ("638.imagick_s", "imagick-filter", imagick_filter, 2),
+    ("641.leela_s", "leela-mcts", leela_mcts, 2),
+    ("644.nab_s", "nab-min", nab_min, 2),
+    ("657.xz_s", "xz-lzma", xz_lzma, 2),
+];
+
+/// Builds the full 24-row SPEC-like suite at the given scale factor
+/// (`scale = 1` is a quick run; the harness's `--full` uses larger values).
+///
+/// # Example
+///
+/// ```
+/// let suite = giantsan_workloads::spec_suite(1);
+/// assert_eq!(suite.len(), 24);
+/// assert!(suite.iter().any(|w| w.id == "519.lbm_r"));
+/// ```
+pub fn spec_suite(scale: u64) -> Vec<Workload> {
+    ROWS.iter()
+        .map(|(id, kernel, gen, mult)| {
+            let (program, inputs) = gen(scale * mult);
+            Workload {
+                id: (*id).to_string(),
+                kernel,
+                program,
+                inputs,
+            }
+        })
+        .collect()
+}
+
+/// Builds one workload by row id, at the given scale.
+pub fn spec_workload(id: &str, scale: u64) -> Option<Workload> {
+    ROWS.iter()
+        .find(|(rid, ..)| *rid == id)
+        .map(|(id, kernel, gen, mult)| {
+            let (program, inputs) = gen(scale * mult);
+            Workload {
+                id: (*id).to_string(),
+                kernel,
+                program,
+                inputs,
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_ir::{run, CheckPlan, ExecConfig, Termination};
+    use giantsan_runtime::{NullSanitizer, RuntimeConfig};
+
+    #[test]
+    fn all_workloads_run_clean_natively() {
+        for w in spec_suite(1) {
+            let mut native = NullSanitizer::new(RuntimeConfig::default());
+            let r = run(
+                &w.program,
+                &w.inputs,
+                &mut native,
+                &CheckPlan::none(&w.program),
+                &ExecConfig::default(),
+            );
+            assert_eq!(
+                r.termination,
+                Termination::Finished,
+                "{} did not finish: {:?}",
+                w.id,
+                r.termination
+            );
+            assert!(r.native_work > 100, "{} too trivial", w.id);
+        }
+    }
+
+    #[test]
+    fn workloads_are_memory_safe_under_giantsan() {
+        // SPEC-like kernels must be clean programs: zero reports.
+        for w in spec_suite(1) {
+            let mut san = giantsan_core::GiantSan::new(RuntimeConfig::default());
+            let analysis =
+                giantsan_analysis::analyze(&w.program, &giantsan_analysis::ToolProfile::giantsan());
+            let r = run(
+                &w.program,
+                &w.inputs,
+                &mut san,
+                &analysis.plan,
+                &ExecConfig::default(),
+            );
+            assert_eq!(r.termination, Termination::Finished, "{}", w.id);
+            assert!(
+                r.reports.is_empty(),
+                "{} raised false reports: {:?}",
+                w.id,
+                &r.reports[..r.reports.len().min(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_memory_safe_under_asan() {
+        for w in spec_suite(1) {
+            let mut san = giantsan_baselines::Asan::new(RuntimeConfig::default());
+            let r = run(
+                &w.program,
+                &w.inputs,
+                &mut san,
+                &CheckPlan::all_direct(&w.program),
+                &ExecConfig::default(),
+            );
+            assert_eq!(r.termination, Termination::Finished, "{}", w.id);
+            assert!(r.reports.is_empty(), "{} raised: {:?}", w.id, r.reports.first());
+        }
+    }
+
+    #[test]
+    fn checksums_match_between_native_and_sanitized() {
+        for w in spec_suite(1).into_iter().take(6) {
+            let mut native = NullSanitizer::new(RuntimeConfig::default());
+            let rn = run(
+                &w.program,
+                &w.inputs,
+                &mut native,
+                &CheckPlan::none(&w.program),
+                &ExecConfig::default(),
+            );
+            let mut san = giantsan_core::GiantSan::new(RuntimeConfig::default());
+            let analysis =
+                giantsan_analysis::analyze(&w.program, &giantsan_analysis::ToolProfile::giantsan());
+            let rs = run(
+                &w.program,
+                &w.inputs,
+                &mut san,
+                &analysis.plan,
+                &ExecConfig::default(),
+            );
+            assert_eq!(rn.checksum, rs.checksum, "{} diverged", w.id);
+        }
+    }
+
+    #[test]
+    fn scale_increases_work() {
+        let w1 = spec_workload("505.mcf_r", 1).unwrap();
+        let w2 = spec_workload("505.mcf_r", 3).unwrap();
+        let mut n1 = NullSanitizer::new(RuntimeConfig::default());
+        let mut n2 = NullSanitizer::new(RuntimeConfig::default());
+        let r1 = run(
+            &w1.program,
+            &w1.inputs,
+            &mut n1,
+            &CheckPlan::none(&w1.program),
+            &ExecConfig::default(),
+        );
+        let r2 = run(
+            &w2.program,
+            &w2.inputs,
+            &mut n2,
+            &CheckPlan::none(&w2.program),
+            &ExecConfig::default(),
+        );
+        assert!(r2.native_work > 2 * r1.native_work);
+    }
+
+    #[test]
+    fn unknown_row_is_none() {
+        assert!(spec_workload("999.nothing", 1).is_none());
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = spec_suite(1);
+        let b = spec_suite(1);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.inputs, y.inputs, "{}", x.id);
+            assert_eq!(x.program, y.program, "{}", x.id);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Buffer traversal patterns (Figure 11 of the paper).
+//!
+//! The paper's §5.4 limitation study measures three traversal orders over a
+//! buffer, with unbounded (statically opaque) loops so that history caching
+//! — not check promotion — is the operative optimisation:
+//!
+//! * **forward** — ascending offsets from the base pointer: the quasi-bound
+//!   converges in `⌈log2(n/8)⌉` updates, then every access is a cache hit;
+//! * **random** — data-driven offsets: same convergence, which is where
+//!   GiantSan's 1.48× advantage over ASan comes from;
+//! * **reverse** — descending accesses anchored at the buffer *end* (the
+//!   `while (p > start) *--p` idiom): every offset is negative, the paper
+//!   keeps no quasi-lower-bound, so each access pays a dedicated underflow
+//!   region check — the case where GiantSan is 1.39× *slower* than ASan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use giantsan_ir::{Expr, Program, ProgramBuilder};
+
+/// Traversal order over the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Lowest to highest address.
+    Forward,
+    /// Uniformly shuffled order.
+    Random,
+    /// Highest to lowest address, anchored at the buffer end.
+    Reverse,
+}
+
+impl Pattern {
+    /// All three patterns, in the figure's order.
+    pub const ALL: [Pattern; 3] = [Pattern::Forward, Pattern::Random, Pattern::Reverse];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Forward => "forward",
+            Pattern::Random => "random",
+            Pattern::Reverse => "reverse",
+        }
+    }
+}
+
+/// Builds a traversal program over an `n`-byte buffer (8-byte reads, one
+/// per segment), repeated `rounds` times. Returns the program and inputs.
+///
+/// # Panics
+///
+/// Panics if `n` is not a positive multiple of 8.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_workloads::{traversal_program, Pattern};
+/// let (prog, inputs) = traversal_program(Pattern::Random, 4096, 2);
+/// assert_eq!(inputs[0], 4096 / 8);
+/// ```
+pub fn traversal_program(pattern: Pattern, n: u64, rounds: u64) -> (Program, Vec<i64>) {
+    assert!(n > 0 && n % 8 == 0, "buffer size must be a multiple of 8");
+    let words = (n / 8) as i64;
+    let mut b = ProgramBuilder::new(match pattern {
+        Pattern::Forward => "traverse-forward",
+        Pattern::Random => "traverse-random",
+        Pattern::Reverse => "traverse-reverse",
+    });
+    let w = b.input(0);
+    let buf = b.alloc_heap(Expr::input(0) * 8);
+    let mut inputs = vec![words, rounds as i64];
+    b.for_loop(0i64, Expr::input(1), |b, _| match pattern {
+        Pattern::Forward => {
+            b.for_loop_opaque(0i64, w.clone(), |b, i| {
+                b.load_discard(buf, Expr::var(i) * 8, 8);
+            });
+        }
+        Pattern::Random => {
+            b.for_loop_opaque(0i64, w.clone(), |b, i| {
+                let j = b.let_(Expr::input_at(Expr::var(i) + 2));
+                b.load_discard(buf, Expr::var(j) * 8, 8);
+            });
+        }
+        Pattern::Reverse => {
+            // Anchor at the buffer end: `end[-(i+1)*8]`, the paper's
+            // worst-case idiom.
+            let end = b.ptr_add(buf, Expr::input(0) * 8);
+            b.for_loop_opaque(0i64, w.clone(), |b, i| {
+                b.load_discard(end, (Expr::var(i) + 1) * -8, 8);
+            });
+        }
+    });
+    b.free(buf);
+    if pattern == Pattern::Random {
+        let mut rng = StdRng::seed_from_u64(n ^ 0xfee1);
+        let mut idx: Vec<i64> = (0..words).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        inputs.extend(idx);
+    }
+    (b.build(), inputs)
+}
+
+/// The buffer sizes of Figure 11's x-axis (1 KB – 16 KB).
+pub fn figure11_sizes() -> Vec<u64> {
+    vec![1024, 2048, 4096, 8192, 12288, 16384]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_analysis::{analyze, ToolProfile};
+    use giantsan_baselines::Asan;
+    use giantsan_core::GiantSan;
+    use giantsan_ir::{run, CheckPlan, ExecConfig, Termination};
+    use giantsan_runtime::{RuntimeConfig, Sanitizer};
+
+    #[test]
+    fn all_patterns_clean_under_all_tools() {
+        for pattern in Pattern::ALL {
+            let (prog, inputs) = traversal_program(pattern, 2048, 2);
+            let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
+            let mut g = GiantSan::new(RuntimeConfig::small());
+            let r = run(&prog, &inputs, &mut g, &plan, &ExecConfig::default());
+            assert_eq!(r.termination, Termination::Finished, "{pattern:?}");
+            assert!(r.reports.is_empty(), "{pattern:?}: {:?}", r.reports.first());
+
+            let mut a = Asan::new(RuntimeConfig::small());
+            let r = run(
+                &prog,
+                &inputs,
+                &mut a,
+                &CheckPlan::all_direct(&prog),
+                &ExecConfig::default(),
+            );
+            assert!(r.reports.is_empty(), "{pattern:?} asan");
+        }
+    }
+
+    #[test]
+    fn forward_and_random_mostly_hit_the_cache() {
+        for pattern in [Pattern::Forward, Pattern::Random] {
+            let (prog, inputs) = traversal_program(pattern, 4096, 1);
+            let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
+            let mut g = GiantSan::new(RuntimeConfig::small());
+            run(&prog, &inputs, &mut g, &plan, &ExecConfig::default());
+            let c = g.counters();
+            let accesses = 4096 / 8;
+            assert!(
+                c.cache_hits >= accesses - 16,
+                "{pattern:?}: only {} hits of {accesses}",
+                c.cache_hits
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_never_hits_the_cache() {
+        let (prog, inputs) = traversal_program(Pattern::Reverse, 4096, 1);
+        let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
+        let mut g = GiantSan::new(RuntimeConfig::small());
+        run(&prog, &inputs, &mut g, &plan, &ExecConfig::default());
+        let c = g.counters();
+        assert_eq!(c.cache_hits, 0, "no quasi-lower-bound exists (§5.4)");
+        assert!(c.underflow_checks >= 4096 / 8);
+    }
+
+    #[test]
+    fn giantsan_loads_less_shadow_than_asan_on_random() {
+        let (prog, inputs) = traversal_program(Pattern::Random, 8192, 1);
+        let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
+        let mut g = GiantSan::new(RuntimeConfig::small());
+        run(&prog, &inputs, &mut g, &plan, &ExecConfig::default());
+        let mut a = Asan::new(RuntimeConfig::small());
+        run(
+            &prog,
+            &inputs,
+            &mut a,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert!(
+            g.counters().shadow_loads * 10 < a.counters().shadow_loads,
+            "GiantSan {} vs ASan {}",
+            g.counters().shadow_loads,
+            a.counters().shadow_loads
+        );
+    }
+
+    #[test]
+    fn reverse_costs_more_shadow_loads_than_asan() {
+        let (prog, inputs) = traversal_program(Pattern::Reverse, 4096, 1);
+        let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
+        let mut g = GiantSan::new(RuntimeConfig::small());
+        run(&prog, &inputs, &mut g, &plan, &ExecConfig::default());
+        let mut a = Asan::new(RuntimeConfig::small());
+        run(
+            &prog,
+            &inputs,
+            &mut a,
+            &CheckPlan::all_direct(&prog),
+            &ExecConfig::default(),
+        );
+        assert!(
+            g.counters().shadow_loads > a.counters().shadow_loads,
+            "the reverse pattern must be GiantSan's weak spot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn unaligned_size_rejected() {
+        let _ = traversal_program(Pattern::Forward, 100, 1);
+    }
+}
