@@ -312,6 +312,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)]
     fn folding() {
         assert_eq!(const_eval(&(Expr::Const(3) * 4 + 2)), Some(14));
         assert_eq!(fold(Expr::var(VarId(0)) * 1), Expr::var(VarId(0)));

@@ -260,6 +260,7 @@ impl Cx<'_> {
 
     /// Walks a statement block, performing must-alias merging and
     /// static-safety elision inline.
+    #[allow(clippy::only_used_in_recursion)]
     fn walk_block(&mut self, stmts: &[Stmt], barriers: &HashMap<LoopId, bool>) {
         // Constant-offset access groups per pointer within this block.
         let mut groups: HashMap<PtrId, Vec<GroupEntry>> = HashMap::new();

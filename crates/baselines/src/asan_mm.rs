@@ -91,6 +91,7 @@ impl Sanitizer for AsanMinusMinus {
         self.inner.pop_frame()
     }
 
+    #[inline]
     fn check_access(&mut self, addr: Addr, width: u32, kind: AccessKind) -> CheckResult {
         self.inner.check_access(addr, width, kind)
     }
@@ -106,7 +107,8 @@ impl Sanitizer for AsanMinusMinus {
         access_hi: Addr,
         kind: AccessKind,
     ) -> CheckResult {
-        self.inner.check_anchored(anchor, access_lo, access_hi, kind)
+        self.inner
+            .check_anchored(anchor, access_lo, access_hi, kind)
     }
 
     fn cached_check(
@@ -151,7 +153,9 @@ mod tests {
         let a = mm.alloc(32, Region::Heap).unwrap();
         mm.free(a.base).unwrap();
         assert_eq!(
-            mm.check_access(a.base, 8, AccessKind::Read).unwrap_err().kind,
+            mm.check_access(a.base, 8, AccessKind::Read)
+                .unwrap_err()
+                .kind,
             ErrorKind::UseAfterFree
         );
     }

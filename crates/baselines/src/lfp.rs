@@ -136,13 +136,7 @@ impl Lfp {
         SlotLookup::Wild
     }
 
-    fn bounds_check(
-        &mut self,
-        anchor: Addr,
-        lo: Addr,
-        hi: Addr,
-        kind: AccessKind,
-    ) -> CheckResult {
+    fn bounds_check(&mut self, anchor: Addr, lo: Addr, hi: Addr, kind: AccessKind) -> CheckResult {
         self.counters.arith_checks += 1;
         match self.slot_bounds(anchor) {
             SlotLookup::Bounds { lo: slo, hi: shi } => {
@@ -217,7 +211,8 @@ impl Sanitizer for Lfp {
                 // instructions; slots themselves are unprotected.
                 self.counters.stack_allocs += 1;
                 self.counters.stack_sim_ops += 4;
-                self.world.alloc_reserved(size, align_up(size.max(1), 8), region)
+                self.world
+                    .alloc_reserved(size, align_up(size.max(1), 8), region)
             }
         }
     }
@@ -274,6 +269,7 @@ impl Sanitizer for Lfp {
         let _ = self.world.pop_frame();
     }
 
+    #[inline]
     fn check_access(&mut self, addr: Addr, width: u32, kind: AccessKind) -> CheckResult {
         self.bounds_check(addr, addr, addr.offset(width as i64), kind)
     }
@@ -400,10 +396,7 @@ mod tests {
     fn invalid_and_double_free_detected() {
         let mut s = san();
         let a = s.alloc(64, Region::Heap).unwrap();
-        assert_eq!(
-            s.free(a.base + 8).unwrap_err().kind,
-            ErrorKind::InvalidFree
-        );
+        assert_eq!(s.free(a.base + 8).unwrap_err().kind, ErrorKind::InvalidFree);
         s.free(a.base).unwrap();
         assert_eq!(s.free(a.base).unwrap_err().kind, ErrorKind::DoubleFree);
     }

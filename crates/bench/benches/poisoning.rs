@@ -20,11 +20,9 @@ fn bench_poisoning(c: &mut Criterion) {
     let mut group = c.benchmark_group("poisoning");
     for size in [64u64, 1024, 16384, 262144, 1 << 20] {
         group.throughput(Throughput::Bytes(size));
-        group.bench_with_input(
-            BenchmarkId::new("folding_runs", size),
-            &size,
-            |b, &size| b.iter(|| poison_object(&mut shadow, base, size)),
-        );
+        group.bench_with_input(BenchmarkId::new("folding_runs", size), &size, |b, &size| {
+            b.iter(|| poison_object(&mut shadow, base, size))
+        });
         group.bench_with_input(
             BenchmarkId::new("folding_reference", size),
             &size,

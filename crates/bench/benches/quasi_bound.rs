@@ -78,7 +78,8 @@ fn bench_reverse_loop(c: &mut Criterion) {
     group.bench_function("ASan_reverse", |b| {
         b.iter(|| {
             for k in 1..=(n / 8) {
-                asan.check_access(aend - 8 * k, 8, AccessKind::Read).unwrap();
+                asan.check_access(aend - 8 * k, 8, AccessKind::Read)
+                    .unwrap();
             }
         })
     });

@@ -8,32 +8,25 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use giantsan_baselines::Asan;
-use giantsan_core::GiantSan;
-use giantsan_runtime::{AccessKind, Region, RuntimeConfig, Sanitizer};
+use giantsan_bench::{prepped_asan, prepped_giantsan};
+use giantsan_runtime::{AccessKind, Sanitizer};
 
 fn bench_region_checks(c: &mut Criterion) {
     let sizes: Vec<u64> = vec![64, 256, 1024, 4096, 16384, 65536];
     let max = *sizes.last().unwrap();
 
-    let mut gs = GiantSan::new(RuntimeConfig::default());
-    let gbuf = gs.alloc(max, Region::Heap).unwrap();
-    let mut asan = Asan::new(RuntimeConfig::default());
-    let abuf = asan.alloc(max, Region::Heap).unwrap();
+    let (mut gs, gbuf) = prepped_giantsan(max);
+    let (mut asan, abuf) = prepped_asan(max);
 
     let mut group = c.benchmark_group("region_check");
     for &size in &sizes {
         group.throughput(Throughput::Bytes(size));
-        group.bench_with_input(
-            BenchmarkId::new("GiantSan", size),
-            &size,
-            |b, &size| {
-                b.iter(|| {
-                    gs.check_region(gbuf.base, gbuf.base + size, AccessKind::Read)
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("GiantSan", size), &size, |b, &size| {
+            b.iter(|| {
+                gs.check_region(gbuf.base, gbuf.base + size, AccessKind::Read)
+                    .unwrap()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("ASan", size), &size, |b, &size| {
             b.iter(|| {
                 asan.check_region(abuf.base, abuf.base + size, AccessKind::Read)
@@ -47,10 +40,8 @@ fn bench_region_checks(c: &mut Criterion) {
 fn bench_small_access(c: &mut Criterion) {
     // Instruction-level checks (w ≤ 8): both tools are O(1) here; the bench
     // verifies GiantSan's encoding does not slow down the common case.
-    let mut gs = GiantSan::new(RuntimeConfig::default());
-    let gbuf = gs.alloc(4096, Region::Heap).unwrap();
-    let mut asan = Asan::new(RuntimeConfig::default());
-    let abuf = asan.alloc(4096, Region::Heap).unwrap();
+    let (mut gs, gbuf) = prepped_giantsan(4096);
+    let (mut asan, abuf) = prepped_asan(4096);
 
     let mut group = c.benchmark_group("small_access");
     group.bench_function("GiantSan", |b| {

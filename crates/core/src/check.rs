@@ -216,10 +216,76 @@ pub fn check_small(
     }
 }
 
-/// Reference oracle: walks every byte of `[l, r)` and reports the first
-/// non-addressable one. Linear time; used by tests to validate the O(1)
-/// checkers and by the ASan-style guardian comparison.
+/// Linear walk over `[l, r)` reporting the first non-addressable byte.
+///
+/// This is the blame scan the sanitizer runs after the O(1) check fails (to
+/// pin the exact offending byte) and the oracle the property tests compare
+/// the O(1) checkers against. It is word-wide: one leading-segment probe,
+/// then a `u64`-chunked [`ShadowMemory::first_ge`] sweep for the first
+/// segment that is not fully exposed — eight segments per step instead of a
+/// shadow load per segment. Byte-identical to
+/// [`check_region_bytewise_reference`] (enforced by differential tests).
 pub fn check_region_bytewise(shadow: &ShadowMemory, l: Addr, r: Addr) -> Result<(), BadSpot> {
+    if l >= r {
+        return Ok(());
+    }
+    if shadow.try_segment_of(l).is_none() && l < shadow.segment_base(0) {
+        // Below the shadowed space: segment indexes would underflow, and the
+        // region starts unallocated anyway. The reference walk handles it.
+        return check_region_bytewise_reference(shadow, l, r);
+    }
+    // Leading segment: its addressable bytes form a prefix, so `[l, r)` is
+    // covered up to `min(r, segment base + exposed)`.
+    let v = load(shadow, l);
+    let exposed = segment_exposed_bytes(v);
+    if l.segment_offset() >= exposed {
+        return Err(BadSpot { addr: l, code: v });
+    }
+    let seg_base = Addr::new(align_down_u(l.raw()));
+    let covered = r.min(seg_base + exposed);
+    if covered < r && covered.segment() == seg_base.segment() {
+        return Err(BadSpot {
+            addr: covered,
+            code: v,
+        });
+    }
+    let a = seg_base + SEGMENT_SIZE;
+    if a >= r {
+        return Ok(());
+    }
+    // Interior segments `[a, align_down(r-1))` must all be fully exposed
+    // (code <= GOOD): scan word-wide for the first that is not. The final
+    // segment only needs `r mod 8` bytes, so it is checked separately.
+    let lo = shadow.segment_of(a);
+    let last = shadow.segment_of(Addr::new(align_down_u(r.raw() - 1)));
+    if let Some(bad) = shadow.first_ge(lo, last, GOOD + 1) {
+        let code = shadow.get(bad);
+        // The exposed prefix of the offending segment ends strictly inside
+        // it; the byte right after is the first bad one.
+        return Err(BadSpot {
+            addr: shadow.segment_base(bad) + segment_exposed_bytes(code),
+            code,
+        });
+    }
+    let tail_code = shadow.get(last);
+    let tail_exposed = segment_exposed_bytes(tail_code);
+    if tail_exposed < r - shadow.segment_base(last) {
+        return Err(BadSpot {
+            addr: shadow.segment_base(last) + tail_exposed,
+            code: tail_code,
+        });
+    }
+    Ok(())
+}
+
+/// Byte-at-a-time reference for [`check_region_bytewise`]: the pre-scanner
+/// implementation, kept as the differential-testing baseline and as the
+/// "before" side of the hot-path benchmarks.
+pub fn check_region_bytewise_reference(
+    shadow: &ShadowMemory,
+    l: Addr,
+    r: Addr,
+) -> Result<(), BadSpot> {
     let mut a = l;
     while a < r {
         let v = load(shadow, a);
@@ -277,12 +343,7 @@ mod tests {
         let space = AddressSpace::new(0x1_0000, 1 << 16);
         let mut shadow = ShadowMemory::new(&space, UNALLOCATED);
         let base = space.lo() + 64;
-        poison_range(
-            &mut shadow,
-            base - 16,
-            16,
-            encoding::HEAP_LEFT_REDZONE,
-        );
+        poison_range(&mut shadow, base - 16, 16, encoding::HEAP_LEFT_REDZONE);
         poison_object(&mut shadow, base, size);
         let rz_start = base + giantsan_shadow::align_up(size, 8);
         poison_range(&mut shadow, rz_start, 16, encoding::HEAP_RIGHT_REDZONE);
@@ -370,7 +431,8 @@ mod tests {
                     let fast = check_region(&shadow, l, r).is_ok();
                     let oracle = check_region_bytewise(&shadow, l, r).is_ok();
                     assert_eq!(
-                        fast, oracle,
+                        fast,
+                        oracle,
                         "size={size} region=[{}, {}) disagree",
                         lo as i64 - 8,
                         hi as i64 - 8
@@ -446,5 +508,50 @@ mod tests {
         let (base, shadow) = world(8);
         let out = check_region_aligned(&shadow, base, base).unwrap();
         assert_eq!(out.loads, 0);
+    }
+
+    #[test]
+    fn scan_walk_is_byte_identical_to_reference() {
+        // The word-wide blame scan must return the exact same Result —
+        // including the BadSpot address and code — as the byte-at-a-time
+        // reference, across sizes, offsets, freed runs, and wild pointers.
+        for size in 1..=96u64 {
+            let (base, shadow) = world(size);
+            for lo in 0..=(size + 24) {
+                for hi in lo..=(size + 24) {
+                    let l = base.offset(lo as i64 - 8);
+                    let r = base.offset(hi as i64 - 8);
+                    assert_eq!(
+                        check_region_bytewise(&shadow, l, r),
+                        check_region_bytewise_reference(&shadow, l, r),
+                        "size={size} region=[{}, {})",
+                        lo as i64 - 8,
+                        hi as i64 - 8
+                    );
+                }
+            }
+        }
+        // Freed interior: blame lands on the first freed segment.
+        let (base, mut shadow) = world(128);
+        poison_range(&mut shadow, base + 40, 24, encoding::FREED);
+        for (lo, hi) in [(0i64, 128), (0, 48), (40, 64), (32, 41), (63, 64)] {
+            assert_eq!(
+                check_region_bytewise(&shadow, base.offset(lo), base.offset(hi)),
+                check_region_bytewise_reference(&shadow, base.offset(lo), base.offset(hi)),
+                "freed [{lo},{hi})"
+            );
+        }
+        // Wild-low pointer delegates to the reference path.
+        let wild = Addr::new(0x10);
+        assert_eq!(
+            check_region_bytewise(&shadow, wild, wild + 64),
+            check_region_bytewise_reference(&shadow, wild, wild + 64),
+        );
+        // Region running past the shadowed space (fill tail).
+        let past = base.offset(1 << 17);
+        assert_eq!(
+            check_region_bytewise(&shadow, base, past),
+            check_region_bytewise_reference(&shadow, base, past),
+        );
     }
 }

@@ -37,8 +37,11 @@ mod report;
 mod sanitizer;
 pub mod validate;
 
-pub use check::{check_region, check_region_aligned, check_region_bytewise, check_small};
+pub use check::{
+    check_region, check_region_aligned, check_region_bytewise, check_region_bytewise_reference,
+    check_small,
+};
 pub use check::{BadSpot, CheckOutcome, CheckPath};
 pub use report::{describe_code, render_report};
-pub use validate::{validate_shadow, ShadowInconsistency};
 pub use sanitizer::{classify, GiantSan, GiantSanOptions};
+pub use validate::{validate_shadow, ShadowInconsistency};

@@ -91,7 +91,7 @@ pub fn poison_object(shadow: &mut ShadowMemory, base: Addr, size: u64) -> u64 {
 ///
 /// Panics if the range is not segment aligned.
 pub fn poison_range(shadow: &mut ShadowMemory, start: Addr, len: u64, code: u8) -> u64 {
-    assert!(start.is_segment_aligned() && len % SEGMENT_SIZE == 0);
+    assert!(start.is_segment_aligned() && len.is_multiple_of(SEGMENT_SIZE));
     if len == 0 {
         return 0;
     }

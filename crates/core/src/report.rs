@@ -48,7 +48,11 @@ pub fn render_report(san: &GiantSan, report: &ErrorReport) -> String {
             obj.end()
         );
     } else if let Some(obj) = objects.live_block_containing(report.addr) {
-        let side = if report.addr < obj.base { "left" } else { "right" };
+        let side = if report.addr < obj.base {
+            "left"
+        } else {
+            "right"
+        };
         let _ = writeln!(
             out,
             "  address is in the {side} redzone of a {}-byte {} object [{}, {})",
@@ -76,17 +80,30 @@ pub fn render_report(san: &GiantSan, report: &ErrorReport) -> String {
     }
 
     // Shadow window: 8 segments either side, with the faulting one marked.
+    // The mapped part of the window is borrowed once as a slice; segments
+    // outside the shadow render as "unmapped".
     let _ = writeln!(out, "Shadow bytes around the buggy address:");
+    let shadow = san.shadow();
     let fault_seg = report.addr.segment();
-    for seg in fault_seg.saturating_sub(8)..=fault_seg + 8 {
+    let base_seg = shadow.segment_base(0).segment();
+    let win_lo = fault_seg.saturating_sub(8);
+    let win_hi = fault_seg + 8;
+    let mapped_lo = win_lo.max(base_seg);
+    let window = if mapped_lo <= win_hi {
+        shadow
+            .view(mapped_lo - base_seg, win_hi + 1 - base_seg)
+            .mapped()
+    } else {
+        &[]
+    };
+    for seg in win_lo..=win_hi {
         let addr = giantsan_shadow::Addr::new(seg * SEGMENT_SIZE);
-        let code = san
-            .shadow()
-            .try_segment_of(addr)
-            .map(|s| san.shadow().get(s));
         let marker = if seg == fault_seg { "=>" } else { "  " };
+        let code = seg
+            .checked_sub(mapped_lo)
+            .and_then(|i| window.get(i as usize));
         match code {
-            Some(c) => {
+            Some(&c) => {
                 let _ = writeln!(out, "{marker} {addr}: {:>3}  {}", c, describe_code(c));
             }
             None => {

@@ -210,17 +210,25 @@ impl GiantSan {
         ErrorReport::new(classify(code), spot.addr, len).with_access(kind)
     }
 
+    /// Folds a check outcome into the counters without branching: the
+    /// fast/slow split becomes two unconditional adds of a 0/1 flag, so the
+    /// per-access bookkeeping never costs a mispredict.
+    #[inline]
+    fn note_outcome(&mut self, outcome: check::CheckOutcome) {
+        self.counters.shadow_loads += outcome.loads as u64;
+        let slow = (outcome.path == CheckPath::Slow) as u64;
+        self.counters.fast_checks += 1 - slow;
+        self.counters.slow_checks += slow;
+    }
+
+    #[inline]
     fn run_region(&mut self, lo: Addr, hi: Addr, kind: AccessKind) -> CheckResult {
         let result = check::check_region(&self.shadow, lo, hi);
         let outcome = match &result {
             Ok(o) => *o,
             Err((_, o)) => *o,
         };
-        self.counters.shadow_loads += outcome.loads as u64;
-        match outcome.path {
-            CheckPath::Fast => self.counters.fast_checks += 1,
-            CheckPath::Slow => self.counters.slow_checks += 1,
-        }
+        self.note_outcome(outcome);
         match result {
             Ok(_) => Ok(()),
             Err((spot, _)) => {
@@ -340,17 +348,14 @@ impl Sanitizer for GiantSan {
         }
     }
 
+    #[inline]
     fn check_access(&mut self, addr: Addr, width: u32, kind: AccessKind) -> CheckResult {
         let result = check::check_small(&self.shadow, addr, width);
         let outcome = match &result {
             Ok(o) => *o,
             Err((_, o)) => *o,
         };
-        self.counters.shadow_loads += outcome.loads as u64;
-        match outcome.path {
-            CheckPath::Fast => self.counters.fast_checks += 1,
-            CheckPath::Slow => self.counters.slow_checks += 1,
-        }
+        self.note_outcome(outcome);
         match result {
             Ok(_) => Ok(()),
             Err((spot, _)) => {
@@ -360,10 +365,12 @@ impl Sanitizer for GiantSan {
         }
     }
 
+    #[inline]
     fn check_region(&mut self, lo: Addr, hi: Addr, kind: AccessKind) -> CheckResult {
         self.run_region(lo, hi, kind)
     }
 
+    #[inline]
     fn check_anchored(
         &mut self,
         anchor: Addr,
@@ -386,6 +393,7 @@ impl Sanitizer for GiantSan {
         }
     }
 
+    #[inline]
     fn cached_check(
         &mut self,
         slot: &mut CacheSlot,
@@ -433,12 +441,8 @@ impl Sanitizer for GiantSan {
                 return self.check_access(base.offset(offset), width, kind);
             }
             // Dedicated underflow CI up to the anchor.
-            let verdict = self.check_anchored(
-                base,
-                base.offset(offset),
-                base.offset(access_end),
-                kind,
-            );
+            let verdict =
+                self.check_anchored(base, base.offset(offset), base.offset(access_end), kind);
             if verdict.is_ok() && self.options.reverse_mitigation && base.is_segment_aligned() {
                 // Second §5.4 alternative: locate the run's lower bound once
                 // and serve subsequent descending accesses from the cache.
@@ -493,9 +497,7 @@ mod tests {
             .check_access(a.base + 64, 8, AccessKind::Write)
             .unwrap_err();
         assert_eq!(over.kind, ErrorKind::HeapBufferOverflow);
-        let under = s
-            .check_access(a.base - 8, 8, AccessKind::Read)
-            .unwrap_err();
+        let under = s.check_access(a.base - 8, 8, AccessKind::Read).unwrap_err();
         assert_eq!(under.kind, ErrorKind::HeapBufferUnderflow);
     }
 
@@ -570,7 +572,9 @@ mod tests {
         // anchored check does not.
         let mut s = san();
         let a = s.alloc(64, Region::Heap).unwrap();
-        let _pad: Vec<_> = (0..8).map(|_| s.alloc(256, Region::Heap).unwrap()).collect();
+        let _pad: Vec<_> = (0..8)
+            .map(|_| s.alloc(256, Region::Heap).unwrap())
+            .collect();
         let victim = s.alloc(256, Region::Heap).unwrap();
         let off = (victim.base + 16) - a.base;
         // The bypassing access itself lands on addressable bytes...
@@ -687,10 +691,7 @@ mod tests {
     fn free_errors_are_reported() {
         let mut s = san();
         let a = s.alloc(64, Region::Heap).unwrap();
-        assert_eq!(
-            s.free(a.base + 8).unwrap_err().kind,
-            ErrorKind::InvalidFree
-        );
+        assert_eq!(s.free(a.base + 8).unwrap_err().kind, ErrorKind::InvalidFree);
         s.free(a.base).unwrap();
         assert_eq!(s.free(a.base).unwrap_err().kind, ErrorKind::DoubleFree);
         assert_eq!(s.counters().reports, 2);

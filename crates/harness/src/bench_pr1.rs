@@ -1,0 +1,293 @@
+//! Hot-path before/after benchmark: the `repro bench` subcommand.
+//!
+//! Times the word-wide scanning substrate and the monomorphized interpreter
+//! against the retained reference implementations, and emits the results as
+//! `BENCH_PR1.json`. Three sections:
+//!
+//! * **region-heavy substrate** — ASan's guardian walk and GiantSan's
+//!   byte-wise blame scan, word-wide vs the byte-at-a-time references kept
+//!   precisely for this comparison ([`giantsan_baselines::Asan::check_region_reference`],
+//!   [`giantsan_core::check_region_bytewise_reference`]);
+//! * **dispatch** — one traversal program run through the statically
+//!   dispatched interpreter vs the `dyn Sanitizer` instantiation;
+//! * **ordering** — GiantSan vs ASan end-to-end, to confirm the
+//!   optimisation moved both tools without flipping the paper's relative
+//!   results on forward/random traversals.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use giantsan_baselines::Asan;
+use giantsan_core::{check, GiantSan};
+use giantsan_ir::{run_dyn, ExecConfig};
+use giantsan_runtime::{AccessKind, Region, RuntimeConfig, Sanitizer};
+use giantsan_workloads::{traversal_program, Pattern};
+
+use crate::tool::{run_planned, Tool};
+
+/// One before/after measurement.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Case label, `<subject>/<param>`.
+    pub name: String,
+    /// Reference (pre-optimisation) nanoseconds per iteration.
+    pub before_ns: f64,
+    /// Optimised nanoseconds per iteration.
+    pub after_ns: f64,
+}
+
+impl BenchCase {
+    /// before/after ratio (>1 means the optimisation won).
+    pub fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+/// One relative-ordering probe: the same workload under both tools.
+#[derive(Debug, Clone)]
+pub struct OrderingCase {
+    /// Workload label, `<pattern>/<size>`.
+    pub workload: String,
+    /// GiantSan nanoseconds per run.
+    pub giantsan_ns: f64,
+    /// ASan nanoseconds per run.
+    pub asan_ns: f64,
+}
+
+/// The full artefact.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Before/after cases.
+    pub cases: Vec<BenchCase>,
+    /// GiantSan-vs-ASan ordering probes.
+    pub ordering: Vec<OrderingCase>,
+}
+
+/// Times `f`, returning the best-of-5 nanoseconds per call.
+///
+/// Batch size is grown until one batch takes ≥1 ms so the `Instant` overhead
+/// vanishes; the minimum over samples is the standard noise-robust estimator
+/// for a deterministic kernel.
+fn time_ns<F: FnMut() -> u64>(mut f: F) -> f64 {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if start.elapsed().as_micros() >= 1000 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    best
+}
+
+fn asan_region_cases(out: &mut Vec<BenchCase>) {
+    for size in [1024u64, 4096, 16384] {
+        let mut san = Asan::new(RuntimeConfig::default());
+        let a = san.alloc(size, Region::Heap).expect("bench alloc");
+        let before = time_ns(|| {
+            san.check_region_reference(a.base, a.base + size, AccessKind::Read)
+                .expect("in-bounds");
+            size
+        });
+        let after = time_ns(|| {
+            san.check_region(a.base, a.base + size, AccessKind::Read)
+                .expect("in-bounds");
+            size
+        });
+        out.push(BenchCase {
+            name: format!("asan_region_check/{size}"),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+}
+
+fn giantsan_blame_cases(out: &mut Vec<BenchCase>) {
+    // The byte-wise blame scan runs on the report path and as the fuzzing
+    // oracle; time it over an interior (unaligned, slow-path) window.
+    for size in [1024u64, 4096, 16384] {
+        let mut san = GiantSan::new(RuntimeConfig::default());
+        let a = san.alloc(size + 64, Region::Heap).expect("bench alloc");
+        let (lo, hi) = (a.base + 8, a.base + 8 + size);
+        let shadow = san.shadow();
+        let before = time_ns(|| {
+            check::check_region_bytewise_reference(shadow, lo, hi).expect("in-bounds");
+            size
+        });
+        let after = time_ns(|| {
+            check::check_region_bytewise(shadow, lo, hi).expect("in-bounds");
+            size
+        });
+        out.push(BenchCase {
+            name: format!("giantsan_blame_scan/{size}"),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+}
+
+fn dispatch_cases(out: &mut Vec<BenchCase>) {
+    let cfg = RuntimeConfig::default();
+    let exec = ExecConfig::default();
+    for pattern in Pattern::ALL {
+        let (prog, inputs) = traversal_program(pattern, 16384, 1);
+        let plan = Tool::GiantSan.plan(&prog);
+        let before = time_ns(|| {
+            let mut san = Tool::GiantSan.sanitizer(&cfg);
+            run_dyn(&prog, &inputs, san.as_mut(), &plan, &exec).checksum
+        });
+        let after = time_ns(|| {
+            run_planned(Tool::GiantSan, &prog, &plan, &inputs, &cfg)
+                .result
+                .checksum
+        });
+        out.push(BenchCase {
+            name: format!("interp_dispatch/{}", pattern.name()),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+}
+
+fn ordering_cases(out: &mut Vec<OrderingCase>) {
+    let cfg = RuntimeConfig::default();
+    for pattern in Pattern::ALL {
+        let (prog, inputs) = traversal_program(pattern, 16384, 1);
+        let gplan = Tool::GiantSan.plan(&prog);
+        let aplan = Tool::Asan.plan(&prog);
+        let gs = time_ns(|| {
+            run_planned(Tool::GiantSan, &prog, &gplan, &inputs, &cfg)
+                .result
+                .checksum
+        });
+        let asan = time_ns(|| {
+            run_planned(Tool::Asan, &prog, &aplan, &inputs, &cfg)
+                .result
+                .checksum
+        });
+        out.push(OrderingCase {
+            workload: format!("{}/16384", pattern.name()),
+            giantsan_ns: gs,
+            asan_ns: asan,
+        });
+    }
+}
+
+/// Runs every case. Takes a minute or two of pure timing loops.
+pub fn run_bench() -> BenchReport {
+    let mut cases = Vec::new();
+    asan_region_cases(&mut cases);
+    giantsan_blame_cases(&mut cases);
+    dispatch_cases(&mut cases);
+    let mut ordering = Vec::new();
+    ordering_cases(&mut ordering);
+    BenchReport { cases, ordering }
+}
+
+impl BenchReport {
+    /// Renders the artefact as JSON (hand-rolled: all fields are numbers and
+    /// ASCII labels, no escaping needed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"BENCH_PR1\",\n  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            let sep = if i + 1 < self.cases.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.2}}}{sep}",
+                c.name,
+                c.before_ns,
+                c.after_ns,
+                c.speedup()
+            );
+        }
+        s.push_str("  ],\n  \"ordering\": [\n");
+        for (i, o) in self.ordering.iter().enumerate() {
+            let sep = if i + 1 < self.ordering.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"workload\": \"{}\", \"giantsan_ns\": {:.1}, \"asan_ns\": {:.1}, \"giantsan_faster\": {}}}{sep}",
+                o.workload,
+                o.giantsan_ns,
+                o.asan_ns,
+                o.giantsan_ns < o.asan_ns
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Human-readable table for the console.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<32} {:>12} {:>12} {:>8}",
+            "case", "before ns", "after ns", "speedup"
+        );
+        for c in &self.cases {
+            let _ = writeln!(
+                s,
+                "{:<32} {:>12.1} {:>12.1} {:>7.2}x",
+                c.name,
+                c.before_ns,
+                c.after_ns,
+                c.speedup()
+            );
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "{:<32} {:>12} {:>12} {:>8}",
+            "ordering", "GiantSan ns", "ASan ns", "GS wins"
+        );
+        for o in &self.ordering {
+            let _ = writeln!(
+                s,
+                "{:<32} {:>12.1} {:>12.1} {:>8}",
+                o.workload,
+                o.giantsan_ns,
+                o.asan_ns,
+                o.giantsan_ns < o.asan_ns
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = BenchReport {
+            cases: vec![BenchCase {
+                name: "x/1".into(),
+                before_ns: 10.0,
+                after_ns: 4.0,
+            }],
+            ordering: vec![OrderingCase {
+                workload: "forward/1".into(),
+                giantsan_ns: 1.0,
+                asan_ns: 2.0,
+            }],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"speedup\": 2.50"), "{j}");
+        assert!(j.contains("\"giantsan_faster\": true"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

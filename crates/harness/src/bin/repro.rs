@@ -11,6 +11,7 @@
 //! repro ablation                    §5.4 mitigations + quarantine study
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
+//! repro bench  [--out DIR]          hot-path before/after -> BENCH_PR1.json
 //! repro all    [--div N] [--scale N] everything
 //! ```
 //!
@@ -20,8 +21,11 @@
 use std::env;
 use std::process::ExitCode;
 
+use giantsan_harness::bench_pr1;
 use giantsan_harness::csv;
-use giantsan_harness::experiments::{ablation, density, fig10, fig11, memory, table2, table3, table4, table5};
+use giantsan_harness::experiments::{
+    ablation, density, fig10, fig11, memory, table2, table3, table4, table5,
+};
 
 struct Opts {
     scale: u64,
@@ -76,8 +80,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 /// Writes `content` to `<out>/<name>` when `--out` was given.
 fn write_csv(opts: &Opts, name: &str, content: &str) {
     if let Some(dir) = &opts.out {
-        if let Err(e) = std::fs::create_dir_all(dir)
-            .and_then(|()| std::fs::write(dir.join(name), content))
+        if let Err(e) =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(name), content))
         {
             eprintln!("warning: failed to write {name}: {e}");
         } else {
@@ -90,7 +94,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|memory|density|all> \
+            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|memory|density|bench|all> \
              [--scale N] [--div N] [--rounds N] [--wall] [--out DIR]"
         );
         return ExitCode::FAILURE;
@@ -152,10 +156,30 @@ fn main() -> ExitCode {
     };
     let run_fig11 = |opts: &Opts| {
         println!("== Figure 11: traversal patterns ==");
-        println!("(paper: GiantSan 1.48x faster random, 1.07x faster forward, 1.39x slower reverse)");
+        println!(
+            "(paper: GiantSan 1.48x faster random, 1.07x faster forward, 1.39x slower reverse)"
+        );
         let f = fig11::fig11(opts.rounds);
         println!("{}", f.render());
         write_csv(opts, "fig11.csv", &csv::fig11_csv(&f));
+    };
+
+    let run_bench = |opts: &Opts| {
+        println!("== Hot-path before/after (word-wide scanning + monomorphized dispatch) ==\n");
+        let report = bench_pr1::run_bench();
+        println!("{}", report.render());
+        let json = report.to_json();
+        let path = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+            .join("BENCH_PR1.json");
+        match std::fs::create_dir_all(path.parent().unwrap_or(std::path::Path::new(".")))
+            .and_then(|()| std::fs::write(&path, &json))
+        {
+            Ok(()) => println!("(wrote {})", path.display()),
+            Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+        }
     };
 
     match cmd.as_str() {
@@ -168,6 +192,7 @@ fn main() -> ExitCode {
         "ablation" => run_ablation(&opts),
         "memory" => run_memory(&opts),
         "density" => run_density(&opts),
+        "bench" => run_bench(&opts),
         "all" => {
             run_table2(&opts);
             println!();

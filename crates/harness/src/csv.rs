@@ -7,8 +7,8 @@
 use std::fmt::Write as _;
 
 use crate::experiments::{fig10::Fig10, fig11::Fig11, table2::Table2, table3::Table3};
-use crate::experiments::{table4::Table4, table5::Table5};
 use crate::experiments::{table2, table3 as t3, table4 as t4, table5 as t5};
+use crate::experiments::{table4::Table4, table5::Table5};
 
 fn esc(s: &str) -> String {
     if s.contains(',') || s.contains('"') {

@@ -32,7 +32,10 @@ pub fn reverse_ablation(size: u64, rounds: u64) -> Vec<ReverseRow> {
     let (prog, inputs) = traversal_program(Pattern::Reverse, size, rounds);
     let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
     let configs: [(&'static str, Option<GiantSanOptions>); 4] = [
-        ("GiantSan (anchored underflow)", Some(GiantSanOptions::default())),
+        (
+            "GiantSan (anchored underflow)",
+            Some(GiantSanOptions::default()),
+        ),
         (
             "GiantSan + lower-bound cache",
             Some(GiantSanOptions {
@@ -54,8 +57,7 @@ pub fn reverse_ablation(size: u64, rounds: u64) -> Vec<ReverseRow> {
         .map(|(label, options)| {
             let (units, shadow_loads) = match options {
                 Some(opts) => {
-                    let mut san =
-                        GiantSan::with_options(RuntimeConfig::default(), opts.clone());
+                    let mut san = GiantSan::with_options(RuntimeConfig::default(), opts.clone());
                     let out = run(&prog, &inputs, &mut san, &plan, &ExecConfig::default());
                     assert!(out.reports_empty_or_panic(label));
                     let fake = crate::tool::RunOutcome {

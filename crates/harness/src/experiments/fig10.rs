@@ -93,6 +93,7 @@ impl Fig10 {
     }
 }
 
+#[allow(clippy::redundant_closure_call)]
 fn render_bar(r: &Fig10Row, width: usize) -> String {
     let mut bar = String::new();
     let mut push = (|| {

@@ -113,11 +113,11 @@ mod tests {
         assert_eq!(m.rows.len(), 24);
         // Native ratio is exactly 1; every sanitizer pays something.
         assert!((m.mean_heap_ratio[0] - 1.0).abs() < 1e-9);
-        for i in 1..COLUMNS.len() {
+        for (i, col) in COLUMNS.iter().enumerate().skip(1) {
             assert!(
                 m.mean_heap_ratio[i] > 1.0,
                 "{} ratio {:.2}",
-                COLUMNS[i].name(),
+                col.name(),
                 m.mean_heap_ratio[i]
             );
         }

@@ -101,6 +101,8 @@ mod tests {
         let t = table4();
         let s = t.render();
         assert!(s.contains("CVE-2017-12858"));
-        assert!(s.lines().any(|l| l.contains("CVE-2017-9165") && l.contains('-')));
+        assert!(s
+            .lines()
+            .any(|l| l.contains("CVE-2017-9165") && l.contains('-')));
     }
 }

@@ -23,6 +23,7 @@
 //! println!("{}", t.render());
 //! ```
 
+pub mod bench_pr1;
 pub mod cost;
 pub mod csv;
 pub mod experiments;

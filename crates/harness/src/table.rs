@@ -35,7 +35,7 @@ impl TextTable {
 
     /// Appends a separator row rendered as dashes.
     pub fn separator(&mut self) {
-        self.rows.push(vec!["—".to_string(); 0]);
+        self.rows.push(Vec::new());
     }
 
     /// Renders the table with aligned columns.

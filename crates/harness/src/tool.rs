@@ -107,6 +107,10 @@ impl RunOutcome {
 
 /// Runs `program` under `tool` with a pre-computed plan (reuse plans when
 /// running many inputs against one template).
+///
+/// Dispatches on the tool *here*, outside the interpreter, so each arm
+/// instantiates [`run`] at a concrete sanitizer type: the per-access check
+/// calls inline instead of costing a vtable hop per load/store.
 pub fn run_planned(
     tool: Tool,
     program: &Program,
@@ -114,13 +118,46 @@ pub fn run_planned(
     inputs: &[i64],
     config: &RuntimeConfig,
 ) -> RunOutcome {
-    let mut san = tool.sanitizer(config);
     let exec = ExecConfig {
         halt_on_error: config.halt_on_error,
         ..ExecConfig::default()
     };
+    match tool {
+        Tool::Native => timed_run(
+            &mut NullSanitizer::new(config.clone()),
+            program,
+            plan,
+            inputs,
+            &exec,
+        ),
+        Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => timed_run(
+            &mut GiantSan::new(config.clone()),
+            program,
+            plan,
+            inputs,
+            &exec,
+        ),
+        Tool::Asan => timed_run(&mut Asan::new(config.clone()), program, plan, inputs, &exec),
+        Tool::AsanMinusMinus => timed_run(
+            &mut AsanMinusMinus::new(config.clone()),
+            program,
+            plan,
+            inputs,
+            &exec,
+        ),
+        Tool::Lfp => timed_run(&mut Lfp::new(config.clone()), program, plan, inputs, &exec),
+    }
+}
+
+fn timed_run<S: Sanitizer>(
+    san: &mut S,
+    program: &Program,
+    plan: &CheckPlan,
+    inputs: &[i64],
+    exec: &ExecConfig,
+) -> RunOutcome {
     let start = Instant::now();
-    let result = run(program, inputs, san.as_mut(), plan, &exec);
+    let result = run(program, inputs, san, plan, exec);
     let wall = start.elapsed();
     RunOutcome {
         result,

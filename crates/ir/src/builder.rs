@@ -169,7 +169,13 @@ impl ProgramBuilder {
     }
 
     /// Emits a `width`-byte store of `value` to `ptr + offset`.
-    pub fn store(&mut self, ptr: PtrId, offset: impl Into<Expr>, width: u8, value: impl Into<Expr>) {
+    pub fn store(
+        &mut self,
+        ptr: PtrId,
+        offset: impl Into<Expr>,
+        width: u8,
+        value: impl Into<Expr>,
+    ) {
         let site = self.fresh_site();
         self.push(Stmt::Store {
             site,

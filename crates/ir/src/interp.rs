@@ -6,6 +6,12 @@
 //! paper's SPEC configuration) execution continues past reports, so buggy
 //! workloads yield complete report lists; unmapped accesses behave like
 //! hardware faults and abort the run for every tool, native included.
+//!
+//! [`run`] is generic over the sanitizer: calling it with a concrete tool
+//! monomorphizes the whole interpreter loop around that tool's check
+//! methods, so the per-access fast path inlines instead of going through a
+//! vtable. [`run_dyn`] pins the `dyn Sanitizer` instantiation for call
+//! sites that hold boxed tools and for dispatch-cost benchmarks.
 
 use giantsan_runtime::{AccessKind, CacheSlot, ErrorReport, Sanitizer};
 use giantsan_shadow::Addr;
@@ -94,10 +100,10 @@ impl ExecResult {
 /// assert!(!result.detected());
 /// assert_eq!(result.native_work, 10);
 /// ```
-pub fn run(
+pub fn run<S: Sanitizer + ?Sized>(
     program: &Program,
     inputs: &[i64],
-    san: &mut dyn Sanitizer,
+    san: &mut S,
     plan: &CheckPlan,
     config: &ExecConfig,
 ) -> ExecResult {
@@ -125,8 +131,23 @@ pub fn run(
     interp.result
 }
 
-struct Interp<'a> {
-    san: &'a mut dyn Sanitizer,
+/// Dynamic-dispatch entry point: [`run`] instantiated at `dyn Sanitizer`.
+///
+/// Kept as an explicit shim so call sites that hold a boxed tool (and the
+/// dispatch-cost benchmarks) have a stable, guaranteed-virtual path to
+/// compare against the monomorphized one.
+pub fn run_dyn(
+    program: &Program,
+    inputs: &[i64],
+    san: &mut dyn Sanitizer,
+    plan: &CheckPlan,
+    config: &ExecConfig,
+) -> ExecResult {
+    run(program, inputs, san, plan, config)
+}
+
+struct Interp<'a, S: Sanitizer + ?Sized> {
+    san: &'a mut S,
     plan: &'a CheckPlan,
     inputs: &'a [i64],
     config: &'a ExecConfig,
@@ -136,11 +157,12 @@ struct Interp<'a> {
     result: ExecResult,
 }
 
-impl Interp<'_> {
+impl<S: Sanitizer + ?Sized> Interp<'_, S> {
     fn eval(&self, e: &Expr) -> i64 {
         e.eval(&self.vars, self.inputs)
     }
 
+    #[inline]
     fn step(&mut self) -> Result<(), Termination> {
         self.result.steps += 1;
         if self.result.steps > self.config.max_steps {
@@ -165,6 +187,7 @@ impl Interp<'_> {
     }
 
     /// Runs the planned check for an ordinary access site.
+    #[inline]
     fn check_site(
         &mut self,
         site: crate::program::SiteId,
@@ -194,7 +217,8 @@ impl Interp<'_> {
             }
             SiteAction::Cached { cache } => {
                 let slot = &mut self.slots[cache.0 as usize];
-                self.san.cached_check(slot, base, offset, width as u32, kind)
+                self.san
+                    .cached_check(slot, base, offset, width as u32, kind)
             }
         };
         match verdict {
@@ -204,6 +228,7 @@ impl Interp<'_> {
     }
 
     /// Runs a (possibly skipped) region check for a memory intrinsic.
+    #[inline]
     fn check_memop(
         &mut self,
         site: crate::program::SiteId,
@@ -341,7 +366,12 @@ impl Interp<'_> {
                 // string off the end of the space is a fault.
                 let mut len = 1u64; // include the NUL
                 loop {
-                    match self.san.world().space().read_uint(slo.offset(len as i64 - 1), 1) {
+                    match self
+                        .san
+                        .world()
+                        .space()
+                        .read_uint(slo.offset(len as i64 - 1), 1)
+                    {
                         Ok(0) => break,
                         Ok(_) => len += 1,
                         Err(_) => return Err(self.crash("strcpy scan", slo)),
@@ -470,8 +500,7 @@ impl Interp<'_> {
             }
             Stmt::PtrCopy { dst, src, offset } => {
                 let off = self.eval(offset);
-                self.ptrs[dst.0 as usize] =
-                    Addr::new(self.ptrs[src.0 as usize]).offset(off).raw();
+                self.ptrs[dst.0 as usize] = Addr::new(self.ptrs[src.0 as usize]).offset(off).raw();
             }
         }
         Ok(())
@@ -507,9 +536,10 @@ mod tests {
         // checksum folds 0xdead then 0xdeae.
         assert_ne!(r.checksum, 0);
         assert_eq!(
-            san.world().space().read_u64(
-                san.world().objects().iter_live().last().unwrap().base
-            ).unwrap(),
+            san.world()
+                .space()
+                .read_u64(san.world().objects().iter_live().last().unwrap().base)
+                .unwrap(),
             0xdeae
         );
     }
@@ -694,7 +724,7 @@ mod tests {
         assert_eq!(r.termination, Termination::Finished);
         let dst_base = san.world().objects().iter_live().last().unwrap().base;
         assert_eq!(
-            san.world().space().read_uint(dst_base, 8).unwrap() & 0xffff_ffff_ff,
+            san.world().space().read_uint(dst_base, 8).unwrap() & 0xff_ffff_ffff,
             0x7f00_636261, // "abc\0" then untouched 0x7f
         );
     }

@@ -60,7 +60,10 @@ pub struct Counters {
 impl Counters {
     /// Total number of checks executed on any path.
     pub fn total_checks(&self) -> u64 {
-        self.fast_checks + self.slow_checks + self.cache_hits + self.underflow_checks
+        self.fast_checks
+            + self.slow_checks
+            + self.cache_hits
+            + self.underflow_checks
             + self.arith_checks
     }
 

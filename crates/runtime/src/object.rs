@@ -167,9 +167,7 @@ impl ObjectTable {
         self.objects
             .values()
             .filter(|o| o.state != ObjectState::Live)
-            .filter(|o| {
-                addr >= o.block_start && addr.raw() < o.block_start.raw() + o.block_len
-            })
+            .filter(|o| addr >= o.block_start && addr.raw() < o.block_start.raw() + o.block_len)
             .max_by_key(|o| o.id)
     }
 

@@ -142,7 +142,12 @@ pub trait Sanitizer {
 
     /// Final check after a cached loop finishes (Figure 9 line 14), catching
     /// deallocation races the cache may have skipped over.
-    fn loop_final_check(&mut self, _slot: &CacheSlot, _base: Addr, _kind: AccessKind) -> CheckResult {
+    fn loop_final_check(
+        &mut self,
+        _slot: &CacheSlot,
+        _base: Addr,
+        _kind: AccessKind,
+    ) -> CheckResult {
         Ok(())
     }
 
@@ -243,9 +248,10 @@ impl Sanitizer for NullSanitizer {
         match self.world.realloc(base, new_size) {
             Ok((a, _)) => Ok(a),
             // Undefined behaviour natively: serve a fresh block, no report.
-            Err(_) => self.world.alloc(new_size, Region::Heap).map_err(|_| {
-                crate::ErrorReport::new(crate::ErrorKind::Unknown, base, new_size)
-            }),
+            Err(_) => self
+                .world
+                .alloc(new_size, Region::Heap)
+                .map_err(|_| crate::ErrorReport::new(crate::ErrorKind::Unknown, base, new_size)),
         }
     }
 

@@ -305,9 +305,9 @@ impl World {
                     .unwrap_or_else(|| ErrorReport::new(ErrorKind::Wild, base, 0)));
             }
         };
-        let new = self.alloc(new_size, Region::Heap).map_err(|_| {
-            ErrorReport::new(ErrorKind::Unknown, base, new_size)
-        })?;
+        let new = self
+            .alloc(new_size, Region::Heap)
+            .map_err(|_| ErrorReport::new(ErrorKind::Unknown, base, new_size))?;
         let copy_len = old.size.min(new_size);
         if copy_len > 0 {
             self.space
@@ -428,10 +428,7 @@ mod tests {
         w.free(a.base).unwrap();
         assert_eq!(w.free(a.base).unwrap_err().kind, ErrorKind::DoubleFree);
         // Wild free.
-        assert_eq!(
-            w.free(Addr::new(0x100)).unwrap_err().kind,
-            ErrorKind::Wild
-        );
+        assert_eq!(w.free(Addr::new(0x100)).unwrap_err().kind, ErrorKind::Wild);
     }
 
     #[test]
@@ -514,7 +511,10 @@ mod tests {
             ErrorKind::InvalidFree
         );
         w.free(b.base).unwrap();
-        assert_eq!(w.realloc(b.base, 16).unwrap_err().kind, ErrorKind::DoubleFree);
+        assert_eq!(
+            w.realloc(b.base, 16).unwrap_err().kind,
+            ErrorKind::DoubleFree
+        );
         assert_eq!(
             w.realloc(Addr::new(0x10), 16).unwrap_err().kind,
             ErrorKind::Wild

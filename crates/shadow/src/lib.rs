@@ -31,9 +31,11 @@
 //! [Ling et al., ASPLOS 2024]: https://doi.org/10.1145/3620665.3640391
 
 mod addr;
+mod scan;
 mod shadow;
 mod space;
 
 pub use addr::{align_down, align_up, Addr, SEGMENT_SHIFT, SEGMENT_SIZE};
+pub use scan::{slice_all_eq, slice_first_ge, slice_first_ne, SegmentView};
 pub use shadow::{SegmentIndex, ShadowMemory};
 pub use space::{AddressSpace, SpaceError};

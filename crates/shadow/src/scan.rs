@@ -1,0 +1,355 @@
+//! Word-wide shadow scanning primitives.
+//!
+//! Region checks, blame scans, and shadow validation all reduce to three
+//! questions over a segment range: *is every shadow byte equal to X*, *where
+//! is the first byte different from X*, and *where is the first byte ≥ X*.
+//! Answering them through [`ShadowMemory::get`] costs a bounds check, an
+//! `Option`, and a fill-byte fallback per segment. This module answers them
+//! over borrowed slices, eight segments per `u64` step — the same discipline
+//! as production ASan's `mem_is_zero` word loop — while preserving the
+//! fill-byte semantics for ranges that run past the mapped shadow.
+//!
+//! The word loops use SWAR (SIMD-within-a-register) predicates from the
+//! classic bit-twiddling repertoire. Each predicate is an *exact* word-level
+//! boolean ("does this word contain a hit?"); the hit word is then re-scanned
+//! by byte to extract the exact index. That split keeps the fast path
+//! branch-light without giving up byte-precise answers, and sidesteps the
+//! borrow-propagation subtleties of per-byte SWAR masks.
+//!
+//! Endianness: words are loaded with `from_le_bytes`, so `trailing_zeros`
+//! maps to the lowest-indexed byte on any host.
+
+use crate::shadow::{SegmentIndex, ShadowMemory};
+
+/// `0x0101…01`: a 1 in every byte lane.
+const LSB: u64 = u64::from_le_bytes([1; 8]);
+/// `0x8080…80`: the sign bit of every byte lane.
+const MSB: u64 = u64::from_le_bytes([0x80; 8]);
+
+/// Loads a `u64` from an 8-byte chunk (little-endian lane order).
+#[inline]
+fn word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8) yields 8 bytes"))
+}
+
+/// Splats `byte` across all eight lanes.
+#[inline]
+fn splat(byte: u8) -> u64 {
+    LSB * byte as u64
+}
+
+/// Exact word-level boolean: does `x` contain a byte strictly greater than
+/// `n`? Requires `n <= 127` (bit-twiddling `hasmore` precondition).
+#[inline]
+fn has_byte_gt(x: u64, n: u8) -> bool {
+    debug_assert!(n <= 127);
+    (x.wrapping_add(splat(127 - n)) | x) & MSB != 0
+}
+
+/// Index of the first byte of `s` not equal to `byte`, scanning eight bytes
+/// per step.
+#[inline]
+pub fn slice_first_ne(s: &[u8], byte: u8) -> Option<usize> {
+    let pattern = splat(byte);
+    let mut chunks = s.chunks_exact(8);
+    for (w, chunk) in chunks.by_ref().enumerate() {
+        let x = word(chunk) ^ pattern;
+        if x != 0 {
+            return Some(w * 8 + x.trailing_zeros() as usize / 8);
+        }
+    }
+    let base = s.len() & !7;
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b != byte)
+        .map(|i| base + i)
+}
+
+/// Whether every byte of `s` equals `byte` (true for the empty slice).
+#[inline]
+pub fn slice_all_eq(s: &[u8], byte: u8) -> bool {
+    // A dedicated loop (rather than `slice_first_ne(..).is_none()`) lets the
+    // compiler drop the index bookkeeping entirely.
+    let pattern = splat(byte);
+    let mut chunks = s.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        if word(chunk) != pattern {
+            return false;
+        }
+    }
+    chunks.remainder().iter().all(|&b| b == byte)
+}
+
+/// Index of the first byte of `s` that is `>= threshold` (unsigned), scanning
+/// eight bytes per step.
+#[inline]
+pub fn slice_first_ge(s: &[u8], threshold: u8) -> Option<usize> {
+    if threshold == 0 {
+        // Every byte qualifies.
+        return if s.is_empty() { None } else { Some(0) };
+    }
+    let mut chunks = s.chunks_exact(8);
+    for (w, chunk) in chunks.by_ref().enumerate() {
+        let x = word(chunk);
+        // Word-level test, exact and false-negative-free in both arms:
+        // * threshold <= 128: `b >= t` ⇔ `b > t-1`, and `has_byte_gt` is
+        //   exact for n = t-1 <= 127;
+        // * threshold > 128: only bytes with the sign bit set can qualify,
+        //   so `x & MSB != 0` over-approximates and the byte re-scan settles
+        //   it (false positives cost one 8-byte loop, never correctness).
+        let hit = if threshold <= 128 {
+            has_byte_gt(x, threshold - 1)
+        } else {
+            x & MSB != 0
+        };
+        if hit {
+            if let Some(i) = chunk.iter().position(|&b| b >= threshold) {
+                return Some(w * 8 + i);
+            }
+        }
+    }
+    let base = s.len() & !7;
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b >= threshold)
+        .map(|i| base + i)
+}
+
+/// A borrowed view of the segment range `[lo, hi)` of a [`ShadowMemory`],
+/// with the part beyond the mapped shadow (if any) reading as the fill byte.
+///
+/// The view splits the requested range once, up front, into a borrowed slice
+/// of mapped shadow bytes plus a virtual fill-valued tail — after that, the
+/// scanners below touch no `Option` and no bounds check per segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentView<'a> {
+    /// First requested segment index (shadow-relative).
+    start: SegmentIndex,
+    /// Mapped part of the range.
+    mapped: &'a [u8],
+    /// Number of requested segments past the mapped shadow.
+    tail: u64,
+    /// Value that the `tail` segments read as.
+    fill: u8,
+}
+
+impl<'a> SegmentView<'a> {
+    /// Number of segments in the view (mapped + virtual tail).
+    pub fn len(&self) -> u64 {
+        self.mapped.len() as u64 + self.tail
+    }
+
+    /// Whether the view covers no segments.
+    pub fn is_empty(&self) -> bool {
+        self.mapped.is_empty() && self.tail == 0
+    }
+
+    /// The mapped portion of the view as a raw slice.
+    pub fn mapped(&self) -> &'a [u8] {
+        self.mapped
+    }
+
+    /// Whether every segment in the view reads as `byte`.
+    #[inline]
+    pub fn all_eq(&self, byte: u8) -> bool {
+        slice_all_eq(self.mapped, byte) && (self.tail == 0 || self.fill == byte)
+    }
+
+    /// Segment index (shadow-relative) of the first segment not reading as
+    /// `byte`.
+    #[inline]
+    pub fn first_ne(&self, byte: u8) -> Option<SegmentIndex> {
+        if let Some(i) = slice_first_ne(self.mapped, byte) {
+            return Some(self.start + i as u64);
+        }
+        (self.tail > 0 && self.fill != byte).then(|| self.start + self.mapped.len() as u64)
+    }
+
+    /// Segment index (shadow-relative) of the first segment reading as a
+    /// value `>= threshold` (unsigned byte order).
+    #[inline]
+    pub fn first_ge(&self, threshold: u8) -> Option<SegmentIndex> {
+        if let Some(i) = slice_first_ge(self.mapped, threshold) {
+            return Some(self.start + i as u64);
+        }
+        (self.tail > 0 && self.fill >= threshold).then(|| self.start + self.mapped.len() as u64)
+    }
+}
+
+impl ShadowMemory {
+    /// Borrows the segment range `[lo, hi)` as a [`SegmentView`].
+    ///
+    /// Unlike [`ShadowMemory::slice`] this never panics: segments past the
+    /// mapped shadow are represented as a fill-valued tail, matching the
+    /// fill semantics of [`ShadowMemory::get`] — so checkers can scan ranges
+    /// derived from wild pointers. A reversed range yields an empty view.
+    pub fn view(&self, lo: SegmentIndex, hi: SegmentIndex) -> SegmentView<'_> {
+        let hi = hi.max(lo);
+        let mapped_lo = lo.min(self.len());
+        let mapped_hi = hi.min(self.len());
+        SegmentView {
+            start: lo,
+            mapped: self.slice(mapped_lo, mapped_hi),
+            tail: hi - mapped_hi.max(lo),
+            fill: self.fill_byte(),
+        }
+    }
+
+    /// Whether every segment in `[lo, hi)` reads as `byte` (fill semantics
+    /// past the mapped shadow; true for an empty range).
+    #[inline]
+    pub fn all_eq(&self, lo: SegmentIndex, hi: SegmentIndex, byte: u8) -> bool {
+        self.view(lo, hi).all_eq(byte)
+    }
+
+    /// First segment in `[lo, hi)` not reading as `byte`.
+    #[inline]
+    pub fn first_ne(&self, lo: SegmentIndex, hi: SegmentIndex, byte: u8) -> Option<SegmentIndex> {
+        self.view(lo, hi).first_ne(byte)
+    }
+
+    /// First segment in `[lo, hi)` reading as a value `>= threshold`.
+    #[inline]
+    pub fn first_ge(
+        &self,
+        lo: SegmentIndex,
+        hi: SegmentIndex,
+        threshold: u8,
+    ) -> Option<SegmentIndex> {
+        self.view(lo, hi).first_ge(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AddressSpace;
+
+    /// Byte-wise references the word-wide scanners must agree with.
+    fn ref_first_ne(s: &ShadowMemory, lo: u64, hi: u64, byte: u8) -> Option<u64> {
+        (lo..hi.max(lo)).find(|&i| s.get(i) != byte)
+    }
+
+    fn ref_first_ge(s: &ShadowMemory, lo: u64, hi: u64, t: u8) -> Option<u64> {
+        (lo..hi.max(lo)).find(|&i| s.get(i) >= t)
+    }
+
+    fn ref_all_eq(s: &ShadowMemory, lo: u64, hi: u64, byte: u8) -> bool {
+        (lo..hi.max(lo)).all(|i| s.get(i) == byte)
+    }
+
+    fn shadow_with(fill: u8, bytes: &[u8]) -> ShadowMemory {
+        let space = AddressSpace::new(0x1_0000, 1 << 10); // 128 segments
+        let mut s = ShadowMemory::new(&space, fill);
+        for (i, &b) in bytes.iter().enumerate() {
+            s.set(i as u64, b);
+        }
+        s
+    }
+
+    #[test]
+    fn slice_scanners_match_naive_on_patterns() {
+        // Mismatches planted at every offset relative to the 8-byte word
+        // boundary, including head/tail remainders.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 64] {
+            for hit in 0..len {
+                let mut v = vec![0x40u8; len];
+                v[hit] = 0x4e;
+                assert_eq!(slice_first_ne(&v, 0x40), Some(hit), "len={len} hit={hit}");
+                assert_eq!(slice_first_ge(&v, 0x4e), Some(hit));
+                assert!(!slice_all_eq(&v, 0x40));
+            }
+            let v = vec![0x40u8; len];
+            assert_eq!(slice_first_ne(&v, 0x40), None);
+            assert_eq!(slice_first_ge(&v, 0x41), None);
+            assert!(slice_all_eq(&v, 0x40));
+        }
+    }
+
+    #[test]
+    fn first_ge_handles_thresholds_above_128() {
+        let v = [0u8, 10, 127, 128, 200, 250, 255, 3];
+        assert_eq!(slice_first_ge(&v, 0), Some(0));
+        assert_eq!(slice_first_ge(&v, 1), Some(1));
+        assert_eq!(slice_first_ge(&v, 128), Some(3));
+        assert_eq!(slice_first_ge(&v, 129), Some(4));
+        assert_eq!(slice_first_ge(&v, 201), Some(5));
+        assert_eq!(slice_first_ge(&v, 251), Some(6));
+        assert_eq!(slice_first_ge(&v, 255), Some(6));
+        assert_eq!(slice_first_ge(&[1u8; 16], 2), None);
+    }
+
+    #[test]
+    fn view_splits_mapped_and_tail() {
+        let s = shadow_with(0xff, &[1, 2, 3]);
+        let n = s.len();
+        let v = s.view(n - 2, n + 3);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.mapped().len(), 2);
+        // Entirely past the end: all tail.
+        let v = s.view(n + 10, n + 14);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.mapped().len(), 0);
+        assert!(v.all_eq(0xff));
+        assert_eq!(v.first_ne(0xff), None);
+        assert_eq!(v.first_ne(0), Some(n + 10));
+        // Reversed ranges are empty, matching an empty loop over lo..hi.
+        assert!(s.view(5, 2).is_empty());
+        assert_eq!(s.first_ne(5, 2, 0), None);
+    }
+
+    #[test]
+    fn fill_tail_obeys_get_semantics() {
+        let s = shadow_with(0x4e, &[0x40; 8]);
+        let n = s.len();
+        // Uniform fill across the mapped/tail boundary: no mismatch.
+        assert_eq!(s.first_ne(n - 4, n + 4, 0x4e), None);
+        assert_eq!(s.first_ne(4, n + 4, 0x4e), Some(4), "mapped hit wins");
+        assert_eq!(s.first_ne(n - 4, n + 4, 0x40), Some(n - 4));
+        assert_eq!(s.first_ge(n - 4, n + 4, 0x4f), None);
+        assert_eq!(s.first_ge(n - 4, n + 4, 0x4e), Some(n - 4));
+        assert!(s.all_eq(n, n + 100, 0x4e));
+        assert!(!s.all_eq(n, n + 100, 0x40));
+    }
+
+    #[test]
+    fn scanners_agree_with_reference_on_dense_cases() {
+        // Dense sweep of a small shadow: every (lo, hi) pair over a mix of
+        // values, crossing the mapped end by up to 16 segments.
+        let mut bytes = Vec::new();
+        for i in 0..40u64 {
+            bytes.push(match i % 5 {
+                0 => 0x40,
+                1 => 0x39,
+                2 => 0x49,
+                3 => 0x4e,
+                _ => 0x00,
+            });
+        }
+        let s = shadow_with(0x4e, &bytes);
+        let n = s.len();
+        for lo in (0..48).chain(n - 4..n + 8) {
+            for hi in (lo..48).chain(n - 4..n + 16).filter(|&h| h >= lo) {
+                for probe in [0x00u8, 0x39, 0x40, 0x49, 0x4e, 0x80, 0xff] {
+                    assert_eq!(
+                        s.first_ne(lo, hi, probe),
+                        ref_first_ne(&s, lo, hi, probe),
+                        "first_ne lo={lo} hi={hi} probe={probe:#x}"
+                    );
+                    assert_eq!(
+                        s.first_ge(lo, hi, probe),
+                        ref_first_ge(&s, lo, hi, probe),
+                        "first_ge lo={lo} hi={hi} probe={probe:#x}"
+                    );
+                    assert_eq!(
+                        s.all_eq(lo, hi, probe),
+                        ref_all_eq(&s, lo, hi, probe),
+                        "all_eq lo={lo} hi={hi} probe={probe:#x}"
+                    );
+                }
+            }
+        }
+    }
+}

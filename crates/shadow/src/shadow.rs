@@ -186,7 +186,10 @@ mod tests {
         let (space, shadow) = shadow();
         assert_eq!(shadow.try_segment_of(Addr::new(0)), None);
         assert_eq!(shadow.try_segment_of(space.hi()), None);
-        assert_eq!(shadow.try_segment_of(space.hi() - 1), Some(shadow.len() - 1));
+        assert_eq!(
+            shadow.try_segment_of(space.hi() - 1),
+            Some(shadow.len() - 1)
+        );
         assert_eq!(shadow.try_segment_of(space.lo()), Some(0));
     }
 

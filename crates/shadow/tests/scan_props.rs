@@ -1,0 +1,103 @@
+//! Property tests: the word-wide scanners agree with a byte-wise reference
+//! built on `ShadowMemory::get` — over random shadow contents, random
+//! `(lo, hi)` ranges (empty, unaligned, straddling, and fully out of range),
+//! and every interesting fill/probe byte class (below 0x80, above 0x80, and
+//! the exact threshold).
+
+use proptest::prelude::*;
+
+use giantsan_shadow::{AddressSpace, ShadowMemory};
+
+/// Builds a shadow of `segments` segments with `fill`, then plants `writes`
+/// as (index, value) pairs inside the mapped range.
+fn shadow_with(segments: u64, fill: u8, writes: &[(u64, u8)]) -> ShadowMemory {
+    let space = AddressSpace::new(0x1_0000, segments * 8);
+    let mut s = ShadowMemory::new(&space, fill);
+    for &(i, v) in writes {
+        s.set(i % segments, v);
+    }
+    s
+}
+
+fn ref_first_ne(s: &ShadowMemory, lo: u64, hi: u64, byte: u8) -> Option<u64> {
+    (lo..hi.max(lo)).find(|&i| s.get(i) != byte)
+}
+
+fn ref_first_ge(s: &ShadowMemory, lo: u64, hi: u64, t: u8) -> Option<u64> {
+    (lo..hi.max(lo)).find(|&i| s.get(i) >= t)
+}
+
+fn ref_all_eq(s: &ShadowMemory, lo: u64, hi: u64, byte: u8) -> bool {
+    (lo..hi.max(lo)).all(|i| s.get(i) == byte)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `first_ne` / `first_ge` / `all_eq` match the byte-wise reference for
+    /// arbitrary contents and ranges, including ranges reaching past the
+    /// mapped shadow (where fill semantics must hold).
+    #[test]
+    fn scanners_match_bytewise_reference(
+        segments in 1u64..96,
+        fill in prop::sample::select(vec![0u8, 0x40, 0x4e, 0x7f, 0x80, 0xfa, 0xff]),
+        writes in prop::collection::vec(0u64..96, 0..24),
+        values in prop::collection::vec(0u8..=255, 24),
+        lo in 0u64..112,
+        len in 0u64..112,
+        probe in 0u8..=255,
+    ) {
+        let planted: Vec<(u64, u8)> = writes
+            .iter()
+            .zip(values.iter())
+            .map(|(&i, &v)| (i, v))
+            .collect();
+        let s = shadow_with(segments, fill, &planted);
+        let hi = lo + len;
+        prop_assert_eq!(
+            s.first_ne(lo, hi, probe),
+            ref_first_ne(&s, lo, hi, probe),
+            "first_ne segs={} lo={} hi={} probe={:#x}", segments, lo, hi, probe
+        );
+        prop_assert_eq!(
+            s.first_ge(lo, hi, probe),
+            ref_first_ge(&s, lo, hi, probe),
+            "first_ge segs={} lo={} hi={} probe={:#x}", segments, lo, hi, probe
+        );
+        prop_assert_eq!(
+            s.all_eq(lo, hi, probe),
+            ref_all_eq(&s, lo, hi, probe),
+            "all_eq segs={} lo={} hi={} probe={:#x}", segments, lo, hi, probe
+        );
+    }
+
+    /// The scanners are internally consistent: `all_eq ⇔ first_ne == None`,
+    /// and any `first_ge` hit is itself `>= threshold` with everything before
+    /// it below the threshold.
+    #[test]
+    fn scanner_internal_consistency(
+        segments in 1u64..64,
+        fill in 0u8..=255,
+        writes in prop::collection::vec(0u64..64, 0..16),
+        values in prop::collection::vec(0u8..=255, 16),
+        lo in 0u64..80,
+        len in 0u64..80,
+        probe in 0u8..=255,
+    ) {
+        let planted: Vec<(u64, u8)> = writes
+            .iter()
+            .zip(values.iter())
+            .map(|(&i, &v)| (i, v))
+            .collect();
+        let s = shadow_with(segments, fill, &planted);
+        let hi = lo + len;
+        prop_assert_eq!(s.all_eq(lo, hi, probe), s.first_ne(lo, hi, probe).is_none());
+        if let Some(at) = s.first_ge(lo, hi, probe) {
+            prop_assert!((lo..hi).contains(&at));
+            prop_assert!(s.get(at) >= probe);
+            prop_assert!((lo..at).all(|i| s.get(i) < probe));
+        } else {
+            prop_assert!((lo..hi).all(|i| s.get(i) < probe));
+        }
+    }
+}

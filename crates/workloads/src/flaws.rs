@@ -105,7 +105,7 @@ fn uaf_realloc() -> (Program, Vec<i64>) {
 }
 
 /// Table 4's rows: `(project, cve, kind)`.
-const ROWS: &[(&'static str, &'static str, CveKind)] = &[
+const ROWS: &[(&str, &str, CveKind)] = &[
     ("libzip", "CVE-2017-12858", CveKind::UseAfterFreeRealloc),
     ("autotrace", "CVE-2017-9164", CveKind::HeapOverflowLarge),
     ("autotrace", "CVE-2017-9165", CveKind::HeapOverflowRounded),

@@ -69,12 +69,7 @@ impl InjectedBug {
 }
 
 /// Emits random benign traffic over the given live buffers.
-fn benign_traffic(
-    b: &mut ProgramBuilder,
-    rng: &mut StdRng,
-    live: &[(PtrId, i64)],
-    stmts: usize,
-) {
+fn benign_traffic(b: &mut ProgramBuilder, rng: &mut StdRng, live: &[(PtrId, i64)], stmts: usize) {
     for _ in 0..stmts {
         let (ptr, size) = live[rng.gen_range(0..live.len())];
         match rng.gen_range(0..8) {
@@ -222,7 +217,13 @@ mod tests {
             let fp = safe_program(seed);
             let mut native = NullSanitizer::new(RuntimeConfig::small());
             let plan = giantsan_ir::CheckPlan::none(&fp.program);
-            let r = run(&fp.program, &fp.inputs, &mut native, &plan, &ExecConfig::default());
+            let r = run(
+                &fp.program,
+                &fp.inputs,
+                &mut native,
+                &plan,
+                &ExecConfig::default(),
+            );
             assert_eq!(r.termination, Termination::Finished, "seed {seed}");
         }
     }
@@ -243,7 +244,13 @@ mod tests {
                 let fp = buggy_program(seed, bug);
                 let plan = analyze(&fp.program, &ToolProfile::giantsan()).plan;
                 let mut san = GiantSan::new(RuntimeConfig::small());
-                let r = run(&fp.program, &fp.inputs, &mut san, &plan, &ExecConfig::default());
+                let r = run(
+                    &fp.program,
+                    &fp.inputs,
+                    &mut san,
+                    &plan,
+                    &ExecConfig::default(),
+                );
                 assert!(r.detected(), "{} seed {seed}", bug.name());
             }
         }

@@ -535,7 +535,13 @@ mod tests {
     use giantsan_ir::{run, CheckPlan, ExecConfig};
     use giantsan_runtime::{RuntimeConfig, Sanitizer};
 
-    fn exec(suite: &JulietSuite, case: &JulietCase, san: &mut dyn Sanitizer, plan: &CheckPlan, buggy: bool) -> bool {
+    fn exec(
+        suite: &JulietSuite,
+        case: &JulietCase,
+        san: &mut dyn Sanitizer,
+        plan: &CheckPlan,
+        buggy: bool,
+    ) -> bool {
         let inputs = if buggy {
             &case.buggy_inputs
         } else {
@@ -647,7 +653,13 @@ mod tests {
                 case.index
             );
         }
-        assert!(missed_121 > total_121 / 2, "LFP should miss most stack overflows");
-        assert!(missed_122 > total_122 / 2, "LFP should miss most heap overflows");
+        assert!(
+            missed_121 > total_121 / 2,
+            "LFP should miss most stack overflows"
+        );
+        assert!(
+            missed_122 > total_122 / 2,
+            "LFP should miss most heap overflows"
+        );
     }
 }

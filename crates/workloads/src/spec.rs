@@ -60,11 +60,16 @@ fn perl_interp(scale: u64) -> (Program, Vec<i64>) {
     b.for_loop_opaque(0i64, n_ops, |b, i| {
         let h = b.let_(Expr::input_at(Expr::var(i) + 2));
         let slot = b.load(table, Expr::var(h) * 8, 8); // cached (data-dep)
-        // The bucket is manipulated through a derived pointer, like a perl
-        // SV*: the pointer changes per op, so these stay fast-checked.
+                                                       // The bucket is manipulated through a derived pointer, like a perl
+                                                       // SV*: the pointer changes per op, so these stay fast-checked.
         let sv = b.ptr_add(table, Expr::var(slot) * 8);
         let refcnt = b.load(sv, 0i64, 8);
-        b.store(sv, 0i64, 8, Expr::var(refcnt) - Expr::var(refcnt) + Expr::var(h));
+        b.store(
+            sv,
+            0i64,
+            8,
+            Expr::var(refcnt) - Expr::var(refcnt) + Expr::var(h),
+        );
         // Short string op: constant-offset header then a small copy.
         b.load_discard(strings, 0i64, 8);
         b.load_discard(strings, 8i64, 8);
@@ -104,7 +109,12 @@ fn gcc_ir(scale: u64) -> (Program, Vec<i64>) {
         let edge = b.load(pool, Expr::var(succ) * 8, 8);
         let def = b.ptr_add(pool, Expr::var(edge) * 8);
         let uses = b.load(def, 0i64, 8);
-        b.store(def, 0i64, 8, Expr::var(uses) - Expr::var(uses) + Expr::var(succ));
+        b.store(
+            def,
+            0i64,
+            8,
+            Expr::var(uses) - Expr::var(uses) + Expr::var(succ),
+        );
         b.free(node);
     });
     b.free(pool);
@@ -205,7 +215,12 @@ fn povray_trace(scale: u64) -> (Program, Vec<i64>) {
     let n = b.input(0);
     let scene = b.alloc_heap(objs * 32);
     b.for_loop(0i64, objs, |b, i| {
-        b.store(scene, Expr::var(i) * 32, 8, Expr::input_at(Expr::var(i) + 1));
+        b.store(
+            scene,
+            Expr::var(i) * 32,
+            8,
+            Expr::input_at(Expr::var(i) + 1),
+        );
     });
     b.for_loop_opaque(0i64, n, |b, i| {
         b.frame(|b| {
@@ -404,8 +419,8 @@ fn leela_mcts(scale: u64) -> (Program, Vec<i64>) {
     let nodes = b.alloc_heap(tree * 16);
     b.for_loop(0i64, n, |b, i| {
         let path = b.alloc_heap(64); // churn
-        // UCT descent: root hop through the stable arena (cacheable), then
-        // per-node pointers (fast-checked).
+                                     // UCT descent: root hop through the stable arena (cacheable), then
+                                     // per-node pointers (fast-checked).
         let n0 = b.let_(Expr::input_at(Expr::var(i) + 1));
         let n1 = b.load(nodes, Expr::var(n0) * 16, 8);
         let p1 = b.ptr_add(nodes, Expr::var(n1) * 16);
@@ -613,7 +628,12 @@ mod tests {
                 &ExecConfig::default(),
             );
             assert_eq!(r.termination, Termination::Finished, "{}", w.id);
-            assert!(r.reports.is_empty(), "{} raised: {:?}", w.id, r.reports.first());
+            assert!(
+                r.reports.is_empty(),
+                "{} raised: {:?}",
+                w.id,
+                r.reports.first()
+            );
         }
     }
 

@@ -58,7 +58,10 @@ impl Pattern {
 /// assert_eq!(inputs[0], 4096 / 8);
 /// ```
 pub fn traversal_program(pattern: Pattern, n: u64, rounds: u64) -> (Program, Vec<i64>) {
-    assert!(n > 0 && n % 8 == 0, "buffer size must be a multiple of 8");
+    assert!(
+        n > 0 && n.is_multiple_of(8),
+        "buffer size must be a multiple of 8"
+    );
     let words = (n / 8) as i64;
     let mut b = ProgramBuilder::new(match pattern {
         Pattern::Forward => "traverse-forward",

@@ -95,7 +95,13 @@ fn main() {
         "{:<10} {:>13} {:>11} {:>9} {:>9} {:>10}",
         "tool", "shadow loads", "cache hits", "fast", "slow", "wall (us)"
     );
-    for tool in [Tool::Native, Tool::GiantSan, Tool::Asan, Tool::AsanMinusMinus, Tool::Lfp] {
+    for tool in [
+        Tool::Native,
+        Tool::GiantSan,
+        Tool::Asan,
+        Tool::AsanMinusMinus,
+        Tool::Lfp,
+    ] {
         let out = run_tool(tool, &prog, &inputs, &RuntimeConfig::default());
         assert!(
             out.result.reports.is_empty(),

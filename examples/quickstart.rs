@@ -44,7 +44,12 @@ fn main() {
 
     // Now the bug: one byte past the end. The anchored check reports a
     // heap-buffer-overflow, rendered ASan-style with the shadow window.
-    match san.check_anchored(buf.base, buf.base + 1024, buf.base + 1025, AccessKind::Write) {
+    match san.check_anchored(
+        buf.base,
+        buf.base + 1024,
+        buf.base + 1025,
+        AccessKind::Write,
+    ) {
         Ok(()) => unreachable!("the overflow must be reported"),
         Err(report) => println!("\n{}", giantsan::core::render_report(&san, &report)),
     }

@@ -104,7 +104,10 @@ fn lfp_geometry_profile() {
             near_missed += 1;
         }
         assert!(
-            detected(Tool::Lfp, &buggy_program(seed, InjectedBug::OverflowFar).program),
+            detected(
+                Tool::Lfp,
+                &buggy_program(seed, InjectedBug::OverflowFar).program
+            ),
             "far overflow escapes the slot, seed {seed}"
         );
         assert!(
@@ -115,5 +118,8 @@ fn lfp_geometry_profile() {
             "stack is unprotected for LFP, seed {seed}"
         );
     }
-    assert!(near_missed > 5, "rounding slack should hide some near overflows");
+    assert!(
+        near_missed > 5,
+        "rounding slack should hide some near overflows"
+    );
 }

@@ -22,10 +22,7 @@ fn no_false_positives_on_random_safe_programs() {
                 out.result.reports.first()
             );
             assert!(
-                matches!(
-                    out.result.termination,
-                    giantsan::ir::Termination::Finished
-                ),
+                matches!(out.result.termination, giantsan::ir::Termination::Finished),
                 "seed {seed}: {} ended {:?}",
                 tool.name(),
                 out.result.termination
@@ -38,7 +35,12 @@ fn no_false_positives_on_random_safe_programs() {
 fn checksums_agree_across_all_tools() {
     for seed in 0..SEEDS {
         let sp = fuzz::safe_program(seed);
-        let reference = run_tool(Tool::Native, &sp.program, &sp.inputs, &RuntimeConfig::small());
+        let reference = run_tool(
+            Tool::Native,
+            &sp.program,
+            &sp.inputs,
+            &RuntimeConfig::small(),
+        );
         for tool in Tool::ALL {
             let out = run_tool(tool, &sp.program, &sp.inputs, &RuntimeConfig::small());
             assert_eq!(
@@ -62,7 +64,13 @@ fn shadow_stays_consistent_through_random_programs() {
         let sp = fuzz::safe_program(seed);
         let plan = analyze(&sp.program, &ToolProfile::giantsan()).plan;
         let mut san = GiantSan::new(RuntimeConfig::small());
-        let _ = run(&sp.program, &sp.inputs, &mut san, &plan, &ExecConfig::default());
+        let _ = run(
+            &sp.program,
+            &sp.inputs,
+            &mut san,
+            &plan,
+            &ExecConfig::default(),
+        );
         let issues = validate_shadow(&san);
         assert!(issues.is_empty(), "seed {seed}: {}", issues[0]);
     }
@@ -76,7 +84,12 @@ fn giantsan_loads_no_more_shadow_than_asan() {
     let mut total_asan = 0u64;
     for seed in 0..SEEDS {
         let sp = fuzz::safe_program(seed);
-        let gs = run_tool(Tool::GiantSan, &sp.program, &sp.inputs, &RuntimeConfig::small());
+        let gs = run_tool(
+            Tool::GiantSan,
+            &sp.program,
+            &sp.inputs,
+            &RuntimeConfig::small(),
+        );
         let asan = run_tool(Tool::Asan, &sp.program, &sp.inputs, &RuntimeConfig::small());
         total_gs += gs.counters.shadow_loads;
         total_asan += asan.counters.shadow_loads;
@@ -94,12 +107,22 @@ fn ablations_bracket_full_giantsan() {
     let mut elim_only = 0u64;
     for seed in 0..SEEDS {
         let sp = fuzz::safe_program(seed);
-        gs += run_tool(Tool::GiantSan, &sp.program, &sp.inputs, &RuntimeConfig::small())
-            .counters
-            .shadow_loads;
-        cache_only += run_tool(Tool::CacheOnly, &sp.program, &sp.inputs, &RuntimeConfig::small())
-            .counters
-            .shadow_loads;
+        gs += run_tool(
+            Tool::GiantSan,
+            &sp.program,
+            &sp.inputs,
+            &RuntimeConfig::small(),
+        )
+        .counters
+        .shadow_loads;
+        cache_only += run_tool(
+            Tool::CacheOnly,
+            &sp.program,
+            &sp.inputs,
+            &RuntimeConfig::small(),
+        )
+        .counters
+        .shadow_loads;
         elim_only += run_tool(
             Tool::EliminationOnly,
             &sp.program,

@@ -7,7 +7,7 @@ use giantsan::analysis::{analyze, SiteFate, ToolProfile};
 use giantsan::baselines::{Asan, Lfp};
 use giantsan::core::{check_region, check_region_bytewise, GiantSan};
 use giantsan::harness::{run_tool, Tool};
-use giantsan::ir::{run, CheckPlan, Expr, ExecConfig, ProgramBuilder, Termination};
+use giantsan::ir::{run, CheckPlan, ExecConfig, Expr, ProgramBuilder, Termination};
 use giantsan::runtime::{AccessKind, Region, RuntimeConfig, Sanitizer};
 
 #[test]
@@ -226,9 +226,11 @@ fn zero_sized_and_one_byte_allocations() {
 fn memcpy_between_distinct_objects_checks_both_sides() {
     // Source too small: the read side must be flagged even though the
     // destination is fine, and vice versa.
-    for (src_size, dst_size, len, should_fail) in
-        [(32i64, 64i64, 32i64, false), (16, 64, 32, true), (64, 16, 32, true)]
-    {
+    for (src_size, dst_size, len, should_fail) in [
+        (32i64, 64i64, 32i64, false),
+        (16, 64, 32, true),
+        (64, 16, 32, true),
+    ] {
         let mut b = ProgramBuilder::new("mc");
         let src = b.alloc_heap(src_size);
         let dst = b.alloc_heap(dst_size);

@@ -21,7 +21,11 @@ fn table2_reproduces_the_headline_ordering() {
     assert!(gm[col(Tool::Lfp)] < gm[col(Tool::Asan)]);
     assert!(gm[col(Tool::GiantSan)] < gm[col(Tool::AsanMinusMinus)]);
     assert!(gm[col(Tool::AsanMinusMinus)] < gm[col(Tool::Asan)]);
-    assert!(gm[col(Tool::Asan)] > 180.0, "ASan ~2x: {}", gm[col(Tool::Asan)]);
+    assert!(
+        gm[col(Tool::Asan)] > 180.0,
+        "ASan ~2x: {}",
+        gm[col(Tool::Asan)]
+    );
     assert!(gm[col(Tool::GiantSan)] < 160.0);
     // Crossovers: LFP wins a handful of rows (the paper says 5 of 24).
     let lfp_wins = t

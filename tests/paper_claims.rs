@@ -6,7 +6,7 @@ use giantsan::analysis::{analyze, SiteFate, ToolProfile};
 use giantsan::baselines::Asan;
 use giantsan::core::{encoding, GiantSan};
 use giantsan::harness::{run_tool, Tool};
-use giantsan::ir::{run, Expr, ExecConfig, ProgramBuilder};
+use giantsan::ir::{run, ExecConfig, Expr, ProgramBuilder};
 use giantsan::runtime::{AccessKind, CacheSlot, Region, RuntimeConfig, Sanitizer};
 
 /// §1: "checking whether a 1KB region contains a non-addressable byte
@@ -165,7 +165,11 @@ fn table1_memset_row() {
     b.free(p);
     let prog = b.build();
     let gs = run_tool(Tool::GiantSan, &prog, &[], &RuntimeConfig::small());
-    assert!(gs.counters.shadow_loads <= 3, "{}", gs.counters.shadow_loads);
+    assert!(
+        gs.counters.shadow_loads <= 3,
+        "{}",
+        gs.counters.shadow_loads
+    );
     let asan = run_tool(Tool::Asan, &prog, &[], &RuntimeConfig::small());
     assert_eq!(asan.counters.shadow_loads as i64, n / 8, "Θ(N) guardian");
 }

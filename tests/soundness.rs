@@ -21,12 +21,7 @@ fn layout(sizes: &[u64]) -> (ShadowMemory, Vec<(giantsan::shadow::Addr, u64)>) {
         poison::poison_object(&mut shadow, cursor, size);
         objects.push((cursor, size));
         let user = giantsan::shadow::align_up(size.max(1), 8);
-        poison::poison_range(
-            &mut shadow,
-            cursor + user,
-            16,
-            encoding::HEAP_RIGHT_REDZONE,
-        );
+        poison::poison_range(&mut shadow, cursor + user, 16, encoding::HEAP_RIGHT_REDZONE);
         cursor += user + 16;
     }
     (shadow, objects)
@@ -105,7 +100,7 @@ proptest! {
             san.cached_check(&mut slot, a.base, off as i64, 8, AccessKind::Read)
                 .unwrap();
         }
-        let bound = 64 - (size_words.leading_zeros() as u32) + 1; // ⌈log2⌉ + slack
+        let bound = 64 - size_words.leading_zeros() + 1; // ⌈log2⌉ + slack
         prop_assert!(
             slot.updates <= bound,
             "{} updates for {} words (bound {})",

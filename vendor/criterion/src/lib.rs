@@ -1,0 +1,304 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a small API-compatible benchmark harness: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, throughput
+//! annotation, and `criterion_group!` / `criterion_main!`. Measurement is a
+//! straightforward warm-up + timed-batch loop reporting mean ns/iter (plus
+//! derived throughput); there is no statistical analysis, HTML report, or
+//! baseline comparison. Numbers print to stdout in a stable, greppable
+//! format so harness tooling can consume them.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name, an optional
+/// parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id made of a function name and a parameter, rendered `name/param`.
+    pub fn new<P: fmt::Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id made of a parameter only (the group name carries the function).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by the `bench_function` family: a plain string or an
+/// explicit [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts into the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Units processed per iteration, used to derive a rate from the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.measure);
+        f(&mut b);
+        b.report(&id.label, None);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes batches by time,
+    /// not by sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; adjusts the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.criterion.measure);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.measure);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle given to benchmark closures.
+pub struct Bencher {
+    measure: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measure: Duration) -> Self {
+        Bencher {
+            measure,
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Measures `routine`: a short warm-up sizes the batch, then batches run
+    /// until the measurement window is filled.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: estimate the cost of one iteration (at least ~5ms of work
+        // or 3 iterations, whichever is more).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(5) {
+            hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            total_iters += batch;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+        self.iters = total_iters;
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.mean_ns.is_nan() {
+            println!("{label:<48} (no measurement: iter was never called)");
+            return;
+        }
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let gib = n as f64 / self.mean_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                format!("  thrpt: {gib:>9.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / self.mean_ns * 1e9 / 1e6;
+                format!("  thrpt: {meps:>9.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<48} time: {:>12.1} ns/iter ({} iters){rate}",
+            self.mean_ns, self.iters
+        );
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`. CLI arguments (as passed by `cargo bench`)
+/// are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert!(b.mean_ns.is_finite() && b.mean_ns > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_round_trip() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Bytes(64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 64), &64u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7)));
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(2)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a tiny API-compatible replacement instead of the real
+//! `rand`. Only what the workloads actually call is provided:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit generator (splitmix64 seeded
+//!   xoshiro256++), seeded via [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over `Range` / `RangeInclusive` of the primitive
+//!   integer types.
+//!
+//! The streams differ from upstream `rand`'s, which is fine: every consumer
+//! in this repo treats the RNG as an arbitrary deterministic source (workload
+//! shapes, shuffles), never as a reference stream. Determinism per seed —
+//! which the differential fuzzer and benches rely on — is preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding entry point; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Maps a raw 64-bit draw into `[lo, hi)`. `hi` is exclusive; callers
+    /// handle the inclusive case by widening before calling.
+    fn from_draw(draw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn from_draw(draw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                assert!(span > 0, "cannot sample from empty range");
+                let off = (draw as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A half-open or inclusive range that can be sampled for `T`.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly within the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::from_draw(rng.next_u64(), self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + One> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        // Widen `hi` by one to reuse the half-open mapping. The workspace
+        // never samples a range ending at the type's maximum value.
+        T::from_draw(rng.next_u64(), lo, hi.plus_one())
+    }
+}
+
+/// Internal helper so `RangeInclusive` sampling can widen its upper bound.
+pub trait One {
+    /// `self + 1`, panicking on overflow (unused at type maxima here).
+    fn plus_one(self) -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            #[inline]
+            fn plus_one(self) -> Self {
+                self.checked_add(1).expect("inclusive range at type maximum")
+            }
+        }
+    )*};
+}
+
+impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random-number source; mirrors the `rand::Rng` surface this repo uses.
+pub trait Rng {
+    /// Produces the next raw 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (only `StdRng` is provided).
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator seeded through splitmix64, the
+    /// same construction the xoshiro authors recommend. Statistically strong
+    /// enough for workload shaping; not cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Prelude mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-24..640);
+            assert!((-24..640).contains(&w));
+            let x: u64 = rng.gen_range(1..=8);
+            assert!((1..=8).contains(&x));
+            let y: i64 = rng.gen_range(0..=0);
+            assert_eq!(y, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..8 reachable");
+    }
+}
