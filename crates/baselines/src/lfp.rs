@@ -89,11 +89,7 @@ impl Lfp {
     /// Creates an LFP instance over a fresh world (no redzones, no
     /// quarantine — LFP has neither).
     pub fn new(config: RuntimeConfig) -> Self {
-        let cfg = RuntimeConfig {
-            redzone: 0,
-            quarantine_cap: 0,
-            ..config
-        };
+        let cfg = config.to_builder().redzone(0).quarantine_cap(0).build();
         Lfp {
             world: World::new(cfg),
             counters: Counters::default(),

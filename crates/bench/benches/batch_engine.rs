@@ -1,0 +1,51 @@
+//! Batch-engine scaling: the same cell matrix at 1/2/4/8 workers.
+//!
+//! `batch_matrix/<threads>` times [`giantsan_harness::matrix::run_matrix`]
+//! over the default PR 2 cell matrix. On a multi-core host the curve shows
+//! the engine's scaling; on a single-core host all points collapse onto the
+//! serial time (work stealing adds only the per-cell atomic increment).
+//! `batch_overhead/serial-vs-pool-of-1` isolates the pure scheduling
+//! overhead: the inline path against a 2-worker pool on the same matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use giantsan_harness::matrix::{default_matrix, run_matrix};
+use giantsan_harness::BatchRunner;
+use giantsan_runtime::RuntimeConfig;
+
+fn bench_batch_matrix(c: &mut Criterion) {
+    let cells = default_matrix(1, &[0, 1]);
+    let cfg = RuntimeConfig::small();
+    let mut group = c.benchmark_group("batch_matrix");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchRunner::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &runner,
+            |b, runner| b.iter(|| run_matrix(runner, &cells, &cfg).len()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_overhead(c: &mut Criterion) {
+    // Tiny cells make the scheduling cost visible relative to the work.
+    let items: Vec<u64> = (0..4096).collect();
+    let job = |i: usize, x: &u64| (i as u64).wrapping_mul(31).wrapping_add(*x);
+    let mut group = c.benchmark_group("batch_overhead");
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.bench_function("inline", |b| {
+        let runner = BatchRunner::serial();
+        b.iter(|| runner.map(&items, job).len())
+    });
+    group.bench_function("pool", |b| {
+        let runner = BatchRunner::new(2);
+        b.iter(|| runner.map(&items, job).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_matrix, bench_batch_overhead);
+criterion_main!(benches);

@@ -72,10 +72,90 @@ impl Default for GiantSanOptions {
     }
 }
 
+impl GiantSanOptions {
+    /// Returns the options with anchor-based underflow detection toggled.
+    pub fn with_underflow_anchor(mut self, on: bool) -> Self {
+        self.underflow_anchor = on;
+        self
+    }
+
+    /// Returns the options with the §5.4 reverse-traversal mitigation
+    /// toggled.
+    pub fn with_reverse_mitigation(mut self, on: bool) -> Self {
+        self.reverse_mitigation = on;
+        self
+    }
+}
+
+/// Non-consuming fluent builder for [`GiantSan`], covering both the runtime
+/// configuration and every [`GiantSanOptions`] knob.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_core::GiantSan;
+/// use giantsan_runtime::RuntimeConfig;
+///
+/// let san = GiantSan::builder()
+///     .config(RuntimeConfig::small())
+///     .reverse_mitigation(true)
+///     .build();
+/// assert_eq!(san.options().reverse_mitigation, true);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GiantSanBuilder {
+    config: RuntimeConfig,
+    options: GiantSanOptions,
+}
+
+impl GiantSanBuilder {
+    /// Sets the runtime configuration (defaults to [`RuntimeConfig::default`]).
+    pub fn config(&mut self, config: RuntimeConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the whole option block at once.
+    pub fn options(&mut self, options: GiantSanOptions) -> &mut Self {
+        self.options = options;
+        self
+    }
+
+    /// Toggles anchor-based underflow detection (§5.4 first alternative when
+    /// off).
+    pub fn underflow_anchor(&mut self, on: bool) -> &mut Self {
+        self.options.underflow_anchor = on;
+        self
+    }
+
+    /// Toggles the quasi-lower-bound reverse-traversal mitigation (§5.4
+    /// second alternative).
+    pub fn reverse_mitigation(&mut self, on: bool) -> &mut Self {
+        self.options.reverse_mitigation = on;
+        self
+    }
+
+    /// Builds a GiantSan instance over a fresh world (the builder stays
+    /// usable for further sessions).
+    pub fn build(&self) -> GiantSan {
+        GiantSan::with_options(self.config.clone(), self.options.clone())
+    }
+}
+
 impl GiantSan {
     /// Creates a GiantSan instance over a fresh world.
     pub fn new(config: RuntimeConfig) -> Self {
         Self::with_options(config, GiantSanOptions::default())
+    }
+
+    /// Starts a fluent [`GiantSanBuilder`] with default config and options.
+    pub fn builder() -> GiantSanBuilder {
+        GiantSanBuilder::default()
+    }
+
+    /// The option block this instance runs with.
+    pub fn options(&self) -> &GiantSanOptions {
+        &self.options
     }
 
     /// Creates a GiantSan instance with explicit [`GiantSanOptions`].
@@ -457,7 +537,12 @@ impl Sanitizer for GiantSan {
 
     fn loop_final_check(&mut self, slot: &CacheSlot, base: Addr, kind: AccessKind) -> CheckResult {
         // Figure 9 line 14: CI(y, y + ub) — catches objects freed while the
-        // cache was admitting accesses.
+        // cache was admitting accesses. The quasi-lower-bound (§5.4 second
+        // alternative) admits descending accesses the same way, so the freed
+        // window it covered needs the symmetric check CI(y + lb, y).
+        if slot.lb < 0 {
+            self.run_region(base.offset(slot.lb), base, kind)?;
+        }
         if slot.ub == 0 {
             return Ok(());
         }
@@ -513,10 +598,12 @@ mod tests {
 
     #[test]
     fn use_after_free_detected_until_recycled() {
-        let mut s = GiantSan::new(RuntimeConfig {
-            quarantine_cap: 1 << 12,
-            ..RuntimeConfig::small()
-        });
+        let mut s = GiantSan::new(
+            RuntimeConfig::small()
+                .to_builder()
+                .quarantine_cap(1 << 12)
+                .build(),
+        );
         let a = s.alloc(32, Region::Heap).unwrap();
         s.free(a.base).unwrap();
         let err = s.check_access(a.base, 8, AccessKind::Read).unwrap_err();
@@ -527,10 +614,12 @@ mod tests {
     fn quarantine_bypass_is_a_known_false_negative() {
         // §5.4: once the quarantine evicts and the block is reallocated, a
         // dangling access looks valid.
-        let mut s = GiantSan::new(RuntimeConfig {
-            quarantine_cap: 0,
-            ..RuntimeConfig::small()
-        });
+        let mut s = GiantSan::new(
+            RuntimeConfig::small()
+                .to_builder()
+                .quarantine_cap(0)
+                .build(),
+        );
         let a = s.alloc(32, Region::Heap).unwrap();
         s.free(a.base).unwrap();
         let b = s.alloc(32, Region::Heap).unwrap();
@@ -670,11 +759,61 @@ mod tests {
     }
 
     #[test]
+    fn loop_final_check_catches_mid_loop_free_on_reverse_traversal() {
+        // Regression: with the §5.4 reverse mitigation the cache admits
+        // descending accesses below the quasi-lower-bound; a mid-loop free
+        // must still surface at loop exit even when ub was never populated.
+        let mut s = GiantSan::builder()
+            .config(RuntimeConfig::small())
+            .reverse_mitigation(true)
+            .build();
+        let n: u64 = 256;
+        let a = s.alloc(n, Region::Heap).unwrap();
+        let end = a.base + n;
+        let mut slot = CacheSlot::new();
+        s.cached_check(&mut slot, end, -8, 8, AccessKind::Read)
+            .unwrap();
+        assert!(slot.lb < 0, "mitigation must populate the lower bound");
+        assert_eq!(slot.ub, 0, "reverse loop never grows the upper bound");
+        s.free(a.base).unwrap();
+        // The cache still admits in-bounds descending accesses...
+        assert!(s
+            .cached_check(&mut slot, end, -16, 8, AccessKind::Read)
+            .is_ok());
+        // ...so the loop-exit check must validate [base+lb, base) too.
+        let err = s
+            .loop_final_check(&slot, end, AccessKind::Read)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UseAfterFree);
+    }
+
+    #[test]
+    fn builder_matches_with_options() {
+        let built = GiantSan::builder()
+            .underflow_anchor(false)
+            .reverse_mitigation(true)
+            .build();
+        assert_eq!(
+            *built.options(),
+            GiantSanOptions {
+                underflow_anchor: false,
+                reverse_mitigation: true,
+            }
+        );
+        assert_eq!(
+            *GiantSan::builder().build().options(),
+            GiantSanOptions::default()
+        );
+    }
+
+    #[test]
     fn recycled_blocks_are_unpoisoned_for_reuse() {
-        let mut s = GiantSan::new(RuntimeConfig {
-            quarantine_cap: 64,
-            ..RuntimeConfig::small()
-        });
+        let mut s = GiantSan::new(
+            RuntimeConfig::small()
+                .to_builder()
+                .quarantine_cap(64)
+                .build(),
+        );
         let a = s.alloc(8, Region::Heap).unwrap();
         s.free(a.base).unwrap();
         // Pushing more frees evicts `a`; its shadow returns to unallocated,
@@ -745,13 +884,10 @@ mod tests {
 
     #[test]
     fn reverse_mitigation_caches_descending_accesses() {
-        let mut s = GiantSan::with_options(
-            RuntimeConfig::small(),
-            GiantSanOptions {
-                reverse_mitigation: true,
-                ..GiantSanOptions::default()
-            },
-        );
+        let mut s = GiantSan::builder()
+            .config(RuntimeConfig::small())
+            .reverse_mitigation(true)
+            .build();
         let n: u64 = 4096;
         let a = s.alloc(n, Region::Heap).unwrap();
         let end = a.base + n;
@@ -774,13 +910,10 @@ mod tests {
     #[test]
     fn reverse_mitigation_soundness_at_every_size() {
         for size in [8u64, 24, 100, 256, 1000] {
-            let mut s = GiantSan::with_options(
-                RuntimeConfig::small(),
-                GiantSanOptions {
-                    reverse_mitigation: true,
-                    ..GiantSanOptions::default()
-                },
-            );
+            let mut s = GiantSan::builder()
+                .config(RuntimeConfig::small())
+                .reverse_mitigation(true)
+                .build();
             let a = s.alloc(size, Region::Heap).unwrap();
             // Reverse traversal of the whole-word prefix, anchored one past
             // the last full word (the `p = buf + n; *--p` idiom).
@@ -800,13 +933,10 @@ mod tests {
     fn no_underflow_anchor_degrades_to_asan_mode() {
         // The first §5.4 alternative: a large negative offset that lands in
         // another live object bypasses the redzone, exactly like ASan.
-        let mut s = GiantSan::with_options(
-            RuntimeConfig::small(),
-            GiantSanOptions {
-                underflow_anchor: false,
-                ..GiantSanOptions::default()
-            },
-        );
+        let mut s = GiantSan::builder()
+            .config(RuntimeConfig::small())
+            .underflow_anchor(false)
+            .build();
         let victim = s.alloc(256, Region::Heap).unwrap();
         let a = s.alloc(64, Region::Heap).unwrap();
         let dist = (a.base - victim.base) as i64;

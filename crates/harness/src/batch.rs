@@ -1,0 +1,188 @@
+//! The parallel batch-execution engine.
+//!
+//! Every experiment in this harness is a *cell matrix*: a list of
+//! independent (tool × workload × size × seed) runs whose results are folded
+//! into one table. [`BatchRunner`] executes such a matrix across a scoped
+//! worker pool with dynamic scheduling — workers steal the next unclaimed
+//! cell from a shared atomic cursor, so a straggler cell never idles the
+//! rest of the pool — and reassembles results **by cell index**, which makes
+//! the merged output independent of thread count and completion order.
+//!
+//! Determinism contract: for a pure `job`, `runner.map(items, job)` returns
+//! byte-for-byte the same `Vec` for every thread count, including 1. The
+//! differential test `tests/determinism.rs` and the CI smoke job enforce
+//! this end-to-end on the experiment CSVs.
+//!
+//! # Example
+//!
+//! ```
+//! use giantsan_harness::BatchRunner;
+//! let runner = BatchRunner::new(4);
+//! let squares = runner.map(&[1u64, 2, 3, 4, 5], |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker pool that executes experiment cells with deterministic merging.
+///
+/// The pool is scoped: threads are spawned per [`BatchRunner::map`] call and
+/// joined before it returns, so borrowed cell data needs no `'static`
+/// lifetime and a panicking cell propagates to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// A runner with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runner: cells run inline, in order.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(Self::available_parallelism())
+    }
+
+    /// The host's available parallelism (1 when it cannot be queried).
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Number of workers this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `job` over every item and returns the results in item order.
+    ///
+    /// `job` receives the cell index alongside the item (seed derivation and
+    /// labelling often need it). With one worker — or one item — everything
+    /// runs inline on the caller's thread with zero scheduling overhead,
+    /// which is also the reference ordering the parallel path must match.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any cell after the scope joins.
+    pub fn map<T, R, F>(&self, items: &[T], job: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| job(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            // Work stealing: claim the next unfinished cell.
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, job(i, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(shard) => shard,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        // Deterministic merge: place every result at its cell index, so the
+        // output order owes nothing to scheduling.
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for shard in shards {
+            for (i, r) in shard {
+                debug_assert!(out[i].is_none(), "cell {i} executed twice");
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every claimed cell must produce a result"))
+            .collect()
+    }
+}
+
+impl Default for BatchRunner {
+    /// Defaults to [`BatchRunner::auto`].
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let reference = BatchRunner::serial().map(&items, |i, x| (i as u64) * 1000 + x);
+        for threads in [2, 3, 4, 8, 64] {
+            let got = BatchRunner::new(threads).map(&items, |i, x| (i as u64) * 1000 + x);
+            assert_eq!(got, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_matrices() {
+        let r = BatchRunner::new(8);
+        assert_eq!(r.map(&[] as &[u64], |_, x| *x), Vec::<u64>::new());
+        assert_eq!(r.map(&[42u64], |i, x| x + i as u64), vec![42]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(BatchRunner::new(0).threads(), 1);
+        assert!(BatchRunner::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn uneven_cell_costs_still_merge_deterministically() {
+        // Cells with wildly different costs exercise the stealing path: the
+        // long cell is claimed once and the rest drain around it.
+        let items: Vec<u64> = (0..64).collect();
+        let job = |_: usize, x: &u64| {
+            let rounds = if *x == 0 { 200_000 } else { 100 };
+            (0..rounds).fold(*x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        assert_eq!(
+            BatchRunner::new(4).map(&items, job),
+            BatchRunner::serial().map(&items, job)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 panicked")]
+    fn cell_panics_propagate() {
+        let items: Vec<u64> = (0..8).collect();
+        BatchRunner::new(2).map(&items, |i, _| {
+            if i == 3 {
+                panic!("cell 3 panicked");
+            }
+            i
+        });
+    }
+}

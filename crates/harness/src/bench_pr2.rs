@@ -1,0 +1,206 @@
+//! Batch-engine benchmark: serial vs parallel matrix execution.
+//!
+//! `repro bench` runs the PR 2 half of the benchmark suite: the default
+//! experiment cell matrix ([`crate::matrix::default_matrix`]) executed once
+//! under a serial [`BatchRunner`] and once under the requested thread count,
+//! with three artefacts per run emitted to `BENCH_PR2.json`:
+//!
+//! * **wall-clock** — serial and parallel nanoseconds and their ratio. The
+//!   speedup is an honest measurement of *this host*: on a single-core
+//!   machine it hovers around 1.0 (there is nothing to parallelise onto),
+//!   and the `available_parallelism` field records that context.
+//! * **determinism** — the [`crate::matrix::digest`] of both runs, which
+//!   must match bit-for-bit, plus byte-equality of the Table 2 CSV emitted
+//!   from a serial and a parallel run.
+//! * **shape** — cell count and thread counts, so regressions in matrix
+//!   coverage are visible in the artefact diff.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use giantsan_runtime::RuntimeConfig;
+
+use crate::batch::BatchRunner;
+use crate::csv;
+use crate::experiments::table2;
+use crate::matrix::{default_matrix, digest, run_matrix};
+
+/// The `BENCH_PR2.json` payload.
+#[derive(Debug, Clone)]
+pub struct BenchPr2Report {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub available_parallelism: usize,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Cells in the matrix.
+    pub cells: usize,
+    /// Serial wall-clock nanoseconds (best of [`SAMPLES`]).
+    pub serial_ns: u128,
+    /// Parallel wall-clock nanoseconds (best of [`SAMPLES`]).
+    pub parallel_ns: u128,
+    /// Matrix digest of the serial run.
+    pub digest_serial: u64,
+    /// Matrix digest of the parallel run (must equal the serial one).
+    pub digest_parallel: u64,
+    /// Whether the serial and parallel Table 2 CSVs were byte-identical.
+    pub table2_csv_identical: bool,
+}
+
+/// Timing samples per configuration (minimum taken).
+pub const SAMPLES: u32 = 3;
+
+impl BenchPr2Report {
+    /// serial/parallel wall-clock ratio (>1 means the pool won).
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+
+    /// Every determinism check passed.
+    pub fn deterministic(&self) -> bool {
+        self.digest_serial == self.digest_parallel && self.table2_csv_identical
+    }
+
+    /// Renders the artefact as JSON (hand-rolled: numbers and ASCII only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"BENCH_PR2\",\n");
+        let _ = writeln!(
+            s,
+            "  \"available_parallelism\": {},\n  \"threads\": {},\n  \"cells\": {},",
+            self.available_parallelism, self.threads, self.cells
+        );
+        let _ = writeln!(
+            s,
+            "  \"serial_ns\": {},\n  \"parallel_ns\": {},\n  \"speedup\": {:.2},",
+            self.serial_ns,
+            self.parallel_ns,
+            self.speedup()
+        );
+        let _ = writeln!(
+            s,
+            "  \"digest_serial\": \"{:016x}\",\n  \"digest_parallel\": \"{:016x}\",",
+            self.digest_serial, self.digest_parallel
+        );
+        let _ = writeln!(
+            s,
+            "  \"table2_csv_identical\": {},\n  \"deterministic\": {}",
+            self.table2_csv_identical,
+            self.deterministic()
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary for the console.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "matrix: {} cells | host parallelism: {} | workers: {}",
+            self.cells, self.available_parallelism, self.threads
+        );
+        let _ = writeln!(
+            s,
+            "serial:   {:>12} ns\nparallel: {:>12} ns  ({:.2}x)",
+            self.serial_ns,
+            self.parallel_ns,
+            self.speedup()
+        );
+        let _ = writeln!(
+            s,
+            "digests:  {:016x} (serial) vs {:016x} (parallel) -> {}",
+            self.digest_serial,
+            self.digest_parallel,
+            if self.digest_serial == self.digest_parallel {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        let _ = writeln!(
+            s,
+            "table2 CSV serial vs parallel: {}",
+            if self.table2_csv_identical {
+                "byte-identical"
+            } else {
+                "DIFFERS"
+            }
+        );
+        s
+    }
+}
+
+/// Runs the batch benchmark with `threads` parallel workers.
+pub fn run_bench(threads: usize) -> BenchPr2Report {
+    let cells = default_matrix(2, &[0, 1, 2, 3]);
+    let cfg = RuntimeConfig::small();
+    let serial = BatchRunner::serial();
+    let parallel = BatchRunner::new(threads);
+
+    // Warm-up run (also the digest source for the serial side).
+    let serial_outcomes = run_matrix(&serial, &cells, &cfg);
+    let parallel_outcomes = run_matrix(&parallel, &cells, &cfg);
+
+    let mut serial_ns = u128::MAX;
+    let mut parallel_ns = u128::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let _ = run_matrix(&serial, &cells, &cfg);
+        serial_ns = serial_ns.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        let _ = run_matrix(&parallel, &cells, &cfg);
+        parallel_ns = parallel_ns.min(t.elapsed().as_nanos());
+    }
+
+    let csv_serial = csv::table2_csv(&table2::table2_with(&serial, 1));
+    let csv_parallel = csv::table2_csv(&table2::table2_with(&parallel, 1));
+
+    BenchPr2Report {
+        available_parallelism: BatchRunner::available_parallelism(),
+        threads: parallel.threads(),
+        cells: cells.len(),
+        serial_ns,
+        parallel_ns,
+        digest_serial: digest(&serial_outcomes),
+        digest_parallel: digest(&parallel_outcomes),
+        table2_csv_identical: csv_serial == csv_parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = BenchPr2Report {
+            available_parallelism: 8,
+            threads: 4,
+            cells: 100,
+            serial_ns: 4_000_000,
+            parallel_ns: 1_000_000,
+            digest_serial: 0xdead,
+            digest_parallel: 0xdead,
+            table2_csv_identical: true,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"speedup\": 4.00"), "{j}");
+        assert!(j.contains("\"deterministic\": true"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(r.deterministic());
+    }
+
+    #[test]
+    fn digest_mismatch_fails_the_determinism_verdict() {
+        let r = BenchPr2Report {
+            available_parallelism: 1,
+            threads: 4,
+            cells: 1,
+            serial_ns: 1,
+            parallel_ns: 1,
+            digest_serial: 1,
+            digest_parallel: 2,
+            table2_csv_identical: true,
+        };
+        assert!(!r.deterministic());
+    }
+}

@@ -11,26 +11,32 @@
 //! repro ablation                    §5.4 mitigations + quarantine study
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
-//! repro bench  [--out DIR]          hot-path before/after -> BENCH_PR1.json
+//! repro bench  [--out DIR]          hot-path + batch-engine -> BENCH_PR{1,2}.json
 //! repro all    [--div N] [--scale N] everything
 //! ```
 //!
 //! `--div 1` runs the full detection corpora (5,948 Juliet cases, 58,969
 //! Magma cases); the default subsamples for a quick pass.
+//!
+//! Every experiment shards its cell matrix across `--threads N` workers
+//! (default: the host's available parallelism). Results are deterministic:
+//! the modelled tables and CSVs are byte-identical for every thread count;
+//! only wall-clock columns vary run to run.
 
 use std::env;
 use std::process::ExitCode;
 
-use giantsan_harness::bench_pr1;
 use giantsan_harness::csv;
 use giantsan_harness::experiments::{
     ablation, density, fig10, fig11, memory, table2, table3, table4, table5,
 };
+use giantsan_harness::{bench_pr1, bench_pr2, BatchRunner};
 
 struct Opts {
     scale: u64,
     div: u32,
     rounds: u64,
+    threads: usize,
     wall: bool,
     out: Option<std::path::PathBuf>,
 }
@@ -40,6 +46,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         scale: 1,
         div: 10,
         rounds: 4,
+        threads: BatchRunner::available_parallelism(),
         wall: false,
         out: None,
     };
@@ -67,6 +74,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("bad --rounds: {e}"))?
             }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
             "--wall" => opts.wall = true,
             "--out" => {
                 opts.out = Some(it.next().ok_or("--out needs a directory")?.into());
@@ -75,6 +89,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         }
     }
     Ok(opts)
+}
+
+impl Opts {
+    fn runner(&self) -> BatchRunner {
+        BatchRunner::new(self.threads)
+    }
 }
 
 /// Writes `content` to `<out>/<name>` when `--out` was given.
@@ -90,12 +110,27 @@ fn write_csv(opts: &Opts, name: &str, content: &str) {
     }
 }
 
+/// Writes a benchmark artefact to `<out or .>/<name>`.
+fn write_artifact(opts: &Opts, name: &str, content: &str) {
+    let path = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+        .join(name);
+    match std::fs::create_dir_all(path.parent().unwrap_or(std::path::Path::new(".")))
+        .and_then(|()| std::fs::write(&path, content))
+    {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|memory|density|bench|all> \
-             [--scale N] [--div N] [--rounds N] [--wall] [--out DIR]"
+             [--scale N] [--div N] [--rounds N] [--threads N] [--wall] [--out DIR]"
         );
         return ExitCode::FAILURE;
     };
@@ -111,7 +146,7 @@ fn main() -> ExitCode {
         println!("== Table 2: runtime overhead on the SPEC-like suite ==");
         println!("(paper geomeans: GiantSan 146.04%, ASan 212.58%, ASan-- 174.89%, LFP 161.76%,");
         println!(" CacheOnly 175.63%, EliminationOnly 170.24%)\n");
-        let t = table2::table2(opts.scale);
+        let t = table2::table2_with(&opts.runner(), opts.scale);
         println!("{}", t.render());
         write_csv(opts, "table2.csv", &csv::table2_csv(&t));
         if opts.wall {
@@ -120,46 +155,52 @@ fn main() -> ExitCode {
     };
     let run_fig10 = |opts: &Opts| {
         println!("== Figure 10: checks per optimisation category (GiantSan) ==\n");
-        let f = fig10::fig10(opts.scale);
+        let f = fig10::fig10_with(&opts.runner(), opts.scale);
         println!("{}", f.render());
         write_csv(opts, "fig10.csv", &csv::fig10_csv(&f));
     };
     let run_table3 = |opts: &Opts| {
         println!("== Table 3: Juliet-like detection ==\n");
-        let t = table3::table3(opts.div);
+        let t = table3::table3_with(&opts.runner(), opts.div);
         println!("{}", t.render());
         write_csv(opts, "table3.csv", &csv::table3_csv(&t));
     };
     let run_table4 = |opts: &Opts| {
         println!("== Table 4: Linux-Flaw-Project-like CVE detection ==\n");
-        let t = table4::table4();
+        let t = table4::table4_with(&opts.runner());
         println!("{}", t.render());
         write_csv(opts, "table4.csv", &csv::table4_csv(&t));
     };
     let run_table5 = |opts: &Opts| {
         println!("== Table 5: Magma-like redzone study ==\n");
-        let t = table5::table5(opts.div);
+        let t = table5::table5_with(&opts.runner(), opts.div);
         println!("{}", t.render());
         write_csv(opts, "table5.csv", &csv::table5_csv(&t));
     };
     let run_density = |opts: &Opts| {
         println!("== Supporting study: achieved protection density ==\n");
-        println!("{}", density::density_study(opts.scale).render());
+        println!(
+            "{}",
+            density::density_study_with(&opts.runner(), opts.scale).render()
+        );
     };
     let run_memory = |opts: &Opts| {
         println!("== Supporting study: memory overhead ==\n");
-        println!("{}", memory::memory_study(opts.scale).render());
+        println!(
+            "{}",
+            memory::memory_study_with(&opts.runner(), opts.scale).render()
+        );
     };
-    let run_ablation = |_opts: &Opts| {
+    let run_ablation = |opts: &Opts| {
         println!("== Supporting ablations (DESIGN.md §5) ==\n");
-        println!("{}", ablation::render(8192, 2));
+        println!("{}", ablation::render_with(&opts.runner(), 8192, 2));
     };
     let run_fig11 = |opts: &Opts| {
         println!("== Figure 11: traversal patterns ==");
         println!(
             "(paper: GiantSan 1.48x faster random, 1.07x faster forward, 1.39x slower reverse)"
         );
-        let f = fig11::fig11(opts.rounds);
+        let f = fig11::fig11_with(&opts.runner(), opts.rounds);
         println!("{}", f.render());
         write_csv(opts, "fig11.csv", &csv::fig11_csv(&f));
     };
@@ -168,18 +209,12 @@ fn main() -> ExitCode {
         println!("== Hot-path before/after (word-wide scanning + monomorphized dispatch) ==\n");
         let report = bench_pr1::run_bench();
         println!("{}", report.render());
-        let json = report.to_json();
-        let path = opts
-            .out
-            .clone()
-            .unwrap_or_else(|| std::path::PathBuf::from("."))
-            .join("BENCH_PR1.json");
-        match std::fs::create_dir_all(path.parent().unwrap_or(std::path::Path::new(".")))
-            .and_then(|()| std::fs::write(&path, &json))
-        {
-            Ok(()) => println!("(wrote {})", path.display()),
-            Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
-        }
+        write_artifact(opts, "BENCH_PR1.json", &report.to_json());
+
+        println!("\n== Batch engine: serial vs {} workers ==\n", opts.threads);
+        let report = bench_pr2::run_bench(opts.threads);
+        println!("{}", report.render());
+        write_artifact(opts, "BENCH_PR2.json", &report.to_json());
     };
 
     match cmd.as_str() {

@@ -1,12 +1,11 @@
 //! Supporting ablation studies (DESIGN.md §5): the §5.4 reverse-traversal
 //! mitigation alternatives and the quarantine-capacity trade-off.
 
-use giantsan_analysis::{analyze, ToolProfile};
-use giantsan_core::{GiantSan, GiantSanOptions};
-use giantsan_ir::{run, ExecConfig};
-use giantsan_runtime::{RuntimeConfig, Sanitizer};
+use giantsan_core::GiantSanOptions;
+use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::{quarantine_probe, traversal_program, Pattern};
 
+use crate::batch::BatchRunner;
 use crate::cost::CostModel;
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
@@ -28,9 +27,14 @@ pub struct ReverseRow {
 /// The §5.4 study: cost and accuracy of each underflow-handling mode on a
 /// reverse traversal, with ASan as the reference point.
 pub fn reverse_ablation(size: u64, rounds: u64) -> Vec<ReverseRow> {
+    reverse_ablation_with(&BatchRunner::default(), size, rounds)
+}
+
+/// [`reverse_ablation`] on an explicit runner (one cell per configuration).
+pub fn reverse_ablation_with(runner: &BatchRunner, size: u64, rounds: u64) -> Vec<ReverseRow> {
     let model = CostModel::default();
     let (prog, inputs) = traversal_program(Pattern::Reverse, size, rounds);
-    let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
+    let plan = Tool::GiantSan.plan(&prog);
     let configs: [(&'static str, Option<GiantSanOptions>); 4] = [
         (
             "GiantSan (anchored underflow)",
@@ -38,68 +42,55 @@ pub fn reverse_ablation(size: u64, rounds: u64) -> Vec<ReverseRow> {
         ),
         (
             "GiantSan + lower-bound cache",
-            Some(GiantSanOptions {
-                reverse_mitigation: true,
-                ..GiantSanOptions::default()
-            }),
+            Some(GiantSanOptions::default().with_reverse_mitigation(true)),
         ),
         (
             "GiantSan, ASan-mode underflow",
-            Some(GiantSanOptions {
-                underflow_anchor: false,
-                ..GiantSanOptions::default()
-            }),
+            Some(GiantSanOptions::default().with_underflow_anchor(false)),
         ),
         ("ASan", None),
     ];
-    configs
-        .iter()
-        .map(|(label, options)| {
-            let (units, shadow_loads) = match options {
-                Some(opts) => {
-                    let mut san = GiantSan::with_options(RuntimeConfig::default(), opts.clone());
-                    let out = run(&prog, &inputs, &mut san, &plan, &ExecConfig::default());
-                    assert!(out.reports_empty_or_panic(label));
-                    let fake = crate::tool::RunOutcome {
-                        result: out,
-                        counters: *san.counters(),
-                        wall: std::time::Duration::ZERO,
-                    };
-                    (
-                        model.native_units(&fake)
-                            + model.extra_units(Tool::GiantSan, &fake.counters),
-                        san.counters().shadow_loads,
-                    )
-                }
-                None => {
-                    let out = run_tool(Tool::Asan, &prog, &inputs, &RuntimeConfig::default());
-                    (
-                        model.native_units(&out) + model.extra_units(Tool::Asan, &out.counters),
-                        out.counters.shadow_loads,
-                    )
-                }
-            };
-            let catches_bypass = catches_underflow_bypass(options.as_ref());
-            ReverseRow {
-                label,
-                units,
-                shadow_loads,
-                catches_bypass,
-            }
-        })
-        .collect()
+    runner.map(&configs, |_, (label, options)| {
+        let out = match options {
+            Some(opts) => Tool::GiantSan
+                .builder()
+                .options(opts.clone())
+                .spec()
+                .run_planned(&prog, &plan, &inputs),
+            None => run_tool(Tool::Asan, &prog, &inputs, &RuntimeConfig::default()),
+        };
+        assert!(
+            out.result.reports.is_empty(),
+            "{label}: clean traversal raised {:?}",
+            out.result.reports.first()
+        );
+        let tool = if options.is_some() {
+            Tool::GiantSan
+        } else {
+            Tool::Asan
+        };
+        ReverseRow {
+            label,
+            units: model.native_units(&out) + model.extra_units(tool, &out.counters),
+            shadow_loads: out.counters.shadow_loads,
+            catches_bypass: catches_underflow_bypass(options.as_ref()),
+        }
+    })
 }
 
 /// Does this configuration catch a redzone-bypassing negative offset?
 fn catches_underflow_bypass(options: Option<&GiantSanOptions>) -> bool {
     let (prog, inputs) = giantsan_workloads::underflow_bypass_probe();
+    let cfg = RuntimeConfig::small();
     match options {
-        Some(opts) => {
-            let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
-            let mut san = GiantSan::with_options(RuntimeConfig::small(), opts.clone());
-            run(&prog, &inputs, &mut san, &plan, &ExecConfig::default()).detected()
-        }
-        None => run_tool(Tool::Asan, &prog, &inputs, &RuntimeConfig::small()).detected(),
+        Some(opts) => Tool::GiantSan
+            .builder()
+            .config(cfg)
+            .options(opts.clone())
+            .spec()
+            .run(&prog, &inputs)
+            .detected(),
+        None => run_tool(Tool::Asan, &prog, &inputs, &cfg).detected(),
     }
 }
 
@@ -117,34 +108,45 @@ pub struct QuarantineRow {
 /// The quarantine study: UAF detection across churn volumes for several
 /// quarantine capacities (the §5.4 "quarantine bypassing" limitation).
 pub fn quarantine_ablation() -> Vec<QuarantineRow> {
+    quarantine_ablation_with(&BatchRunner::default())
+}
+
+/// [`quarantine_ablation`] on an explicit runner (one cell per capacity).
+pub fn quarantine_ablation_with(runner: &BatchRunner) -> Vec<QuarantineRow> {
     let churn_levels: Vec<u64> = vec![0, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
     let caps: Vec<u64> = vec![0, 8 << 10, 128 << 10, 1 << 20, 16 << 20];
-    caps.iter()
-        .map(|&cap| {
-            let mut detected = 0;
-            for &churn in &churn_levels {
-                let (prog, inputs) = quarantine_probe(churn);
-                let plan = analyze(&prog, &ToolProfile::giantsan()).plan;
-                let mut san = GiantSan::new(RuntimeConfig {
-                    quarantine_cap: cap,
-                    heap_size: 32 << 20,
-                    ..RuntimeConfig::default()
-                });
-                if run(&prog, &inputs, &mut san, &plan, &ExecConfig::default()).detected() {
-                    detected += 1;
-                }
+    runner.map(&caps, |_, &cap| {
+        let spec = Tool::GiantSan
+            .builder()
+            .config(
+                RuntimeConfig::builder()
+                    .quarantine_cap(cap)
+                    .heap_size(32 << 20)
+                    .build(),
+            )
+            .spec();
+        let mut detected = 0;
+        for &churn in &churn_levels {
+            let (prog, inputs) = quarantine_probe(churn);
+            if spec.run(&prog, &inputs).detected() {
+                detected += 1;
             }
-            QuarantineRow {
-                cap,
-                detected,
-                total: churn_levels.len() as u32,
-            }
-        })
-        .collect()
+        }
+        QuarantineRow {
+            cap,
+            detected,
+            total: churn_levels.len() as u32,
+        }
+    })
 }
 
 /// Renders both studies.
 pub fn render(size: u64, rounds: u64) -> String {
+    render_with(&BatchRunner::default(), size, rounds)
+}
+
+/// [`render`] on an explicit runner.
+pub fn render_with(runner: &BatchRunner, size: u64, rounds: u64) -> String {
     let mut out = String::new();
     out.push_str("-- §5.4 reverse-traversal mitigation alternatives --\n");
     let mut t = TextTable::new(vec![
@@ -153,7 +155,7 @@ pub fn render(size: u64, rounds: u64) -> String {
         "shadow loads".into(),
         "catches redzone-bypass underflow".into(),
     ]);
-    for r in reverse_ablation(size, rounds) {
+    for r in reverse_ablation_with(runner, size, rounds) {
         t.row(vec![
             r.label.to_string(),
             format!("{:.0}", r.units),
@@ -173,7 +175,7 @@ pub fn render(size: u64, rounds: u64) -> String {
         "UAFs detected".into(),
         "churn levels".into(),
     ]);
-    for r in quarantine_ablation() {
+    for r in quarantine_ablation_with(runner) {
         t.row(vec![
             format!("{} KiB", r.cap >> 10),
             r.detected.to_string(),
@@ -186,21 +188,6 @@ pub fn render(size: u64, rounds: u64) -> String {
          between free and dangling use (§5.4, quarantine bypassing).\n",
     );
     out
-}
-
-trait ReportsEmpty {
-    fn reports_empty_or_panic(&self, label: &str) -> bool;
-}
-
-impl ReportsEmpty for giantsan_ir::ExecResult {
-    fn reports_empty_or_panic(&self, label: &str) -> bool {
-        assert!(
-            self.reports.is_empty(),
-            "{label}: clean traversal raised {:?}",
-            self.reports.first()
-        );
-        true
-    }
 }
 
 #[cfg(test)]

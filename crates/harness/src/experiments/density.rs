@@ -10,6 +10,7 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
+use crate::batch::BatchRunner;
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -52,21 +53,24 @@ pub struct DensityStudy {
 
 /// Measures achieved protection density over the SPEC-like suite.
 pub fn density_study(scale: u64) -> DensityStudy {
+    density_study_with(&BatchRunner::default(), scale)
+}
+
+/// [`density_study`] on an explicit runner (one cell per workload).
+pub fn density_study_with(runner: &BatchRunner, scale: u64) -> DensityStudy {
     let cfg = RuntimeConfig::default();
-    let rows = spec_suite(scale)
-        .into_iter()
-        .map(|w| {
-            let gs = run_tool(Tool::GiantSan, &w.program, &w.inputs, &cfg);
-            let asan = run_tool(Tool::Asan, &w.program, &w.inputs, &cfg);
-            DensityRow {
-                id: w.id,
-                // native_work counts accesses and 8-byte memop units.
-                traffic_bytes: gs.result.native_work * 8,
-                giantsan_loads: gs.counters.shadow_loads,
-                asan_loads: asan.counters.shadow_loads,
-            }
-        })
-        .collect();
+    let suite = spec_suite(scale);
+    let rows = runner.map(&suite, |_, w| {
+        let gs = run_tool(Tool::GiantSan, &w.program, &w.inputs, &cfg);
+        let asan = run_tool(Tool::Asan, &w.program, &w.inputs, &cfg);
+        DensityRow {
+            id: w.id.clone(),
+            // native_work counts accesses and 8-byte memop units.
+            traffic_bytes: gs.result.native_work * 8,
+            giantsan_loads: gs.counters.shadow_loads,
+            asan_loads: asan.counters.shadow_loads,
+        }
+    });
     DensityStudy { rows }
 }
 

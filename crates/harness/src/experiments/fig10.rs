@@ -3,6 +3,7 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
+use crate::batch::BatchRunner;
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -34,9 +35,14 @@ pub struct Fig10 {
 /// GiantSan and attributing each dynamic memory instruction to the check
 /// path that admitted it.
 pub fn fig10(scale: u64) -> Fig10 {
+    fig10_with(&BatchRunner::default(), scale)
+}
+
+/// [`fig10`] on an explicit runner (one cell per workload).
+pub fn fig10_with(runner: &BatchRunner, scale: u64) -> Fig10 {
     let cfg = RuntimeConfig::default();
-    let mut rows = Vec::new();
-    for w in spec_suite(scale) {
+    let suite = spec_suite(scale);
+    let rows = runner.map(&suite, |_, w| {
         let out = run_tool(Tool::GiantSan, &w.program, &w.inputs, &cfg);
         let c = &out.counters;
         // Dynamic memory instructions: accesses plus memop segments (the
@@ -46,14 +52,14 @@ pub fn fig10(scale: u64) -> Fig10 {
         let fast = c.fast_checks as f64;
         let full = c.slow_checks as f64;
         let eliminated = (m - cached - fast - full).max(0.0);
-        rows.push(Fig10Row {
-            id: w.id,
+        Fig10Row {
+            id: w.id.clone(),
             full_check: full / m,
             fast_only: fast / m,
             cached: cached / m,
             eliminated: eliminated / m,
-        });
-    }
+        }
+    });
     let mean_optimised =
         rows.iter().map(|r| r.cached + r.eliminated).sum::<f64>() / rows.len().max(1) as f64;
     Fig10 {

@@ -3,6 +3,7 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::{figure11_sizes, traversal_program, Pattern};
 
+use crate::batch::BatchRunner;
 use crate::cost::CostModel;
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
@@ -40,35 +41,46 @@ pub struct Fig11 {
 /// Runs the traversal study; `rounds` repeats each traversal to steady the
 /// wall-clock numbers (the paper repeats 100×).
 pub fn fig11(rounds: u64) -> Fig11 {
+    fig11_with(&BatchRunner::default(), rounds)
+}
+
+/// [`fig11`] on an explicit runner (one cell per (pattern, size) sample).
+pub fn fig11_with(runner: &BatchRunner, rounds: u64) -> Fig11 {
     let model = CostModel::default();
     let cfg = RuntimeConfig::default();
-    let mut series = Vec::new();
-    for pattern in Pattern::ALL {
-        let mut points = Vec::new();
-        for size in figure11_sizes() {
-            let (prog, inputs) = traversal_program(pattern, size, rounds);
-            let native = run_tool(Tool::Native, &prog, &inputs, &cfg);
-            let mut units = Vec::new();
-            let mut wall_us = Vec::new();
-            for tool in SERIES {
-                let out = run_tool(tool, &prog, &inputs, &cfg);
-                assert!(
-                    out.result.reports.is_empty(),
-                    "{pattern:?}/{size}: {} raised reports",
-                    tool.name()
-                );
-                units.push(model.native_units(&out) + model.extra_units(tool, &out.counters));
-                wall_us.push(out.wall.as_secs_f64() * 1e6);
-                let _ = &native;
-            }
-            points.push(Fig11Point {
-                size,
-                units,
-                wall_us,
-            });
+    let sizes = figure11_sizes();
+    let cells: Vec<(Pattern, u64)> = Pattern::ALL
+        .iter()
+        .flat_map(|&p| sizes.iter().map(move |&s| (p, s)))
+        .collect();
+    let points = runner.map(&cells, |_, &(pattern, size)| {
+        let (prog, inputs) = traversal_program(pattern, size, rounds);
+        let mut units = Vec::new();
+        let mut wall_us = Vec::new();
+        for tool in SERIES {
+            let out = run_tool(tool, &prog, &inputs, &cfg);
+            assert!(
+                out.result.reports.is_empty(),
+                "{pattern:?}/{size}: {} raised reports",
+                tool.name()
+            );
+            units.push(model.native_units(&out) + model.extra_units(tool, &out.counters));
+            wall_us.push(out.wall.as_secs_f64() * 1e6);
         }
-        series.push(Fig11Series { pattern, points });
-    }
+        Fig11Point {
+            size,
+            units,
+            wall_us,
+        }
+    });
+    let series = Pattern::ALL
+        .iter()
+        .enumerate()
+        .map(|(pi, &pattern)| Fig11Series {
+            pattern,
+            points: points[pi * sizes.len()..(pi + 1) * sizes.len()].to_vec(),
+        })
+        .collect();
     Fig11 { series }
 }
 

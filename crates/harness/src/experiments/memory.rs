@@ -10,6 +10,7 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
+use crate::batch::BatchRunner;
 use crate::table::TextTable;
 use crate::tool::Tool;
 
@@ -38,25 +39,32 @@ pub struct MemoryStudy {
 
 /// Runs the memory study at `scale`.
 pub fn memory_study(scale: u64) -> MemoryStudy {
+    memory_study_with(&BatchRunner::default(), scale)
+}
+
+/// [`memory_study`] on an explicit runner (one cell per workload; each cell
+/// holds its boxed sessions to inspect the worlds afterwards).
+pub fn memory_study_with(runner: &BatchRunner, scale: u64) -> MemoryStudy {
     let cfg = RuntimeConfig::default();
-    let mut rows = Vec::new();
-    for w in spec_suite(scale) {
+    let suite = spec_suite(scale);
+    let rows = runner.map(&suite, |_, w| {
         let mut heap_high_water = Vec::new();
         let mut quarantined = Vec::new();
         for tool in COLUMNS {
-            let mut san = tool.sanitizer(&cfg);
-            let plan = tool.plan(&w.program);
-            let exec = giantsan_ir::ExecConfig::default();
-            let _ = giantsan_ir::run(&w.program, &w.inputs, san.as_mut(), &plan, &exec);
+            let spec = tool.builder().config(cfg.clone()).spec();
+            let mut san = spec.session();
+            let plan = spec.plan(&w.program);
+            let exec = spec.exec_config();
+            let _ = giantsan_ir::run_dyn(&w.program, &w.inputs, san.as_mut(), &plan, &exec);
             heap_high_water.push(san.world().heap().high_water());
             quarantined.push(san.world().quarantined_bytes());
         }
-        rows.push(MemoryRow {
-            id: w.id,
+        MemoryRow {
+            id: w.id.clone(),
             heap_high_water,
             quarantined,
-        });
-    }
+        }
+    });
     let mean_heap_ratio = (0..COLUMNS.len())
         .map(|i| {
             let ratios: Vec<f64> = rows

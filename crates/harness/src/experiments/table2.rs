@@ -3,6 +3,7 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
+use crate::batch::BatchRunner;
 use crate::cost::{geomean, CostModel};
 use crate::table::{pct, TextTable};
 use crate::tool::{run_tool, RunOutcome, Tool};
@@ -44,29 +45,54 @@ pub struct Table2 {
 }
 
 /// Runs the performance study at `scale` (1 = quick, larger = steadier
-/// wall-clock numbers).
+/// wall-clock numbers) on the default runner.
 pub fn table2(scale: u64) -> Table2 {
+    table2_with(&BatchRunner::default(), scale)
+}
+
+/// [`table2`] on an explicit runner.
+///
+/// The cell matrix is (workload × tool incl. native), fine-grained enough
+/// that one slow benchmark never serialises a whole row. The fold below
+/// consumes outcomes in cell order, so rows and geomeans are identical for
+/// every thread count (the wall-clock *columns* still vary run to run; the
+/// modelled columns and the CSV do not).
+pub fn table2_with(runner: &BatchRunner, scale: u64) -> Table2 {
     let model = CostModel::default();
     let cfg = RuntimeConfig::default();
+    let suite = spec_suite(scale);
+    let mut cells: Vec<(usize, Tool)> = Vec::new();
+    for wi in 0..suite.len() {
+        cells.push((wi, Tool::Native));
+        for tool in COLUMNS {
+            cells.push((wi, tool));
+        }
+    }
+    let outcomes = runner.map(&cells, |_, &(wi, tool)| {
+        let w = &suite[wi];
+        run_tool(tool, &w.program, &w.inputs, &cfg)
+    });
+
     let mut rows = Vec::new();
-    for w in spec_suite(scale) {
-        let native = run_tool(Tool::Native, &w.program, &w.inputs, &cfg);
+    let stride = 1 + COLUMNS.len();
+    for (wi, w) in suite.iter().enumerate() {
+        let native = &outcomes[wi * stride];
         let mut ratios = Vec::new();
         let mut wall_ratios = Vec::new();
-        for tool in COLUMNS {
-            let out = run_tool(tool, &w.program, &w.inputs, &cfg);
+        for (ti, tool) in COLUMNS.iter().enumerate() {
+            let out = &outcomes[wi * stride + 1 + ti];
             debug_assert!(
                 out.result.reports.is_empty(),
                 "{}: {} raised reports",
                 w.id,
                 tool.name()
             );
-            ratios.push(model.ratio_percent(tool, &native, &out));
-            wall_ratios.push(wall_ratio(&native, &out));
+            ratios.push(model.ratio_percent(*tool, native, out));
+            wall_ratios.push(wall_ratio(native, out));
         }
         rows.push(Table2Row {
-            id: w.id,
-            native_units: model.native_units(&native),
+            id: w.id.clone(),
+            native_units: model.native_units(native),
             native_wall_us: native.wall.as_secs_f64() * 1e6,
             ratios,
             wall_ratios,
@@ -150,6 +176,18 @@ mod tests {
         assert!(gm["EliminationOnly"] > gm["GiantSan"]);
         assert!(gm["CacheOnly"] < gm["ASan"]);
         assert!(gm["EliminationOnly"] < gm["ASan"]);
+    }
+
+    #[test]
+    fn modelled_columns_are_thread_count_invariant() {
+        let serial = table2_with(&BatchRunner::serial(), 1);
+        let parallel = table2_with(&BatchRunner::new(4), 1);
+        assert_eq!(
+            crate::csv::table2_csv(&serial),
+            crate::csv::table2_csv(&parallel),
+            "modelled CSV must not depend on the thread count"
+        );
+        assert_eq!(serial.geomeans, parallel.geomeans);
     }
 
     #[test]

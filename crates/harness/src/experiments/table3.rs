@@ -6,6 +6,7 @@ use giantsan_ir::CheckPlan;
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::juliet::{juliet_suite_scaled, paper_totals, JulietSuite};
 
+use crate::batch::BatchRunner;
 use crate::table::TextTable;
 use crate::tool::{run_planned, Tool};
 
@@ -38,10 +39,16 @@ pub struct Table3 {
 /// Runs the detection study. `divisor = 1` reproduces the full Table 3
 /// counts; larger values subsample each family.
 pub fn table3(divisor: u32) -> Table3 {
+    table3_with(&BatchRunner::default(), divisor)
+}
+
+/// [`table3`] on an explicit runner (one cell per Juliet case; each cell
+/// runs the buggy and safe twins under every column tool).
+pub fn table3_with(runner: &BatchRunner, divisor: u32) -> Table3 {
     let suite = juliet_suite_scaled(divisor);
     let cfg = RuntimeConfig::small();
     // One plan per (template, tool): templates are shared across thousands
-    // of cases.
+    // of cases, and the map is shared read-only across workers.
     let plans: Vec<HashMap<usize, CheckPlan>> = COLUMNS
         .iter()
         .map(|tool| {
@@ -54,6 +61,21 @@ pub fn table3(divisor: u32) -> Table3 {
         })
         .collect();
 
+    // Per-case verdicts: (detected, false positive) per column tool.
+    let verdicts = runner.map(&suite.cases, |_, case| {
+        COLUMNS
+            .iter()
+            .enumerate()
+            .map(|(t, tool)| {
+                let plan = &plans[t][&case.template];
+                let program = &suite.templates[case.template];
+                let buggy = run_planned(*tool, program, plan, &case.buggy_inputs, &cfg);
+                let safe = run_planned(*tool, program, plan, &case.safe_inputs, &cfg);
+                (buggy.detected(), safe.detected())
+            })
+            .collect::<Vec<_>>()
+    });
+
     let mut rows: Vec<Table3Row> = paper_totals()
         .iter()
         .map(|&(cwe, _)| Table3Row {
@@ -64,21 +86,17 @@ pub fn table3(divisor: u32) -> Table3 {
         })
         .collect();
 
-    for case in &suite.cases {
+    for (case, verdict) in suite.cases.iter().zip(&verdicts) {
         let row = rows
             .iter_mut()
             .find(|r| r.cwe == case.cwe)
             .expect("unknown CWE family");
         row.total += 1;
-        for (t, tool) in COLUMNS.iter().enumerate() {
-            let plan = &plans[t][&case.template];
-            let program = &suite.templates[case.template];
-            let buggy = run_planned(*tool, program, plan, &case.buggy_inputs, &cfg);
-            if buggy.detected() {
+        for (t, &(buggy, safe_fp)) in verdict.iter().enumerate() {
+            if buggy {
                 row.detected[t] += 1;
             }
-            let safe = run_planned(*tool, program, plan, &case.safe_inputs, &cfg);
-            if safe.detected() {
+            if safe_fp {
                 row.false_positives[t] += 1;
             }
         }

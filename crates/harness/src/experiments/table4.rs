@@ -3,6 +3,7 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::cve_scenarios;
 
+use crate::batch::BatchRunner;
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -29,21 +30,24 @@ pub struct Table4 {
 
 /// Runs every CVE scenario under every tool.
 pub fn table4() -> Table4 {
+    table4_with(&BatchRunner::default())
+}
+
+/// [`table4`] on an explicit runner (one cell per CVE scenario).
+pub fn table4_with(runner: &BatchRunner) -> Table4 {
     let cfg = RuntimeConfig::small();
-    let rows = cve_scenarios()
-        .into_iter()
-        .map(|c| {
-            let detected = COLUMNS
-                .iter()
-                .map(|tool| run_tool(*tool, &c.program, &c.inputs, &cfg).detected())
-                .collect();
-            Table4Row {
-                project: c.project,
-                cve: c.cve,
-                detected,
-            }
-        })
-        .collect();
+    let scenarios = cve_scenarios();
+    let rows = runner.map(&scenarios, |_, c| {
+        let detected = COLUMNS
+            .iter()
+            .map(|tool| run_tool(*tool, &c.program, &c.inputs, &cfg).detected())
+            .collect();
+        Table4Row {
+            project: c.project,
+            cve: c.cve,
+            detected,
+        }
+    });
     Table4 { rows }
 }
 

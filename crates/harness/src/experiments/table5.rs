@@ -3,8 +3,10 @@
 use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::magma::{magma_cases, magma_templates, PROJECTS};
 
+use crate::batch::BatchRunner;
+use crate::session::SessionSpec;
 use crate::table::TextTable;
-use crate::tool::{run_planned, Tool};
+use crate::tool::Tool;
 
 /// One detection configuration: a tool at a redzone size.
 #[derive(Debug, Clone, Copy)]
@@ -63,13 +65,46 @@ pub struct Table5 {
 
 /// Runs the redzone study. `divisor = 1` reproduces the paper's counts.
 pub fn table5(divisor: u32) -> Table5 {
+    table5_with(&BatchRunner::default(), divisor)
+}
+
+/// [`table5`] on an explicit runner (one cell per Magma case; each cell
+/// runs every redzone configuration).
+pub fn table5_with(runner: &BatchRunner, divisor: u32) -> Table5 {
     let templates = magma_templates();
     let cases = magma_cases(divisor);
-    // Plans per (config tool, template).
-    let plans: Vec<Vec<giantsan_ir::CheckPlan>> = CONFIGS
+    // One spec and one plan set per configuration, shared across workers.
+    let specs: Vec<SessionSpec> = CONFIGS
         .iter()
-        .map(|c| templates.iter().map(|p| c.tool.plan(p)).collect())
+        .map(|c| {
+            c.tool
+                .builder()
+                .config(RuntimeConfig::small())
+                .redzone(c.redzone)
+                .spec()
+        })
         .collect();
+    let plans: Vec<Vec<giantsan_ir::CheckPlan>> = specs
+        .iter()
+        .map(|s| templates.iter().map(|p| s.plan(p)).collect())
+        .collect();
+
+    // Per-case verdicts per configuration.
+    let verdicts = runner.map(&cases, |_, case| {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                spec.run_planned(
+                    &templates[case.template],
+                    &plans[i][case.template],
+                    &case.inputs,
+                )
+                .detected()
+            })
+            .collect::<Vec<_>>()
+    });
+
     let mut rows: Vec<Table5Row> = PROJECTS
         .iter()
         .map(|&(project, loc, ..)| Table5Row {
@@ -79,25 +114,14 @@ pub fn table5(divisor: u32) -> Table5 {
             total: 0,
         })
         .collect();
-    for case in &cases {
+    for (case, verdict) in cases.iter().zip(&verdicts) {
         let row = rows
             .iter_mut()
             .find(|r| r.project == case.project)
             .expect("unknown project");
         row.total += 1;
-        for (i, c) in CONFIGS.iter().enumerate() {
-            let cfg = RuntimeConfig {
-                redzone: c.redzone,
-                ..RuntimeConfig::small()
-            };
-            let out = run_planned(
-                c.tool,
-                &templates[case.template],
-                &plans[i][case.template],
-                &case.inputs,
-                &cfg,
-            );
-            if out.detected() {
+        for (i, &detected) in verdict.iter().enumerate() {
+            if detected {
                 row.detected[i] += 1;
             }
         }

@@ -23,13 +23,19 @@
 //! println!("{}", t.render());
 //! ```
 
+pub mod batch;
 pub mod bench_pr1;
+pub mod bench_pr2;
 pub mod cost;
 pub mod csv;
 pub mod experiments;
+pub mod matrix;
+pub mod session;
 mod table;
 mod tool;
 
+pub use batch::BatchRunner;
 pub use cost::{geomean, CostModel};
+pub use session::{SessionSpec, ToolBuilder};
 pub use table::{pct, TextTable};
 pub use tool::{run_planned, run_tool, RunOutcome, Tool};

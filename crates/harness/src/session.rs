@@ -1,0 +1,301 @@
+//! The session/config API: how tool instances are described and built.
+//!
+//! The batch-execution engine ([`crate::BatchRunner`]) hands the same
+//! experiment cell description to whichever worker steals it, and that
+//! worker builds its own private sanitizer session. [`SessionSpec`] is that
+//! description: a cheap, `Send + Sync`, cloneable value carrying the tool
+//! identity, the [`RuntimeConfig`], and the [`GiantSanOptions`] — everything
+//! needed to construct a session from scratch. [`ToolBuilder`] is the fluent
+//! front door that replaces the old ad-hoc `match`-construction scattered
+//! through `tool.rs`.
+//!
+//! ```text
+//! Tool::GiantSan.builder()          // ToolBuilder
+//!     .config(...)                  //   fluent overrides
+//!     .options(...)
+//!     .spec()                       // SessionSpec (shareable across workers)
+//!     .run_planned(&prog, &plan, &inputs)   // fresh session per run
+//! ```
+//!
+//! Runs stay **monomorphized**: [`SessionSpec::run_planned`] dispatches on
+//! the tool once, outside the interpreter, so each arm instantiates
+//! [`giantsan_ir::run`] at a concrete sanitizer type and the per-access
+//! check calls inline (PR 1's dispatch optimisation, preserved).
+
+use std::time::Instant;
+
+use giantsan_analysis::{analyze, ToolProfile};
+use giantsan_baselines::{Asan, AsanMinusMinus, Lfp};
+use giantsan_core::{GiantSan, GiantSanOptions};
+use giantsan_ir::{run, CheckPlan, ExecConfig, ExecResult, Program};
+use giantsan_runtime::{NullSanitizer, RuntimeConfig, Sanitizer};
+
+use crate::tool::{RunOutcome, Tool};
+
+/// Fluent builder for a [`SessionSpec`].
+///
+/// Obtained from [`Tool::builder`]; defaults to [`RuntimeConfig::default`]
+/// and [`GiantSanOptions::default`].
+///
+/// # Example
+///
+/// ```
+/// use giantsan_harness::Tool;
+/// use giantsan_runtime::RuntimeConfig;
+///
+/// let spec = Tool::Asan.builder().config(RuntimeConfig::small()).spec();
+/// assert_eq!(spec.tool(), Tool::Asan);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToolBuilder {
+    tool: Tool,
+    config: RuntimeConfig,
+    options: GiantSanOptions,
+}
+
+impl ToolBuilder {
+    pub(crate) fn new(tool: Tool) -> Self {
+        ToolBuilder {
+            tool,
+            config: RuntimeConfig::default(),
+            options: GiantSanOptions::default(),
+        }
+    }
+
+    /// Sets the runtime configuration for every session built from the spec.
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides only the redzone size, keeping the rest of the config
+    /// (Table 5 varies exactly this).
+    pub fn redzone(mut self, bytes: u64) -> Self {
+        self.config.redzone = bytes;
+        self
+    }
+
+    /// Sets the GiantSan option block (ignored by non-GiantSan tools).
+    pub fn options(mut self, options: GiantSanOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Finishes the description.
+    pub fn spec(self) -> SessionSpec {
+        SessionSpec {
+            tool: self.tool,
+            config: self.config,
+            options: self.options,
+        }
+    }
+}
+
+/// A complete, thread-shareable description of one sanitizer configuration.
+///
+/// A spec never holds runtime state: every [`SessionSpec::session`] or
+/// [`SessionSpec::run_planned`] call constructs a fresh world, which is what
+/// lets the batch engine run the same spec on many workers at once and what
+/// keeps serial and parallel results identical (no state leaks between
+/// cells).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    tool: Tool,
+    config: RuntimeConfig,
+    options: GiantSanOptions,
+}
+
+impl SessionSpec {
+    /// The tool this spec describes.
+    pub fn tool(&self) -> Tool {
+        self.tool
+    }
+
+    /// The runtime configuration sessions are built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The GiantSan option block (meaningful for the GiantSan family only).
+    pub fn options(&self) -> &GiantSanOptions {
+        &self.options
+    }
+
+    /// The instrumentation capabilities of this tool's compiler pass.
+    pub fn profile(&self) -> ToolProfile {
+        match self.tool {
+            Tool::Native => ToolProfile::native(),
+            Tool::GiantSan => ToolProfile::giantsan(),
+            Tool::Asan => ToolProfile::asan(),
+            Tool::AsanMinusMinus => ToolProfile::asan_minus_minus(),
+            Tool::Lfp => ToolProfile::lfp(),
+            Tool::CacheOnly => ToolProfile::giantsan_cache_only(),
+            Tool::EliminationOnly => ToolProfile::giantsan_elimination_only(),
+        }
+    }
+
+    /// Computes the instrumentation plan for `program`.
+    pub fn plan(&self, program: &Program) -> CheckPlan {
+        match self.tool {
+            Tool::Native => CheckPlan::none(program),
+            _ => analyze(program, &self.profile()).plan,
+        }
+    }
+
+    /// Builds a fresh boxed session (for callers that need to hold the
+    /// sanitizer across calls, e.g. the memory study and microbenches).
+    pub fn session(&self) -> Box<dyn Sanitizer> {
+        match self.tool {
+            Tool::Native => Box::new(NullSanitizer::new(self.config.clone())),
+            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => Box::new(
+                GiantSan::with_options(self.config.clone(), self.options.clone()),
+            ),
+            Tool::Asan => Box::new(Asan::new(self.config.clone())),
+            Tool::AsanMinusMinus => Box::new(AsanMinusMinus::new(self.config.clone())),
+            Tool::Lfp => Box::new(Lfp::new(self.config.clone())),
+        }
+    }
+
+    /// The interpreter policy sessions run under.
+    pub fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            halt_on_error: self.config.halt_on_error,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Runs `program` in a fresh session with a pre-computed plan.
+    ///
+    /// Dispatches on the tool *here*, outside the interpreter, so each arm
+    /// instantiates [`run`] at a concrete sanitizer type: the per-access
+    /// check calls inline instead of costing a vtable hop per load/store.
+    pub fn run_planned(&self, program: &Program, plan: &CheckPlan, inputs: &[i64]) -> RunOutcome {
+        let exec = self.exec_config();
+        match self.tool {
+            Tool::Native => timed_run(
+                &mut NullSanitizer::new(self.config.clone()),
+                program,
+                plan,
+                inputs,
+                &exec,
+            ),
+            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => timed_run(
+                &mut GiantSan::with_options(self.config.clone(), self.options.clone()),
+                program,
+                plan,
+                inputs,
+                &exec,
+            ),
+            Tool::Asan => timed_run(
+                &mut Asan::new(self.config.clone()),
+                program,
+                plan,
+                inputs,
+                &exec,
+            ),
+            Tool::AsanMinusMinus => timed_run(
+                &mut AsanMinusMinus::new(self.config.clone()),
+                program,
+                plan,
+                inputs,
+                &exec,
+            ),
+            Tool::Lfp => timed_run(
+                &mut Lfp::new(self.config.clone()),
+                program,
+                plan,
+                inputs,
+                &exec,
+            ),
+        }
+    }
+
+    /// Plans and runs in one step.
+    pub fn run(&self, program: &Program, inputs: &[i64]) -> RunOutcome {
+        let plan = self.plan(program);
+        self.run_planned(program, &plan, inputs)
+    }
+}
+
+fn timed_run<S: Sanitizer>(
+    san: &mut S,
+    program: &Program,
+    plan: &CheckPlan,
+    inputs: &[i64],
+    exec: &ExecConfig,
+) -> RunOutcome {
+    let start = Instant::now();
+    let result: ExecResult = run(program, inputs, san, plan, exec);
+    let wall = start.elapsed();
+    RunOutcome {
+        result,
+        counters: *san.counters(),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_ir::ProgramBuilder;
+
+    fn tiny() -> (Program, Vec<i64>) {
+        let mut b = ProgramBuilder::new("tiny");
+        let p = b.alloc_heap(64);
+        b.store(p, 0i64, 8, 7i64);
+        b.free(p);
+        (b.build(), vec![])
+    }
+
+    #[test]
+    fn spec_is_sendable_and_buildable_per_worker() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionSpec>();
+        let (prog, inputs) = tiny();
+        let spec = Tool::GiantSan.builder().spec();
+        let plan = spec.plan(&prog);
+        let outcomes = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| s.spawn(|| spec.run_planned(&prog, &plan, &inputs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for o in &outcomes {
+            assert!(!o.detected());
+            assert_eq!(o.counters, outcomes[0].counters, "sessions are isolated");
+            assert_eq!(o.result.checksum, outcomes[0].result.checksum);
+        }
+    }
+
+    #[test]
+    fn builder_overrides_flow_into_sessions() {
+        let spec = Tool::GiantSan
+            .builder()
+            .config(RuntimeConfig::small())
+            .redzone(1)
+            .options(GiantSanOptions::default().with_reverse_mitigation(true))
+            .spec();
+        assert_eq!(spec.config().redzone, 1);
+        assert!(spec.options().reverse_mitigation);
+        let mut session = spec.session();
+        assert_eq!(session.name(), "GiantSan");
+        assert_eq!(session.world().config().redzone, 1);
+        let a = session
+            .alloc(32, giantsan_runtime::Region::Heap)
+            .expect("alloc");
+        assert!(session
+            .check_access(a.base, 8, giantsan_runtime::AccessKind::Read)
+            .is_ok());
+    }
+
+    #[test]
+    fn halt_on_error_reaches_the_interpreter_policy() {
+        let cfg = RuntimeConfig::builder().halt_on_error(true).build();
+        let spec = Tool::Asan.builder().config(cfg).spec();
+        assert!(spec.exec_config().halt_on_error);
+        assert!(!Tool::Asan.builder().spec().exec_config().halt_on_error);
+    }
+}

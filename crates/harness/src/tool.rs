@@ -1,12 +1,19 @@
 //! The tool registry: every sanitizer configuration the paper evaluates.
+//!
+//! `Tool` is the identity half of the session API: it names a column of
+//! Table 2 and knows nothing about configuration. [`Tool::builder`] starts a
+//! [`crate::ToolBuilder`], which produces a [`crate::SessionSpec`] — the
+//! complete description workers of the batch engine build sessions from. The
+//! free functions here ([`run_planned`], [`run_tool`]) are the historical
+//! entry points, kept as thin wrappers over the spec API.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use giantsan_analysis::{analyze, ToolProfile};
-use giantsan_baselines::{Asan, AsanMinusMinus, Lfp};
-use giantsan_core::GiantSan;
-use giantsan_ir::{run, CheckPlan, ExecConfig, ExecResult, Program};
-use giantsan_runtime::{Counters, NullSanitizer, RuntimeConfig, Sanitizer};
+use giantsan_analysis::ToolProfile;
+use giantsan_ir::{CheckPlan, ExecResult, Program};
+use giantsan_runtime::{Counters, RuntimeConfig, Sanitizer};
+
+use crate::session::ToolBuilder;
 
 /// A sanitizer configuration (one column of Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,38 +59,24 @@ impl Tool {
         }
     }
 
+    /// Starts building a [`crate::SessionSpec`] for this tool.
+    pub fn builder(self) -> ToolBuilder {
+        ToolBuilder::new(self)
+    }
+
     /// The instrumentation capabilities this tool's compiler pass has.
     pub fn profile(self) -> ToolProfile {
-        match self {
-            Tool::Native => ToolProfile::native(),
-            Tool::GiantSan => ToolProfile::giantsan(),
-            Tool::Asan => ToolProfile::asan(),
-            Tool::AsanMinusMinus => ToolProfile::asan_minus_minus(),
-            Tool::Lfp => ToolProfile::lfp(),
-            Tool::CacheOnly => ToolProfile::giantsan_cache_only(),
-            Tool::EliminationOnly => ToolProfile::giantsan_elimination_only(),
-        }
+        self.builder().spec().profile()
     }
 
     /// Computes this tool's instrumentation plan for `program`.
     pub fn plan(self, program: &Program) -> CheckPlan {
-        match self {
-            Tool::Native => CheckPlan::none(program),
-            _ => analyze(program, &self.profile()).plan,
-        }
+        self.builder().spec().plan(program)
     }
 
     /// Instantiates the runtime over a fresh world.
     pub fn sanitizer(self, config: &RuntimeConfig) -> Box<dyn Sanitizer> {
-        match self {
-            Tool::Native => Box::new(NullSanitizer::new(config.clone())),
-            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => {
-                Box::new(GiantSan::new(config.clone()))
-            }
-            Tool::Asan => Box::new(Asan::new(config.clone())),
-            Tool::AsanMinusMinus => Box::new(AsanMinusMinus::new(config.clone())),
-            Tool::Lfp => Box::new(Lfp::new(config.clone())),
-        }
+        self.builder().config(config.clone()).spec().session()
     }
 }
 
@@ -108,9 +101,9 @@ impl RunOutcome {
 /// Runs `program` under `tool` with a pre-computed plan (reuse plans when
 /// running many inputs against one template).
 ///
-/// Dispatches on the tool *here*, outside the interpreter, so each arm
-/// instantiates [`run`] at a concrete sanitizer type: the per-access check
-/// calls inline instead of costing a vtable hop per load/store.
+/// Thin wrapper over [`crate::SessionSpec::run_planned`], which keeps the
+/// monomorphized dispatch: the tool match happens once, outside the
+/// interpreter, and per-access checks inline.
 pub fn run_planned(
     tool: Tool,
     program: &Program,
@@ -118,52 +111,10 @@ pub fn run_planned(
     inputs: &[i64],
     config: &RuntimeConfig,
 ) -> RunOutcome {
-    let exec = ExecConfig {
-        halt_on_error: config.halt_on_error,
-        ..ExecConfig::default()
-    };
-    match tool {
-        Tool::Native => timed_run(
-            &mut NullSanitizer::new(config.clone()),
-            program,
-            plan,
-            inputs,
-            &exec,
-        ),
-        Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => timed_run(
-            &mut GiantSan::new(config.clone()),
-            program,
-            plan,
-            inputs,
-            &exec,
-        ),
-        Tool::Asan => timed_run(&mut Asan::new(config.clone()), program, plan, inputs, &exec),
-        Tool::AsanMinusMinus => timed_run(
-            &mut AsanMinusMinus::new(config.clone()),
-            program,
-            plan,
-            inputs,
-            &exec,
-        ),
-        Tool::Lfp => timed_run(&mut Lfp::new(config.clone()), program, plan, inputs, &exec),
-    }
-}
-
-fn timed_run<S: Sanitizer>(
-    san: &mut S,
-    program: &Program,
-    plan: &CheckPlan,
-    inputs: &[i64],
-    exec: &ExecConfig,
-) -> RunOutcome {
-    let start = Instant::now();
-    let result = run(program, inputs, san, plan, exec);
-    let wall = start.elapsed();
-    RunOutcome {
-        result,
-        counters: *san.counters(),
-        wall,
-    }
+    tool.builder()
+        .config(config.clone())
+        .spec()
+        .run_planned(program, plan, inputs)
 }
 
 /// Plans and runs in one step.
@@ -173,8 +124,10 @@ pub fn run_tool(
     inputs: &[i64],
     config: &RuntimeConfig,
 ) -> RunOutcome {
-    let plan = tool.plan(program);
-    run_planned(tool, program, &plan, inputs, config)
+    tool.builder()
+        .config(config.clone())
+        .spec()
+        .run(program, inputs)
 }
 
 #[cfg(test)]
@@ -220,6 +173,27 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for t in Tool::ALL {
             assert!(seen.insert(t.name()));
+        }
+    }
+
+    #[test]
+    fn wrappers_agree_with_the_spec_api() {
+        let (prog, inputs) = tiny_program();
+        let cfg = RuntimeConfig::small();
+        for tool in Tool::ALL {
+            let via_wrapper = run_tool(tool, &prog, &inputs, &cfg);
+            let via_spec = tool
+                .builder()
+                .config(cfg.clone())
+                .spec()
+                .run(&prog, &inputs);
+            assert_eq!(via_wrapper.counters, via_spec.counters, "{}", tool.name());
+            assert_eq!(
+                via_wrapper.result.checksum,
+                via_spec.result.checksum,
+                "{}",
+                tool.name()
+            );
         }
     }
 }

@@ -77,6 +77,38 @@ impl ExecResult {
     pub fn detected(&self) -> bool {
         !self.reports.is_empty() || matches!(self.termination, Termination::Crashed { .. })
     }
+
+    /// FNV-1a digest of every deterministic field: checksum, steps, native
+    /// work, termination, and the rendered reports.
+    ///
+    /// Two runs with equal digests behaved identically as far as the
+    /// interpreter can observe; the batch engine's determinism checks
+    /// compare these instead of whole results.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(&self.checksum.to_le_bytes());
+        eat(&self.steps.to_le_bytes());
+        eat(&self.native_work.to_le_bytes());
+        match &self.termination {
+            Termination::Finished => eat(b"finished"),
+            Termination::Halted => eat(b"halted"),
+            Termination::Crashed { reason } => {
+                eat(b"crashed:");
+                eat(reason.as_bytes());
+            }
+            Termination::StepLimit => eat(b"step-limit"),
+        }
+        for r in &self.reports {
+            eat(r.to_string().as_bytes());
+        }
+        h
+    }
 }
 
 /// Runs `program` with `inputs` under `san`, instrumented per `plan`.

@@ -60,6 +60,86 @@ impl RuntimeConfig {
             ..Self::default()
         }
     }
+
+    /// A fluent builder seeded with [`RuntimeConfig::default`].
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// A builder seeded with this configuration, so any preset
+    /// ([`RuntimeConfig::small`], [`RuntimeConfig::default`], a saved config)
+    /// can serve as the baseline for targeted overrides.
+    pub fn to_builder(&self) -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { cfg: self.clone() }
+    }
+}
+
+/// Non-consuming fluent builder for [`RuntimeConfig`].
+///
+/// Every setter takes `&mut self` and returns `&mut Self`, so a builder can
+/// be kept around and forked: call [`RuntimeConfigBuilder::build`] as many
+/// times as needed (each call clones the current state).
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::RuntimeConfig;
+/// let cfg = RuntimeConfig::small()
+///     .to_builder()
+///     .redzone(512)
+///     .quarantine_cap(1 << 12)
+///     .build();
+/// assert_eq!(cfg.redzone, 512);
+/// assert_eq!(cfg.heap_size, RuntimeConfig::small().heap_size);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the per-side redzone size in bytes.
+    pub fn redzone(&mut self, bytes: u64) -> &mut Self {
+        self.cfg.redzone = bytes;
+        self
+    }
+
+    /// Sets the quarantine byte capacity (`0` disables the quarantine).
+    pub fn quarantine_cap(&mut self, bytes: u64) -> &mut Self {
+        self.cfg.quarantine_cap = bytes;
+        self
+    }
+
+    /// Sets the heap arena size in bytes.
+    pub fn heap_size(&mut self, bytes: u64) -> &mut Self {
+        self.cfg.heap_size = bytes;
+        self
+    }
+
+    /// Sets the simulated stack size in bytes.
+    pub fn stack_size(&mut self, bytes: u64) -> &mut Self {
+        self.cfg.stack_size = bytes;
+        self
+    }
+
+    /// Sets the global-object arena size in bytes.
+    pub fn global_size(&mut self, bytes: u64) -> &mut Self {
+        self.cfg.global_size = bytes;
+        self
+    }
+
+    /// Sets whether execution stops at the first error report.
+    pub fn halt_on_error(&mut self, halt: bool) -> &mut Self {
+        self.cfg.halt_on_error = halt;
+        self
+    }
+
+    /// Produces the configuration described so far.
+    pub fn build(&self) -> RuntimeConfig {
+        self.cfg.clone()
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -97,5 +177,28 @@ mod tests {
     #[test]
     fn small_is_smaller() {
         assert!(RuntimeConfig::small().heap_size < RuntimeConfig::default().heap_size);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        assert_eq!(RuntimeConfig::builder().build(), RuntimeConfig::default());
+        let cfg = RuntimeConfig::builder()
+            .redzone(1)
+            .halt_on_error(true)
+            .build();
+        assert_eq!(cfg.redzone, 1);
+        assert!(cfg.halt_on_error);
+        assert_eq!(cfg.heap_size, RuntimeConfig::default().heap_size);
+    }
+
+    #[test]
+    fn builder_is_non_consuming() {
+        let mut b = RuntimeConfig::small().to_builder();
+        b.quarantine_cap(0);
+        let no_quarantine = b.build();
+        let bigger = b.quarantine_cap(1 << 10).build();
+        assert_eq!(no_quarantine.quarantine_cap, 0);
+        assert_eq!(bigger.quarantine_cap, 1 << 10);
+        assert_eq!(no_quarantine.heap_size, RuntimeConfig::small().heap_size);
     }
 }

@@ -71,6 +71,28 @@ impl Counters {
     pub fn reset(&mut self) {
         *self = Counters::default();
     }
+
+    /// Folds another counter set into this one.
+    ///
+    /// This is the reduction step of the batch-execution engine: each worker
+    /// accumulates counters for the cells it executed, and the merged report
+    /// is independent of how cells were distributed across workers because
+    /// counter addition is commutative and associative.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use giantsan_runtime::Counters;
+    /// let mut total = Counters::default();
+    /// let mut worker = Counters::default();
+    /// worker.fast_checks = 7;
+    /// total.merge(&worker);
+    /// total.merge(&worker);
+    /// assert_eq!(total.fast_checks, 14);
+    /// ```
+    pub fn merge(&mut self, other: &Counters) {
+        *self += other;
+    }
 }
 
 impl AddAssign<&Counters> for Counters {

@@ -43,7 +43,7 @@ mod stack;
 mod tcache;
 mod world;
 
-pub use config::RuntimeConfig;
+pub use config::{RuntimeConfig, RuntimeConfigBuilder};
 pub use counters::Counters;
 pub use heap::{HeapError, SimHeap};
 pub use object::{ObjectId, ObjectInfo, ObjectState, ObjectTable};

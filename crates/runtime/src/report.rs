@@ -28,6 +28,7 @@ impl fmt::Display for AccessKind {
 /// spatial errors (over/underflow per region kind), temporal errors
 /// (use-after-free), allocator-API misuse, and wild/null accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum ErrorKind {
     /// Access beyond the end of a heap object (into a right redzone).
     HeapBufferOverflow,
@@ -103,6 +104,7 @@ impl fmt::Display for ErrorKind {
 /// assert!(format!("{r}").contains("heap-buffer-overflow"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ErrorReport {
     /// Error classification.
     pub kind: ErrorKind,

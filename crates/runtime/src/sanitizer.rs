@@ -47,7 +47,11 @@ impl CacheSlot {
 /// [`Sanitizer::check_region`] with a linear loop (ASan does), and a tool
 /// without history caching inherits a `cached_check` that performs a plain
 /// anchored check on every access.
-pub trait Sanitizer {
+///
+/// `Send` is a supertrait: every tool owns its world outright (no shared
+/// interior mutability), and the batch-execution engine moves freshly built
+/// sessions onto worker threads.
+pub trait Sanitizer: Send {
     /// Short tool name, e.g. `"GiantSan"`.
     fn name(&self) -> &'static str;
 
@@ -193,11 +197,7 @@ impl NullSanitizer {
     /// Creates a native world from `config`, forcing redzones and quarantine
     /// off (a stock allocator has neither).
     pub fn new(config: RuntimeConfig) -> Self {
-        let native_cfg = RuntimeConfig {
-            redzone: 0,
-            quarantine_cap: 0,
-            ..config
-        };
+        let native_cfg = config.to_builder().redzone(0).quarantine_cap(0).build();
         NullSanitizer {
             world: World::new(native_cfg),
             counters: Counters::default(),

@@ -374,10 +374,7 @@ mod tests {
 
     #[test]
     fn zero_redzone_layout() {
-        let mut w = World::new(RuntimeConfig {
-            redzone: 0,
-            ..RuntimeConfig::small()
-        });
+        let mut w = World::new(RuntimeConfig::small().to_builder().redzone(0).build());
         let a = w.alloc(32, Region::Heap).unwrap();
         let info = w.objects.get(a.id).unwrap();
         assert_eq!(info.base, info.block_start);
@@ -386,10 +383,7 @@ mod tests {
 
     #[test]
     fn two_allocations_never_share_a_segment() {
-        let mut w = World::new(RuntimeConfig {
-            redzone: 0,
-            ..RuntimeConfig::small()
-        });
+        let mut w = World::new(RuntimeConfig::small().to_builder().redzone(0).build());
         let a = w.alloc(1, Region::Heap).unwrap();
         let b = w.alloc(1, Region::Heap).unwrap();
         assert_ne!(a.base.segment(), b.base.segment());
@@ -397,10 +391,12 @@ mod tests {
 
     #[test]
     fn free_quarantines_then_recycles() {
-        let mut w = World::new(RuntimeConfig {
-            quarantine_cap: 64,
-            ..RuntimeConfig::small()
-        });
+        let mut w = World::new(
+            RuntimeConfig::small()
+                .to_builder()
+                .quarantine_cap(64)
+                .build(),
+        );
         let a = w.alloc(8, Region::Heap).unwrap();
         let out = w.free(a.base).unwrap();
         assert_eq!(out.freed.id, a.id);
@@ -447,10 +443,7 @@ mod tests {
 
     #[test]
     fn globals_bump_and_exhaust() {
-        let mut w = World::new(RuntimeConfig {
-            global_size: 256,
-            ..RuntimeConfig::small()
-        });
+        let mut w = World::new(RuntimeConfig::small().to_builder().global_size(256).build());
         let g1 = w.alloc(32, Region::Global).unwrap();
         let g2 = w.alloc(32, Region::Global).unwrap();
         assert!(g2.base > g1.base);
@@ -459,10 +452,12 @@ mod tests {
 
     #[test]
     fn quarantine_delays_reuse() {
-        let mut w = World::new(RuntimeConfig {
-            quarantine_cap: 1 << 16,
-            ..RuntimeConfig::small()
-        });
+        let mut w = World::new(
+            RuntimeConfig::small()
+                .to_builder()
+                .quarantine_cap(1 << 16)
+                .build(),
+        );
         let a = w.alloc(8, Region::Heap).unwrap();
         w.free(a.base).unwrap();
         let b = w.alloc(8, Region::Heap).unwrap();
@@ -537,10 +532,12 @@ mod tests {
 
     #[test]
     fn zero_quarantine_reuses_immediately() {
-        let mut w = World::new(RuntimeConfig {
-            quarantine_cap: 0,
-            ..RuntimeConfig::small()
-        });
+        let mut w = World::new(
+            RuntimeConfig::small()
+                .to_builder()
+                .quarantine_cap(0)
+                .build(),
+        );
         let a = w.alloc(8, Region::Heap).unwrap();
         let out = w.free(a.base).unwrap();
         assert_eq!(out.recycled.len(), 1);

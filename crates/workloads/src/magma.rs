@@ -157,10 +157,7 @@ mod tests {
     fn detected(case: &MagmaCase, anchored: bool, rz: u64) -> bool {
         let templates = magma_templates();
         let prog = &templates[case.template];
-        let cfg = RuntimeConfig {
-            redzone: rz,
-            ..RuntimeConfig::small()
-        };
+        let cfg = RuntimeConfig::small().to_builder().redzone(rz).build();
         if anchored {
             let plan = analyze(prog, &ToolProfile::giantsan()).plan;
             let mut san = GiantSan::new(cfg);
