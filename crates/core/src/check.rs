@@ -15,7 +15,7 @@
 
 use giantsan_shadow::{Addr, ShadowMemory, SEGMENT_SIZE};
 
-use crate::encoding::{addressable_bytes, GOOD};
+use crate::encoding::{addressable_bytes, exposed_bytes, exposes_prefix, GOOD};
 
 /// Where and why a region check failed: the shadow code observed and the
 /// first address it implicates. The sanitizer maps this to an
@@ -123,7 +123,7 @@ pub fn check_region_aligned(
         loads += 1;
         let last = Addr::new(align_down_u(r.raw() - 1));
         let tv = load(shadow, last);
-        if tv > 72 - tail_bytes {
+        if !exposes_prefix(tv, tail_bytes) {
             let spot = BadSpot {
                 addr: last,
                 code: tv,
@@ -167,7 +167,7 @@ pub fn check_region(
     let v = load(shadow, l);
     // Folded segments expose all 8 bytes; k-partial segments expose k.
     // `v ≤ 72 − needed` covers both by monotonicity.
-    if v > 72 - needed {
+    if !exposes_prefix(v, needed) {
         let spot = BadSpot { addr: l, code: v };
         return Err((spot, CheckOutcome::slow(1)));
     }
@@ -206,7 +206,7 @@ pub fn check_small(
     if off + width as u64 <= SEGMENT_SIZE {
         let needed = (off + width as u64) as u8;
         let v = load(shadow, addr);
-        if v > 72 - needed {
+        if !exposes_prefix(v, needed) {
             let spot = BadSpot { addr, code: v };
             return Err((spot, CheckOutcome::fast(1)));
         }
@@ -237,7 +237,7 @@ pub fn check_region_bytewise(shadow: &ShadowMemory, l: Addr, r: Addr) -> Result<
     // Leading segment: its addressable bytes form a prefix, so `[l, r)` is
     // covered up to `min(r, segment base + exposed)`.
     let v = load(shadow, l);
-    let exposed = segment_exposed_bytes(v);
+    let exposed = exposed_bytes(v);
     if l.segment_offset() >= exposed {
         return Err(BadSpot { addr: l, code: v });
     }
@@ -263,12 +263,12 @@ pub fn check_region_bytewise(shadow: &ShadowMemory, l: Addr, r: Addr) -> Result<
         // The exposed prefix of the offending segment ends strictly inside
         // it; the byte right after is the first bad one.
         return Err(BadSpot {
-            addr: shadow.segment_base(bad) + segment_exposed_bytes(code),
+            addr: shadow.segment_base(bad) + exposed_bytes(code),
             code,
         });
     }
     let tail_code = shadow.get(last);
-    let tail_exposed = segment_exposed_bytes(tail_code);
+    let tail_exposed = exposed_bytes(tail_code);
     if tail_exposed < r - shadow.segment_base(last) {
         return Err(BadSpot {
             addr: shadow.segment_base(last) + tail_exposed,
@@ -289,7 +289,7 @@ pub fn check_region_bytewise_reference(
     let mut a = l;
     while a < r {
         let v = load(shadow, a);
-        let exposed = segment_exposed_bytes(v);
+        let exposed = exposed_bytes(v);
         let off = a.segment_offset();
         if off >= exposed {
             return Err(BadSpot { addr: a, code: v });
@@ -303,18 +303,6 @@ pub fn check_region_bytewise_reference(
         }
     }
     Ok(())
-}
-
-/// Number of addressable bytes a segment with code `v` exposes *within
-/// itself* (8 for folded, `k` for partial, 0 for errors).
-pub(crate) fn segment_exposed_bytes(v: u8) -> u64 {
-    if v <= GOOD {
-        SEGMENT_SIZE
-    } else if v <= 71 {
-        (72 - v) as u64
-    } else {
-        0
-    }
 }
 
 #[inline]

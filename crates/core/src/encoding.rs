@@ -11,26 +11,17 @@
 //! The encoding is *monotone*: a smaller code means more consecutive
 //! addressable bytes follow, so "is this segment at least (x)-folded?" is the
 //! single comparison `m[p] ≤ 64 − x`.
+//!
+//! The code *algebra* — encode, the branch-free decode
+//! `u = (v ≤ 64) << (67 − v)`, and the prefix-exposure comparison — lives in
+//! [`giantsan_shadow::codes`] so the region checkers and scanners share one
+//! implementation; this module re-exports it and adds the error-code policy
+//! (which code means redzone, freed, unallocated).
 
-/// Code of a plain "good" segment — an (0)-folded segment summarising itself.
-pub const GOOD: u8 = 64;
-
-/// Largest folding degree the codec will emit.
-///
-/// The paper bounds the degree by 64 (object sizes < 2^64); we cap at 60 so
-/// that the decode shift `67 − code` stays below 64 and the decoded byte
-/// count fits in a `u64` without overflow. A degree-60 fold already covers
-/// 8 · 2^60 bytes, far beyond any simulated object.
-pub const MAX_DEGREE: u32 = 60;
-
-/// Smallest folded code (`64 − MAX_DEGREE`).
-pub const MIN_FOLDED: u8 = GOOD - MAX_DEGREE as u8;
-
-/// First partial code (`7`-partial).
-pub const PARTIAL_7: u8 = 65;
-
-/// Last partial code (`1`-partial).
-pub const PARTIAL_1: u8 = 71;
+pub use giantsan_shadow::codes::{
+    addressable_bytes, exposed_bytes, exposes_prefix, folded, folding_degree, is_error, partial,
+    partial_bytes, GOOD, MAX_DEGREE, MIN_FOLDED, PARTIAL_1, PARTIAL_7,
+};
 
 /// Error code: heap right redzone (overflow).
 pub const HEAP_RIGHT_REDZONE: u8 = 73;
@@ -44,90 +35,6 @@ pub const STACK_REDZONE: u8 = 76;
 pub const GLOBAL_REDZONE: u8 = 77;
 /// Error code: memory the allocator never handed out.
 pub const UNALLOCATED: u8 = 78;
-
-/// Returns the shadow code of an *(degree)*-folded segment.
-///
-/// # Panics
-///
-/// Panics if `degree > MAX_DEGREE`.
-///
-/// # Example
-///
-/// ```
-/// use giantsan_core::encoding::{folded, GOOD};
-/// assert_eq!(folded(0), GOOD);
-/// assert_eq!(folded(3), 61);
-/// ```
-pub const fn folded(degree: u32) -> u8 {
-    assert!(degree <= MAX_DEGREE, "folding degree out of range");
-    GOOD - degree as u8
-}
-
-/// Returns the shadow code of a *k*-partial segment.
-///
-/// # Panics
-///
-/// Panics if `k` is not in `1..=7`.
-///
-/// # Example
-///
-/// ```
-/// use giantsan_core::encoding::partial;
-/// assert_eq!(partial(4), 68);
-/// ```
-pub const fn partial(k: u32) -> u8 {
-    assert!(k >= 1 && k <= 7, "partial byte count out of range");
-    72 - k as u8
-}
-
-/// Extracts the folding degree of a folded code, or `None` otherwise.
-pub const fn folding_degree(code: u8) -> Option<u32> {
-    if code <= GOOD && code >= MIN_FOLDED {
-        Some((GOOD - code) as u32)
-    } else {
-        None
-    }
-}
-
-/// Extracts `k` from a *k*-partial code, or `None` otherwise.
-pub const fn partial_bytes(code: u8) -> Option<u32> {
-    if code >= PARTIAL_7 && code <= PARTIAL_1 {
-        Some((72 - code) as u32)
-    } else {
-        None
-    }
-}
-
-/// Returns `true` for error codes (`> 72`).
-pub const fn is_error(code: u8) -> bool {
-    code > 72
-}
-
-/// The paper's branch-free decode (§4.2): the number of addressable bytes
-/// guaranteed to follow the *segment base* of a segment with this code —
-/// `(code ≤ 64) << (67 − code)`, i.e. `8 · 2^degree` for folded segments and
-/// `0` for everything else.
-///
-/// # Example
-///
-/// ```
-/// use giantsan_core::encoding::{addressable_bytes, folded, partial, FREED};
-/// assert_eq!(addressable_bytes(folded(0)), 8);
-/// assert_eq!(addressable_bytes(folded(5)), 8 << 5);
-/// assert_eq!(addressable_bytes(partial(3)), 0);
-/// assert_eq!(addressable_bytes(FREED), 0);
-/// ```
-#[inline]
-pub const fn addressable_bytes(code: u8) -> u64 {
-    if code <= GOOD {
-        // Codes below MIN_FOLDED never occur; clamp defensively so the shift
-        // cannot exceed 63 even on corrupted shadow.
-        let shift = 67 - if code < MIN_FOLDED { MIN_FOLDED } else { code } as u32;
-        1u64 << shift
-    } else {
-        0
-    }
-}
 
 #[cfg(test)]
 mod tests {

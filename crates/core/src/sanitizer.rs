@@ -759,6 +759,32 @@ mod tests {
     }
 
     #[test]
+    fn loop_final_check_catches_mid_loop_realloc() {
+        // A realloc (shrink, possibly moving the object) invalidates a
+        // quasi-bound built on the old extent: the loop-exit check over the
+        // remembered range must report, whether the old base is now freed or
+        // truncated.
+        let mut s = san();
+        let a = s.alloc(256, Region::Heap).unwrap();
+        let mut slot = CacheSlot::new();
+        s.cached_check(&mut slot, a.base, 248, 8, AccessKind::Write)
+            .unwrap();
+        assert_eq!(slot.ub, 256);
+        s.realloc(a.base, 64).unwrap();
+        let err = s
+            .loop_final_check(&slot, a.base, AccessKind::Write)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ErrorKind::UseAfterFree | ErrorKind::HeapBufferOverflow
+            ),
+            "stale quasi-bound after realloc not reported: {:?}",
+            err.kind
+        );
+    }
+
+    #[test]
     fn loop_final_check_catches_mid_loop_free_on_reverse_traversal() {
         // Regression: with the §5.4 reverse mitigation the cache admits
         // descending accesses below the quasi-lower-bound; a mid-loop free

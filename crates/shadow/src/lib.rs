@@ -31,6 +31,7 @@
 //! [Ling et al., ASPLOS 2024]: https://doi.org/10.1145/3620665.3640391
 
 mod addr;
+pub mod codes;
 mod scan;
 mod shadow;
 mod space;

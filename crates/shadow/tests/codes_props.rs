@@ -1,0 +1,82 @@
+//! Property tests for the shared folded-code algebra: encode/decode
+//! round-trips for every legal code, decode safety for every *illegal* one,
+//! and the monotonicity the single-comparison checks rely on.
+
+use proptest::prelude::*;
+
+use giantsan_shadow::codes::{
+    addressable_bytes, exposed_bytes, exposes_prefix, folded, folding_degree, is_error, partial,
+    partial_bytes, GOOD, MAX_DEGREE, MIN_FOLDED, PARTIAL_1, PARTIAL_7,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode(encode(degree)) round-trips: a (degree)-folded code decodes to
+    /// exactly `8 · 2^degree` addressable bytes and back to its degree.
+    #[test]
+    fn folded_codes_round_trip(degree in 0u32..=MAX_DEGREE) {
+        let code = folded(degree);
+        prop_assert_eq!(folding_degree(code), Some(degree));
+        prop_assert_eq!(addressable_bytes(code), 8u64 << degree);
+        prop_assert_eq!(exposed_bytes(code), 8);
+        prop_assert!(!is_error(code));
+    }
+
+    /// decode(encode(k)) round-trips for partial codes: a k-partial code
+    /// exposes exactly k bytes within itself and none beyond its base.
+    #[test]
+    fn partial_codes_round_trip(k in 1u32..=7) {
+        let code = partial(k);
+        prop_assert_eq!(partial_bytes(code), Some(k));
+        prop_assert_eq!(exposed_bytes(code), k as u64);
+        prop_assert_eq!(addressable_bytes(code), 0);
+        prop_assert!(!is_error(code));
+    }
+
+    /// Every 8-bit value decodes without panicking, the two decodes agree on
+    /// "fully exposed", and the prefix comparison matches exposed_bytes —
+    /// even for corrupted codes below MIN_FOLDED or error codes.
+    #[test]
+    fn decode_is_total_and_consistent(code in 0u8..=255) {
+        let addr = addressable_bytes(code);
+        let exp = exposed_bytes(code);
+        // addressable_bytes counts whole segments from the base: nonzero iff
+        // the segment is folded, in which case all 8 own bytes are exposed.
+        prop_assert_eq!(addr >= 8, exp == 8);
+        for needed in 1u8..=8 {
+            prop_assert_eq!(
+                exposes_prefix(code, needed),
+                exp >= needed as u64,
+                "code {} needed {}", code, needed
+            );
+        }
+        // Classification is a partition: folded, partial, or error/invalid
+        // (72 itself is unused — neither 0-partial nor an error code).
+        let classes = [
+            folding_degree(code).is_some(),
+            partial_bytes(code).is_some(),
+            is_error(code) || code < MIN_FOLDED || code == 72,
+        ];
+        prop_assert_eq!(classes.iter().filter(|c| **c).count(), 1, "code {}", code);
+    }
+
+    /// Monotonicity (paper §4.1): a smaller code never exposes fewer bytes,
+    /// so threshold comparisons are sound.
+    #[test]
+    fn smaller_codes_expose_no_fewer_bytes(a in MIN_FOLDED..=u8::MAX, b in MIN_FOLDED..=u8::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(addressable_bytes(lo) >= addressable_bytes(hi));
+        prop_assert!(exposed_bytes(lo) >= exposed_bytes(hi));
+    }
+}
+
+#[test]
+fn code_layout_constants() {
+    assert_eq!(GOOD, 64);
+    assert_eq!(MIN_FOLDED, GOOD - MAX_DEGREE as u8);
+    assert_eq!(PARTIAL_7, 65);
+    assert_eq!(PARTIAL_1, 71);
+    // Corrupted low codes clamp instead of shifting out of range.
+    assert_eq!(addressable_bytes(0), addressable_bytes(MIN_FOLDED));
+}

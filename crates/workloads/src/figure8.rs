@@ -1,0 +1,62 @@
+//! The paper's Figure 8a worked example, as a reusable workload.
+//!
+//! Five potential checks in the source loop become three in Figure 8c:
+//! `CI(x, x + 4N)` hoisted to the pre-header, a quasi-bound cached check for
+//! the data-dependent `y[j]`, and a guardian-checked `memset` — the program
+//! every planner walkthrough in the paper (and this repo's golden plan
+//! snapshots) is anchored on.
+
+use giantsan_ir::{Expr, Program, ProgramBuilder};
+
+/// Builds the Figure 8a program plus an input vector sized by `n` (the loop
+/// trip count).
+///
+/// # Example
+///
+/// ```
+/// use giantsan_analysis::{analyze, SiteFate, ToolProfile};
+/// let (prog, inputs) = giantsan_workloads::figure8_program(100);
+/// assert_eq!(inputs, vec![100]);
+/// let a = analyze(&prog, &ToolProfile::giantsan());
+/// assert_eq!(a.fates[0], SiteFate::Promoted);
+/// assert_eq!(a.fates[1], SiteFate::Cached);
+/// assert_eq!(a.fates[2], SiteFate::MemIntrinsic);
+/// ```
+pub fn figure8_program(n: i64) -> (Program, Vec<i64>) {
+    let mut b = ProgramBuilder::new("figure8");
+    let trip = b.input(0);
+    // int *x = p[0]; int *y = p[1]; modelled as two buffers. y is padded so
+    // the data-dependent store y[4j] stays in bounds for j read from x.
+    let x = b.alloc_heap(Expr::input(0) * 4);
+    let y = b.alloc_heap(Expr::input(0) * 4 + 1024);
+    b.for_loop(0i64, trip, |b, i| {
+        let j = b.load(x, Expr::var(i) * 4, 4); // site 0: x[i]
+        b.store(y, Expr::var(j) * 4, 4, Expr::var(i)); // site 1: y[j]
+    });
+    b.memset(x, 0i64, Expr::input(0) * 4, 0i64); // site 2
+    b.free(x);
+    b.free(y);
+    (b.build(), vec![n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_ir::{run, CheckPlan, ExecConfig, Termination};
+    use giantsan_runtime::{NullSanitizer, RuntimeConfig};
+
+    #[test]
+    fn figure8_runs_clean_natively() {
+        let (prog, inputs) = figure8_program(64);
+        let mut nul = NullSanitizer::new(RuntimeConfig::small());
+        let r = run(
+            &prog,
+            &inputs,
+            &mut nul,
+            &CheckPlan::none(&prog),
+            &ExecConfig::default(),
+        );
+        assert_eq!(r.termination, Termination::Finished);
+        assert!(r.reports.is_empty());
+    }
+}

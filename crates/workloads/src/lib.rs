@@ -28,6 +28,7 @@
 //! ```
 
 pub mod ablation;
+pub mod figure8;
 pub mod flaws;
 pub mod fuzz;
 pub mod juliet;
@@ -36,6 +37,7 @@ pub mod spec;
 pub mod traversal;
 
 pub use ablation::{quarantine_probe, underflow_bypass_probe};
+pub use figure8::figure8_program;
 pub use flaws::{cve_scenarios, CveKind, CveScenario};
 pub use fuzz::{buggy_program, safe_program, FuzzProgram, InjectedBug};
 pub use juliet::{juliet_suite, juliet_suite_scaled, JulietCase, JulietSuite};
