@@ -17,6 +17,11 @@
 //!
 //! plus history-cache assignment (§4.3) for whatever promotion cannot cover.
 //!
+//! The planner is organised as a pass pipeline (see [`pipeline`]): each
+//! analysis above is a discrete pass over a shared context, profiles are
+//! declarative [`PassSet`]s, and every site records which pass decided it
+//! ([`Provenance`]) along with per-pass [`PassStats`].
+//!
 //! # Example
 //!
 //! ```
@@ -37,8 +42,11 @@
 //! ```
 
 pub mod affine;
+mod passes;
+pub mod pipeline;
 mod planner;
 mod profile;
 
+pub use pipeline::{PassId, PassManager, PassSet, PassStats, Provenance};
 pub use planner::{analyze, Analysis, SiteFate};
 pub use profile::ToolProfile;

@@ -1,0 +1,117 @@
+//! `must-alias`: grouping of constant-offset accesses per pointer.
+//!
+//! A second structural walk replays the program's block structure and
+//! collects, per block, runs of constant-offset accesses to the same
+//! pointer with no intervening kill. A kill is anything that could change
+//! what the pointer maps to or what lies around it: an (re)allocation or
+//! free, a pointer copy, a non-constant-offset access on the same pointer
+//! (merging across it could move a check past a redzone-crossing access),
+//! or any control-flow boundary (loop, branch, frame, end of block).
+//!
+//! The same walk tracks *freshness*: pointers holding an allocation of
+//! statically known size, block-local and killed by the same events. The
+//! `static-safety` pass consumes the per-site freshness record; the `merge`
+//! pass consumes the groups.
+
+use std::collections::HashMap;
+
+use giantsan_ir::{PtrId, Stmt};
+
+use crate::affine;
+use crate::passes::Pass;
+use crate::pipeline::{AliasGroup, AnalysisCtx, PassId, PassOutcome};
+
+pub(crate) struct MustAliasPass;
+
+impl Pass for MustAliasPass {
+    fn id(&self) -> PassId {
+        PassId::MustAlias
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let program = cx.program;
+        let mut out = PassOutcome::default();
+        walk(cx, &program.stmts, &mut out);
+        // Sites that made it into a recorded (≥ 2 member) group.
+        out.transformed = cx.groups.iter().map(|g| g.members.len() as u64).sum();
+        out
+    }
+}
+
+fn flush(cx: &mut AnalysisCtx<'_>, groups: &mut HashMap<PtrId, Vec<usize>>, ptr: PtrId) {
+    if let Some(run) = groups.remove(&ptr) {
+        if run.len() >= 2 {
+            cx.groups.push(AliasGroup { ptr, members: run });
+        }
+    }
+}
+
+fn flush_all(cx: &mut AnalysisCtx<'_>, groups: &mut HashMap<PtrId, Vec<usize>>) {
+    let ptrs: Vec<PtrId> = groups.keys().copied().collect();
+    for p in ptrs {
+        flush(cx, groups, p);
+    }
+}
+
+fn walk(cx: &mut AnalysisCtx<'_>, stmts: &[Stmt], out: &mut PassOutcome) {
+    let mut groups: HashMap<PtrId, Vec<usize>> = HashMap::new();
+    let mut fresh: HashMap<PtrId, i64> = HashMap::new();
+    for s in stmts {
+        match s {
+            Stmt::Let { .. } => {}
+            Stmt::Alloc { ptr, size, .. } => {
+                flush(cx, &mut groups, *ptr);
+                match affine::const_eval(size) {
+                    Some(c) if c > 0 => fresh.insert(*ptr, c),
+                    _ => fresh.remove(ptr),
+                };
+            }
+            Stmt::Free { ptr, .. } => {
+                flush_all(cx, &mut groups);
+                fresh.remove(ptr);
+            }
+            Stmt::Realloc { ptr, new_size } => {
+                flush_all(cx, &mut groups);
+                match affine::const_eval(new_size) {
+                    Some(c) if c > 0 => fresh.insert(*ptr, c),
+                    _ => fresh.remove(ptr),
+                };
+            }
+            Stmt::PtrCopy { dst, .. } => {
+                flush(cx, &mut groups, *dst);
+                fresh.remove(dst);
+            }
+            Stmt::Load { site, ptr, .. } | Stmt::Store { site, ptr, .. } => {
+                let idx = site.0 as usize;
+                out.visited += 1;
+                cx.fresh_at_site[idx] = fresh.get(ptr).copied();
+                if cx.const_offsets[idx].is_some() {
+                    groups.entry(*ptr).or_default().push(idx);
+                } else {
+                    flush(cx, &mut groups, *ptr);
+                }
+            }
+            Stmt::MemSet { .. } | Stmt::MemCpy { .. } | Stmt::StrCpy { .. } => {
+                // Intrinsics are guardian-checked and break no group.
+            }
+            Stmt::For { body, .. } => {
+                flush_all(cx, &mut groups);
+                walk(cx, body, out);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                flush_all(cx, &mut groups);
+                walk(cx, then_body, out);
+                walk(cx, else_body, out);
+            }
+            Stmt::Frame { body } => {
+                flush_all(cx, &mut groups);
+                walk(cx, body, out);
+            }
+        }
+    }
+    flush_all(cx, &mut groups);
+}

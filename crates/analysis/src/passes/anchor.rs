@@ -1,0 +1,75 @@
+//! `anchor`: operation-level anchoring at the object base (paper §4.4.1).
+//!
+//! Three rewrites for anchored tools, all after placement is settled:
+//!
+//! 1. Every still-undecided access becomes an *anchored* operation check
+//!    (checked from the object base instead of the access address).
+//! 2. Merged-region lower bounds extend down to the base
+//!    (`lo → min(lo, 0)`): the region check then also covers underflow.
+//! 3. Promoted pre-check lower bounds that are provably non-negative
+//!    constants anchor to the base (`lo → 0`), which is what turns
+//!    Figure 8c's hull into `CI(x, x+4N)`.
+//!
+//! Running these as a late pass is equivalent to the old inline anchoring:
+//! a constant lower bound stays constant through hull widening (`fold(x·0 +
+//! c) = c`), so anchoring before or after hoisting yields the same bound.
+
+use giantsan_ir::{Expr, SiteAction};
+
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, PassId, PassOutcome};
+use crate::planner::SiteFate;
+
+pub(crate) struct AnchorPass;
+
+impl Pass for AnchorPass {
+    fn id(&self) -> PassId {
+        PassId::Anchor
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        // 1. Leftover sites: anchored operation checks.
+        for idx in 0..cx.sites.len() {
+            if cx.decided[idx] || cx.sites[idx].is_none() {
+                continue;
+            }
+            out.visited += 1;
+            out.transformed += 1;
+            cx.decide_site(
+                idx,
+                SiteAction::Anchored,
+                SiteFate::Anchored,
+                PassId::Anchor,
+                "anchored operation check at the object base (§4.4.1)".into(),
+            );
+        }
+        // 2. Merged regions: extend non-negative hulls down to the base.
+        for act in cx.actions.iter_mut() {
+            if let SiteAction::Region { lo, .. } = act {
+                if let Some(c) = lo.as_const() {
+                    out.visited += 1;
+                    if c > 0 {
+                        *lo = Expr::Const(0);
+                        out.transformed += 1;
+                    }
+                }
+            }
+        }
+        // 3. Promoted pre-checks: anchor provably non-negative lower bounds.
+        for lp in cx.plans.values_mut() {
+            for pre in &mut lp.pre_checks {
+                if let Some(c) = pre.lo.as_const() {
+                    out.visited += 1;
+                    if c >= 0 {
+                        if pre.lo != Expr::Const(0) {
+                            out.transformed += 1;
+                        }
+                        pre.lo = Expr::Const(0);
+                    }
+                }
+            }
+        }
+        out
+    }
+}

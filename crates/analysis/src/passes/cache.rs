@@ -1,0 +1,66 @@
+//! `cache`: quasi-bound history-cache assignment (paper §4.3, Figure 9).
+//!
+//! Every in-loop access that neither merged nor promoted gets routed
+//! through a per-(loop, pointer) history cache: the first access checks and
+//! remembers a quasi-bound, later accesses below it are admitted without
+//! touching shadow memory. Slots are allocated in site order, one per
+//! (loop, pointer) pair; the loop's plan re-checks the cached range at loop
+//! exit (Figure 9 line 14) so admissions after a mid-loop `free` are still
+//! reported.
+//!
+//! A pointer redefined inside the loop gets no slot — its quasi-bound would
+//! describe a previous iteration's object. Allocation barriers do *not*
+//! block caching (unlike promotion): the miss path re-validates against
+//! live metadata, and the loop-exit final check covers the admitted range.
+
+use giantsan_ir::{CacheId, SiteAction};
+
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, PassId, PassOutcome};
+use crate::planner::SiteFate;
+
+pub(crate) struct CachePass;
+
+impl Pass for CachePass {
+    fn id(&self) -> PassId {
+        PassId::Cache
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        for idx in 0..cx.sites.len() {
+            if cx.decided[idx] {
+                continue;
+            }
+            let Some((ptr, loop_id)) = cx.sites[idx]
+                .as_ref()
+                .and_then(|r| r.loops.last().map(|l| (r.ptr, l.id)))
+            else {
+                continue;
+            };
+            out.visited += 1;
+            if cx.ptr_defs_in_loop.contains(&(ptr, loop_id)) {
+                continue;
+            }
+            let cache = match cx.caches.get(&(loop_id, ptr)) {
+                Some(c) => *c,
+                None => {
+                    let id = CacheId(cx.num_caches);
+                    cx.num_caches += 1;
+                    cx.caches.insert((loop_id, ptr), id);
+                    cx.plans.entry(loop_id).or_default().caches.push((id, ptr));
+                    id
+                }
+            };
+            out.transformed += 1;
+            cx.decide_site(
+                idx,
+                SiteAction::Cached { cache },
+                SiteFate::Cached,
+                PassId::Cache,
+                format!("quasi-bound slot #{} for {ptr} on loop {loop_id}", cache.0),
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,41 @@
+//! `finalize` (structural): plain instruction-level checks for whatever no
+//! earlier pass claimed.
+//!
+//! For a profile with every optimisation disabled (ASan, Native) this is
+//! where every access site lands; for anchored profiles the `anchor` pass
+//! has already taken the leftovers, and this pass decides nothing. Site ids
+//! that never appeared in the program (no record) keep their initialized
+//! `Direct` action with no provenance.
+
+use giantsan_ir::SiteAction;
+
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, PassId, PassOutcome};
+use crate::planner::SiteFate;
+
+pub(crate) struct FinalizePass;
+
+impl Pass for FinalizePass {
+    fn id(&self) -> PassId {
+        PassId::Finalize
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        for idx in 0..cx.sites.len() {
+            if cx.decided[idx] || cx.sites[idx].is_none() {
+                continue;
+            }
+            out.visited += 1;
+            out.transformed += 1;
+            cx.decide_site(
+                idx,
+                SiteAction::Direct,
+                SiteFate::Direct,
+                PassId::Finalize,
+                "instruction-level check at every execution".into(),
+            );
+        }
+        out
+    }
+}

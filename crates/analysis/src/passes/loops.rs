@@ -1,0 +1,62 @@
+//! `loop-bounds`: SCEV-style per-loop facts for the promotion pass.
+//!
+//! Two facts per loop, both pure functions of the loop's bound expressions
+//! and the (complete, SSA) definition environment:
+//!
+//! - **trip-positive**: both bounds are constants with `hi > lo`, so the
+//!   loop provably executes. Multi-level hoisting may only lift a pre-check
+//!   past a loop that provably runs — lifting past a possibly-empty loop
+//!   would fire checks for accesses that never execute.
+//! - **bounds-invariant**: no variable in the bound expressions is defined
+//!   inside the loop itself. The bounds are evaluated at entry, but a
+//!   promoted pre-check re-reads them in the pre-header, so anything
+//!   defined inside disqualifies promotion.
+
+use giantsan_ir::{Expr, LoopId};
+
+use crate::affine::{self, DefEnv, VarDef};
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, LoopCtx, PassId, PassOutcome};
+
+pub(crate) struct LoopBoundsPass;
+
+impl Pass for LoopBoundsPass {
+    fn id(&self) -> PassId {
+        PassId::LoopBounds
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        let ids: Vec<LoopId> = cx.loops.keys().copied().collect();
+        for id in ids {
+            let lc = cx.loops[&id].clone();
+            out.visited += 1;
+            let trip = matches!(
+                (affine::const_eval(&lc.lo), affine::const_eval(&lc.hi)),
+                (Some(l), Some(h)) if h > l
+            );
+            let invariant = bounds_invariant(&cx.env, &lc);
+            if trip || invariant {
+                out.transformed += 1;
+            }
+            cx.trip_positive.insert(id, trip);
+            cx.bounds_invariant.insert(id, invariant);
+        }
+        out
+    }
+}
+
+/// Are the loop's bound expressions invariant inside the loop itself?
+fn bounds_invariant(env: &DefEnv, l: &LoopCtx) -> bool {
+    let check = |e: &Expr| {
+        e.vars().iter().all(|v| match env.get(v) {
+            None => true,
+            Some(d) => match d {
+                VarDef::Induction { loops, .. }
+                | VarDef::Let { loops, .. }
+                | VarDef::Load { loops } => !loops.contains(&l.id),
+            },
+        })
+    };
+    check(&l.lo) && check(&l.hi)
+}

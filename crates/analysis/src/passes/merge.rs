@@ -1,0 +1,92 @@
+//! `merge`: aliased-check elimination (paper §4.4.2).
+//!
+//! Each must-alias group still alive after `static-safety` collapses into
+//! one region check `[min offset, max offset+width)` carried by the group's
+//! lowest-numbered site (the *leader*); the other members are eliminated.
+//!
+//! For a tool whose runtime walks one shadow byte per covered segment
+//! (ASan's linear guardian rather than GiantSan's O(1) fold check), the
+//! merge is refused when the hull walk would cost at least as much as the
+//! per-access checks it replaces.
+//!
+//! Lower bounds are stored raw here; the `anchor` pass extends non-negative
+//! hulls down to the object base for anchored profiles.
+
+use giantsan_ir::{Expr, SiteAction};
+
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, PassId, PassOutcome};
+use crate::planner::SiteFate;
+
+pub(crate) struct MergePass;
+
+impl Pass for MergePass {
+    fn id(&self) -> PassId {
+        PassId::Merge
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        let groups = cx.groups.clone();
+        for g in &groups {
+            let alive: Vec<usize> = g
+                .members
+                .iter()
+                .copied()
+                .filter(|&i| !cx.decided[i])
+                .collect();
+            out.visited += alive.len() as u64;
+            if alive.len() < 2 {
+                continue;
+            }
+            let offset = |i: usize| cx.const_offsets[i].expect("grouped sites have const offsets");
+            let width = |i: usize| cx.sites[i].as_ref().expect("grouped site").width as i64;
+            let lo = alive.iter().map(|&i| offset(i)).min().expect("nonempty");
+            let hi = alive
+                .iter()
+                .map(|&i| offset(i) + width(i))
+                .max()
+                .expect("nonempty");
+            // With a linear guardian (ASan--), a merged region check walks
+            // one shadow byte per covered segment: only merge when that walk
+            // is cheaper than the per-access checks it replaces.
+            if cx.profile.linear_region_checks {
+                let hull_segments = ((hi - lo) as u64).div_ceil(8);
+                if hull_segments >= alive.len() as u64 {
+                    continue;
+                }
+            }
+            let leader = *alive.iter().min().expect("nonempty group");
+            for &i in &alive {
+                if i == leader {
+                    out.transformed += 1;
+                    cx.decide_site(
+                        i,
+                        SiteAction::Region {
+                            lo: Expr::Const(lo),
+                            hi: Expr::Const(hi),
+                        },
+                        SiteFate::MergeLeader,
+                        PassId::Merge,
+                        format!(
+                            "leads a {}-site merged hull [{lo}, {hi}) on {}",
+                            alive.len(),
+                            g.ptr
+                        ),
+                    );
+                } else {
+                    out.transformed += 1;
+                    out.eliminated += 1;
+                    cx.decide_site(
+                        i,
+                        SiteAction::Skip,
+                        SiteFate::MergedAway,
+                        PassId::Merge,
+                        format!("covered by merge leader s{leader}"),
+                    );
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,54 @@
+//! The concrete pipeline passes (one module per stage).
+//!
+//! Each pass implements [`Pass`]: a pure function from the shared
+//! [`AnalysisCtx`](crate::pipeline::AnalysisCtx) to an updated context plus
+//! its own [`PassOutcome`](crate::pipeline::PassOutcome) counters. The
+//! canonical order — and why it is what it is — lives in
+//! [`crate::pipeline`]; the registry below returns the passes in exactly
+//! that order.
+
+use crate::pipeline::{AnalysisCtx, PassId, PassOutcome};
+
+mod alias;
+mod anchor;
+mod cache;
+mod finalize;
+mod loops;
+mod merge;
+mod promote;
+mod scan;
+mod static_safety;
+
+/// One pipeline stage.
+pub(crate) trait Pass: Sync {
+    /// The stage's identity (order, name, structural flag).
+    fn id(&self) -> PassId;
+    /// Runs the stage over the shared context.
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome;
+}
+
+/// Every pass, in canonical pipeline order (matches [`PassId::PIPELINE`]).
+pub(crate) fn registry() -> [&'static dyn Pass; 9] {
+    [
+        &scan::ConstPropPass,
+        &alias::MustAliasPass,
+        &loops::LoopBoundsPass,
+        &static_safety::StaticSafetyPass,
+        &merge::MergePass,
+        &promote::PromotePass,
+        &cache::CachePass,
+        &anchor::AnchorPass,
+        &finalize::FinalizePass,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_pipeline_order() {
+        let ids: Vec<PassId> = registry().iter().map(|p| p.id()).collect();
+        assert_eq!(ids, PassId::PIPELINE.to_vec());
+    }
+}

@@ -1,0 +1,227 @@
+//! `const-prop` (structural): constant propagation and context building.
+//!
+//! One walk over the program gathers everything position-dependent so the
+//! later passes can be position-independent: the SSA definition environment
+//! (for SCEV decomposition and invariance queries), the loop table, the
+//! allocation-barrier map, the pointer-redefinition relation, one
+//! [`SiteRec`] per access site and its constant-folded offset. Memory
+//! intrinsics are settled here — the runtime guardian checks them as one
+//! region for every tool (paper Table 1, "predefined semantics").
+
+use giantsan_ir::{PtrId, SiteAction, SiteId, Stmt};
+use giantsan_runtime::AccessKind;
+
+use crate::affine::{self, VarDef};
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, LoopCtx, PassId, PassOutcome, SiteRec};
+use crate::planner::SiteFate;
+
+pub(crate) struct ConstPropPass;
+
+impl Pass for ConstPropPass {
+    fn id(&self) -> PassId {
+        PassId::ConstProp
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let program = cx.program;
+        mark_barriers(cx, &program.stmts, &mut Vec::new());
+        let mut out = PassOutcome::default();
+        walk(cx, &program.stmts, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+/// Marks every loop that contains an allocation/free/realloc anywhere in its
+/// body: promotion across such a loop would test freed or recycled memory.
+fn mark_barriers(cx: &mut AnalysisCtx<'_>, stmts: &[Stmt], stack: &mut Vec<giantsan_ir::LoopId>) {
+    for s in stmts {
+        match s {
+            Stmt::Alloc { .. } | Stmt::Free { .. } | Stmt::Realloc { .. } => {
+                for l in stack.iter() {
+                    cx.barriers.insert(*l, true);
+                }
+            }
+            Stmt::For { id, body, .. } => {
+                stack.push(*id);
+                cx.barriers.entry(*id).or_insert(false);
+                mark_barriers(cx, body, stack);
+                stack.pop();
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                mark_barriers(cx, then_body, stack);
+                mark_barriers(cx, else_body, stack);
+            }
+            Stmt::Frame { body } => mark_barriers(cx, body, stack),
+            _ => {}
+        }
+    }
+}
+
+fn loop_ids(stack: &[LoopCtx]) -> Vec<giantsan_ir::LoopId> {
+    stack.iter().map(|l| l.id).collect()
+}
+
+/// Records that `ptr` is (re)defined inside every loop currently on the
+/// stack: neither promotion nor caching is sound for such accesses.
+fn note_ptr_def(cx: &mut AnalysisCtx<'_>, stack: &[LoopCtx], ptr: PtrId) {
+    for l in stack {
+        cx.ptr_defs_in_loop.insert((ptr, l.id));
+    }
+}
+
+struct Access<'a> {
+    site: SiteId,
+    ptr: PtrId,
+    offset: &'a giantsan_ir::Expr,
+    width: u8,
+    kind: AccessKind,
+}
+
+fn record_access(
+    cx: &mut AnalysisCtx<'_>,
+    stack: &[LoopCtx],
+    out: &mut PassOutcome,
+    a: Access<'_>,
+) {
+    let Access {
+        site,
+        ptr,
+        offset,
+        width,
+        kind,
+    } = a;
+    let idx = site.0 as usize;
+    out.visited += 1;
+    let c = affine::const_eval(offset);
+    if c.is_some() {
+        out.transformed += 1;
+    }
+    cx.const_offsets[idx] = c;
+    cx.sites[idx] = Some(SiteRec {
+        ptr,
+        offset: offset.clone(),
+        width,
+        kind,
+        loops: stack.to_vec(),
+    });
+}
+
+fn walk(cx: &mut AnalysisCtx<'_>, stmts: &[Stmt], stack: &mut Vec<LoopCtx>, out: &mut PassOutcome) {
+    for s in stmts {
+        match s {
+            Stmt::Let { var, expr } => {
+                cx.env.insert(
+                    *var,
+                    VarDef::Let {
+                        expr: expr.clone(),
+                        loops: loop_ids(stack),
+                    },
+                );
+            }
+            Stmt::Alloc { ptr, .. } => note_ptr_def(cx, stack, *ptr),
+            Stmt::Free { .. } => {}
+            Stmt::Realloc { ptr, .. } => note_ptr_def(cx, stack, *ptr),
+            Stmt::PtrCopy { dst, .. } => note_ptr_def(cx, stack, *dst),
+            Stmt::Load {
+                site,
+                ptr,
+                offset,
+                width,
+                dst,
+            } => {
+                if let Some(d) = dst {
+                    cx.env.insert(
+                        *d,
+                        VarDef::Load {
+                            loops: loop_ids(stack),
+                        },
+                    );
+                }
+                record_access(
+                    cx,
+                    stack,
+                    out,
+                    Access {
+                        site: *site,
+                        ptr: *ptr,
+                        offset,
+                        width: *width,
+                        kind: AccessKind::Read,
+                    },
+                );
+            }
+            Stmt::Store {
+                site,
+                ptr,
+                offset,
+                width,
+                ..
+            } => {
+                record_access(
+                    cx,
+                    stack,
+                    out,
+                    Access {
+                        site: *site,
+                        ptr: *ptr,
+                        offset,
+                        width: *width,
+                        kind: AccessKind::Write,
+                    },
+                );
+            }
+            Stmt::MemSet { site, .. } | Stmt::MemCpy { site, .. } | Stmt::StrCpy { site, .. } => {
+                out.visited += 1;
+                cx.decide_site(
+                    site.0 as usize,
+                    SiteAction::Direct,
+                    SiteFate::MemIntrinsic,
+                    PassId::ConstProp,
+                    "predefined semantics: the runtime guardian checks the whole region".into(),
+                );
+            }
+            Stmt::For {
+                id,
+                var,
+                lo,
+                hi,
+                opaque_bound,
+                body,
+                ..
+            } => {
+                let ctx = LoopCtx {
+                    id: *id,
+                    var: *var,
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    opaque: *opaque_bound,
+                };
+                stack.push(ctx.clone());
+                cx.loops.insert(*id, ctx);
+                cx.env.insert(
+                    *var,
+                    VarDef::Induction {
+                        of: *id,
+                        loops: loop_ids(stack),
+                    },
+                );
+                walk(cx, body, stack, out);
+                stack.pop();
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk(cx, then_body, stack, out);
+                walk(cx, else_body, stack, out);
+            }
+            Stmt::Frame { body } => walk(cx, body, stack, out),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! `static-safety`: elision of provably in-bounds accesses.
+//!
+//! A constant offset into a pointer that still holds a fresh allocation of
+//! statically known size needs no runtime check at all when
+//! `0 <= offset && offset + width <= size`. Freshness is the block-local
+//! fact computed by the `must-alias` walk; running this pass *before*
+//! `merge` means a statically-safe site leaves its must-alias group before
+//! the merge hull is computed — exactly the behavior of the old inline
+//! walker, where a safe site never joined a group.
+
+use giantsan_ir::SiteAction;
+
+use crate::passes::Pass;
+use crate::pipeline::{AnalysisCtx, PassId, PassOutcome};
+use crate::planner::SiteFate;
+
+pub(crate) struct StaticSafetyPass;
+
+impl Pass for StaticSafetyPass {
+    fn id(&self) -> PassId {
+        PassId::StaticSafety
+    }
+
+    fn run(&self, cx: &mut AnalysisCtx<'_>) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        for idx in 0..cx.sites.len() {
+            if cx.decided[idx] {
+                continue;
+            }
+            let Some(c) = cx.const_offsets[idx] else {
+                continue;
+            };
+            let Some((width, ptr)) = cx.sites[idx].as_ref().map(|r| (r.width, r.ptr)) else {
+                continue;
+            };
+            out.visited += 1;
+            let Some(size) = cx.fresh_at_site[idx] else {
+                continue;
+            };
+            if c >= 0 && c + width as i64 <= size {
+                out.transformed += 1;
+                out.eliminated += 1;
+                cx.decide_site(
+                    idx,
+                    SiteAction::Skip,
+                    SiteFate::StaticallySafe,
+                    PassId::StaticSafety,
+                    format!(
+                        "[{c}, {}) provably inside the fresh {size}-byte allocation {ptr}",
+                        c + width as i64
+                    ),
+                );
+            }
+        }
+        out
+    }
+}

@@ -2,9 +2,10 @@
 //! [`CheckPlan`].
 //!
 //! This is the reproduction of the paper's compilation-phase pipeline
-//! (§4.4): the planner first gives every access its instruction-level check,
-//! then — capability flags permitting — merges must-aliased constant-offset
-//! checks (Aliased Check Elimination), hoists loop-invariant checks, promotes
+//! (§4.4). [`analyze`] runs the pass pipeline (see [`crate::pipeline`]): the
+//! planner first gives every access its instruction-level check, then —
+//! pass set permitting — merges must-aliased constant-offset checks
+//! (Aliased Check Elimination), hoists loop-invariant checks, promotes
 //! affine in-loop checks to one pre-header region check (Check-in-Loop
 //! Promotion via the SCEV-style [`crate::affine`] decomposition), and routes
 //! everything else through quasi-bound history caches. The worked example is
@@ -13,13 +14,9 @@
 
 use std::collections::HashMap;
 
-use giantsan_ir::{
-    CacheId, CheckPlan, Expr, LoopId, LoopPlan, PreCheck, Program, PtrId, SiteAction, SiteId, Stmt,
-    VarId,
-};
-use giantsan_runtime::AccessKind;
+use giantsan_ir::{CheckPlan, Program};
 
-use crate::affine::{self, DefEnv, VarDef};
+use crate::pipeline::{PassManager, PassStats, Provenance};
 use crate::profile::ToolProfile;
 
 /// Why a site ended up with its action (static accounting for Figure 10).
@@ -45,13 +42,18 @@ pub enum SiteFate {
     StaticallySafe,
 }
 
-/// A produced plan plus its static accounting.
+/// A produced plan plus its static accounting and observability records.
 #[derive(Debug, Clone)]
 pub struct Analysis {
     /// The executable plan.
     pub plan: CheckPlan,
-    /// Static fate of every site, indexed by [`SiteId`].
+    /// Static fate of every site, indexed by [`giantsan_ir::SiteId`].
     pub fates: Vec<SiteFate>,
+    /// Which pass decided each site, and why (`None` for site ids that
+    /// never appear in the program).
+    pub provenance: Vec<Option<Provenance>>,
+    /// One row per pipeline stage, in execution order.
+    pub pass_stats: Vec<PassStats>,
 }
 
 impl Analysis {
@@ -88,6 +90,50 @@ impl Analysis {
         }
         out
     }
+
+    /// Renders the per-site provenance table: fate, deciding pass, and the
+    /// pass's recorded reasoning.
+    pub fn render_provenance(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, fate) in self.fates.iter().enumerate() {
+            match &self.provenance[i] {
+                Some(p) => {
+                    let _ = writeln!(
+                        out,
+                        "s{i:<4} {:<15} [{:<13}] {}",
+                        format!("{fate:?}"),
+                        p.pass.name(),
+                        p.reason
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "s{i:<4} {:<15} [{:<13}] -", format!("{fate:?}"), "-");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the per-pass statistics table (one row per pipeline stage).
+    pub fn render_pass_stats(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("pass           on   visited  transformed  eliminated  wall\n");
+        for s in &self.pass_stats {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<3} {:>8} {:>12} {:>11}  {:?}",
+                s.pass.name(),
+                if s.enabled { "yes" } else { "no" },
+                s.visited,
+                s.transformed,
+                s.eliminated,
+                s.wall
+            );
+        }
+        out
+    }
 }
 
 impl SiteFate {
@@ -106,7 +152,8 @@ impl SiteFate {
     }
 }
 
-/// Runs the planner for `program` under `profile`.
+/// Runs the planner for `program` under `profile`: schedules the pass
+/// pipeline for the profile's pass set and runs it.
 ///
 /// # Example
 ///
@@ -132,574 +179,14 @@ impl SiteFate {
 /// assert_eq!(a.fates[2], SiteFate::MergedAway);
 /// ```
 pub fn analyze(program: &Program, profile: &ToolProfile) -> Analysis {
-    let mut cx = Cx {
-        profile,
-        env: DefEnv::new(),
-        loop_stack: Vec::new(),
-        loops: HashMap::new(),
-        sites: vec![None; program.num_sites as usize],
-        fates: vec![SiteFate::Direct; program.num_sites as usize],
-        actions: vec![SiteAction::Direct; program.num_sites as usize],
-        plans: HashMap::new(),
-        caches: HashMap::new(),
-        num_caches: 0,
-        ptr_defs_in_loop: std::collections::HashSet::new(),
-    };
-    // Pass 0: which loops contain allocation/free barriers.
-    let mut barriers: HashMap<LoopId, bool> = HashMap::new();
-    mark_barriers(&program.stmts, &mut Vec::new(), &mut barriers);
-
-    cx.walk_block(&program.stmts, &barriers);
-
-    // Pass 2: decide remaining (unmerged) sites.
-    for idx in 0..cx.sites.len() {
-        if let Some(rec) = cx.sites[idx].take() {
-            cx.decide(rec, &barriers);
-        }
-    }
-
-    let plan = CheckPlan {
-        sites: cx.actions,
-        loops: cx.plans,
-        num_caches: cx.num_caches,
-    };
-    Analysis {
-        plan,
-        fates: cx.fates,
-    }
-}
-
-#[derive(Debug, Clone)]
-struct LoopCtx {
-    id: LoopId,
-    var: VarId,
-    lo: Expr,
-    hi: Expr,
-    opaque: bool,
-}
-
-#[derive(Debug, Clone)]
-struct SiteRec {
-    site: SiteId,
-    ptr: PtrId,
-    offset: Expr,
-    width: u8,
-    kind: AccessKind,
-    loops: Vec<LoopCtx>,
-}
-
-#[derive(Debug, Clone)]
-struct GroupEntry {
-    site: SiteId,
-    offset: i64,
-    width: u8,
-    kind: AccessKind,
-}
-
-struct Cx<'a> {
-    profile: &'a ToolProfile,
-    env: DefEnv,
-    loop_stack: Vec<LoopCtx>,
-    loops: HashMap<LoopId, LoopCtx>,
-    /// Sites awaiting a pass-2 decision.
-    sites: Vec<Option<SiteRec>>,
-    fates: Vec<SiteFate>,
-    actions: Vec<SiteAction>,
-    plans: HashMap<LoopId, LoopPlan>,
-    caches: HashMap<(LoopId, PtrId), CacheId>,
-    num_caches: u32,
-    /// `(ptr, loop)` pairs where the pointer is (re)defined inside the loop
-    /// body: neither promotion nor caching is sound for such accesses — the
-    /// pointer's value changes across iterations.
-    ptr_defs_in_loop: std::collections::HashSet<(PtrId, LoopId)>,
-}
-
-fn mark_barriers(stmts: &[Stmt], stack: &mut Vec<LoopId>, out: &mut HashMap<LoopId, bool>) {
-    for s in stmts {
-        match s {
-            Stmt::Alloc { .. } | Stmt::Free { .. } | Stmt::Realloc { .. } => {
-                for l in stack.iter() {
-                    out.insert(*l, true);
-                }
-            }
-            Stmt::For { id, body, .. } => {
-                stack.push(*id);
-                out.entry(*id).or_insert(false);
-                mark_barriers(body, stack, out);
-                stack.pop();
-            }
-            Stmt::If {
-                then_body,
-                else_body,
-                ..
-            } => {
-                mark_barriers(then_body, stack, out);
-                mark_barriers(else_body, stack, out);
-            }
-            Stmt::Frame { body } => mark_barriers(body, stack, out),
-            _ => {}
-        }
-    }
-}
-
-impl Cx<'_> {
-    fn current_loops(&self) -> Vec<LoopId> {
-        self.loop_stack.iter().map(|l| l.id).collect()
-    }
-
-    fn note_ptr_def(&mut self, ptr: PtrId) {
-        for l in &self.loop_stack {
-            self.ptr_defs_in_loop.insert((ptr, l.id));
-        }
-    }
-
-    fn record_site(&mut self, rec: SiteRec) {
-        let idx = rec.site.0 as usize;
-        self.sites[idx] = Some(rec);
-    }
-
-    /// Walks a statement block, performing must-alias merging and
-    /// static-safety elision inline.
-    #[allow(clippy::only_used_in_recursion)]
-    fn walk_block(&mut self, stmts: &[Stmt], barriers: &HashMap<LoopId, bool>) {
-        // Constant-offset access groups per pointer within this block.
-        let mut groups: HashMap<PtrId, Vec<GroupEntry>> = HashMap::new();
-        // Pointers holding a fresh allocation of statically known size
-        // (block-local and killed on free/realloc/redefinition): constant
-        // accesses provably inside need no check at all.
-        let mut fresh_sizes: HashMap<PtrId, i64> = HashMap::new();
-        for s in stmts {
-            match s {
-                Stmt::Let { var, expr } => {
-                    self.env.insert(
-                        *var,
-                        VarDef::Let {
-                            expr: expr.clone(),
-                            loops: self.current_loops(),
-                        },
-                    );
-                }
-                Stmt::Alloc { ptr, size, .. } => {
-                    // Redefinition barrier for this pointer, and a general
-                    // conservative barrier (allocation can recycle memory).
-                    self.note_ptr_def(*ptr);
-                    self.flush_group(&mut groups, Some(*ptr));
-                    match affine::const_eval(size) {
-                        Some(c) if c > 0 => fresh_sizes.insert(*ptr, c),
-                        _ => fresh_sizes.remove(ptr),
-                    };
-                }
-                Stmt::Free { ptr, .. } => {
-                    self.flush_all(&mut groups);
-                    fresh_sizes.remove(ptr);
-                }
-                Stmt::Realloc { ptr, new_size } => {
-                    // Both a free and a redefinition of the pointer.
-                    self.note_ptr_def(*ptr);
-                    self.flush_all(&mut groups);
-                    match affine::const_eval(new_size) {
-                        Some(c) if c > 0 => fresh_sizes.insert(*ptr, c),
-                        _ => fresh_sizes.remove(ptr),
-                    };
-                }
-                Stmt::PtrCopy { dst, .. } => {
-                    self.note_ptr_def(*dst);
-                    self.flush_group(&mut groups, Some(*dst));
-                    fresh_sizes.remove(dst);
-                }
-                Stmt::Load {
-                    site,
-                    ptr,
-                    offset,
-                    width,
-                    dst,
-                } => {
-                    if let Some(d) = dst {
-                        self.env.insert(
-                            *d,
-                            VarDef::Load {
-                                loops: self.current_loops(),
-                            },
-                        );
-                    }
-                    self.access(
-                        *site,
-                        *ptr,
-                        offset,
-                        *width,
-                        AccessKind::Read,
-                        &mut groups,
-                        &fresh_sizes,
-                    );
-                }
-                Stmt::Store {
-                    site,
-                    ptr,
-                    offset,
-                    width,
-                    ..
-                } => {
-                    self.access(
-                        *site,
-                        *ptr,
-                        offset,
-                        *width,
-                        AccessKind::Write,
-                        &mut groups,
-                        &fresh_sizes,
-                    );
-                }
-                Stmt::MemSet { site, .. }
-                | Stmt::MemCpy { site, .. }
-                | Stmt::StrCpy { site, .. } => {
-                    // Intrinsics are checked as regions by the runtime
-                    // guardian for every tool.
-                    self.actions[site.0 as usize] = SiteAction::Direct;
-                    self.fates[site.0 as usize] = SiteFate::MemIntrinsic;
-                }
-                Stmt::For {
-                    id,
-                    var,
-                    lo,
-                    hi,
-                    opaque_bound,
-                    body,
-                    ..
-                } => {
-                    self.flush_all(&mut groups);
-                    let ctx = LoopCtx {
-                        id: *id,
-                        var: *var,
-                        lo: lo.clone(),
-                        hi: hi.clone(),
-                        opaque: *opaque_bound,
-                    };
-                    self.loop_stack.push(ctx.clone());
-                    self.loops.insert(*id, ctx);
-                    self.env.insert(
-                        *var,
-                        VarDef::Induction {
-                            of: *id,
-                            loops: self.current_loops(),
-                        },
-                    );
-                    self.walk_block(body, barriers);
-                    self.loop_stack.pop();
-                }
-                Stmt::If {
-                    then_body,
-                    else_body,
-                    ..
-                } => {
-                    self.flush_all(&mut groups);
-                    self.walk_block(then_body, barriers);
-                    self.walk_block(else_body, barriers);
-                }
-                Stmt::Frame { body } => {
-                    self.flush_all(&mut groups);
-                    self.walk_block(body, barriers);
-                }
-            }
-        }
-        self.flush_all(&mut groups);
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn access(
-        &mut self,
-        site: SiteId,
-        ptr: PtrId,
-        offset: &Expr,
-        width: u8,
-        kind: AccessKind,
-        groups: &mut HashMap<PtrId, Vec<GroupEntry>>,
-        fresh_sizes: &HashMap<PtrId, i64>,
-    ) {
-        let rec = SiteRec {
-            site,
-            ptr,
-            offset: offset.clone(),
-            width,
-            kind,
-            loops: self.loop_stack.clone(),
-        };
-        self.record_site(rec);
-        if self.profile.elimination {
-            if let Some(c) = affine::const_eval(offset) {
-                // Statically in bounds of a fresh constant-size allocation:
-                // no runtime check needed at all.
-                if let Some(&size) = fresh_sizes.get(&ptr) {
-                    if c >= 0 && c + width as i64 <= size {
-                        self.actions[site.0 as usize] = SiteAction::Skip;
-                        self.fates[site.0 as usize] = SiteFate::StaticallySafe;
-                        self.sites[site.0 as usize] = None;
-                        return;
-                    }
-                }
-                groups.entry(ptr).or_default().push(GroupEntry {
-                    site,
-                    offset: c,
-                    width,
-                    kind,
-                });
-                return;
-            }
-        }
-        // Non-constant offsets end any group on this pointer: merging across
-        // them could reorder a check past a redzone-crossing access.
-        self.flush_group(groups, Some(ptr));
-    }
-
-    fn flush_all(&mut self, groups: &mut HashMap<PtrId, Vec<GroupEntry>>) {
-        let ptrs: Vec<PtrId> = groups.keys().copied().collect();
-        for p in ptrs {
-            self.flush_group(groups, Some(p));
-        }
-    }
-
-    fn flush_group(&mut self, groups: &mut HashMap<PtrId, Vec<GroupEntry>>, ptr: Option<PtrId>) {
-        let Some(ptr) = ptr else { return };
-        let Some(entries) = groups.remove(&ptr) else {
-            return;
-        };
-        if entries.len() < 2 {
-            return; // single access: decided in pass 2
-        }
-        let lo = entries.iter().map(|e| e.offset).min().expect("nonempty");
-        let hi = entries
-            .iter()
-            .map(|e| e.offset + e.width as i64)
-            .max()
-            .expect("nonempty");
-        // With a linear guardian (ASan--), a merged region check walks one
-        // shadow byte per covered segment: only merge when that walk is
-        // cheaper than the per-access checks it replaces.
-        if self.profile.linear_region_checks {
-            let hull_segments = ((hi - lo) as u64).div_ceil(8);
-            if hull_segments >= entries.len() as u64 {
-                return;
-            }
-        }
-        let lo = if self.profile.anchored { lo.min(0) } else { lo };
-        let kind = if entries.iter().any(|e| e.kind == AccessKind::Write) {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        let leader = entries
-            .iter()
-            .map(|e| e.site)
-            .min()
-            .expect("nonempty group");
-        for e in &entries {
-            if e.site == leader {
-                self.actions[e.site.0 as usize] = SiteAction::Region {
-                    lo: Expr::Const(lo),
-                    hi: Expr::Const(hi),
-                };
-                self.fates[e.site.0 as usize] = SiteFate::MergeLeader;
-            } else {
-                self.actions[e.site.0 as usize] = SiteAction::Skip;
-                self.fates[e.site.0 as usize] = SiteFate::MergedAway;
-            }
-            // A merged site needs no pass-2 decision. Record the leader's
-            // kind on the region by rewriting through the site table.
-            self.sites[e.site.0 as usize] = None;
-            let _ = kind;
-        }
-    }
-
-    /// Pass-2 decision for one unmerged site.
-    fn decide(&mut self, rec: SiteRec, barriers: &HashMap<LoopId, bool>) {
-        let idx = rec.site.0 as usize;
-        if let Some(inner) = rec.loops.last().cloned() {
-            let has_barrier = barriers.get(&inner.id).copied().unwrap_or(false);
-            // A pointer whose value changes inside the loop can be neither
-            // promoted (the pre-check would test a stale pointer) nor cached
-            // (the quasi-bound would describe a previous iteration's object).
-            let ptr_varies = self.ptr_defs_in_loop.contains(&(rec.ptr, inner.id));
-            if self.profile.operation_level && !has_barrier && !ptr_varies {
-                if let Some(aff) = affine::decompose(&rec.offset, inner.id, inner.var, &self.env) {
-                    let promotable = if aff.coeff == 0 {
-                        // Loop-invariant check: hoist (needs elimination,
-                        // the ASan-- style optimisation).
-                        self.profile.elimination
-                    } else {
-                        // Affine: needs a knowable trip count.
-                        !inner.opaque && self.bounds_invariant(&inner)
-                    };
-                    if promotable {
-                        let (lo, hi) = self.promoted_range(&aff, &inner, rec.width);
-                        // Multi-level hoisting: widen the hull through each
-                        // enclosing loop whose induction variable it is
-                        // affine in, as long as the loop being left provably
-                        // runs (constant bounds, positive trip — lifting
-                        // past a possibly-empty loop would fire checks for
-                        // accesses that never execute), the enclosing loop
-                        // has no allocation barrier, and the pointer is not
-                        // redefined there.
-                        let (target, lo, hi) =
-                            self.hoist_hull(&rec.loops, lo, hi, rec.ptr, barriers);
-                        let lo = self.anchor_lower(lo);
-                        self.plans
-                            .entry(target)
-                            .or_default()
-                            .pre_checks
-                            .push(PreCheck {
-                                ptr: rec.ptr,
-                                lo,
-                                hi,
-                                kind: rec.kind,
-                            });
-                        self.actions[idx] = SiteAction::Skip;
-                        self.fates[idx] = SiteFate::Promoted;
-                        return;
-                    }
-                }
-            }
-            if self.profile.caching && !ptr_varies {
-                let cache = *self.caches.entry((inner.id, rec.ptr)).or_insert_with(|| {
-                    let id = CacheId(self.num_caches);
-                    self.num_caches += 1;
-                    self.plans
-                        .entry(inner.id)
-                        .or_default()
-                        .caches
-                        .push((id, rec.ptr));
-                    id
-                });
-                self.actions[idx] = SiteAction::Cached { cache };
-                self.fates[idx] = SiteFate::Cached;
-                return;
-            }
-        }
-        if self.profile.anchored {
-            self.actions[idx] = SiteAction::Anchored;
-            self.fates[idx] = SiteFate::Anchored;
-        } else {
-            self.actions[idx] = SiteAction::Direct;
-            self.fates[idx] = SiteFate::Direct;
-        }
-    }
-
-    /// Hoists a promoted hull `[lo, hi)` outward through the loop stack,
-    /// widening it over each induction variable it is affine in. Returns the
-    /// loop to attach the pre-check to and the widened hull.
-    fn hoist_hull(
-        &self,
-        stack: &[LoopCtx],
-        mut lo: Expr,
-        mut hi: Expr,
-        ptr: PtrId,
-        barriers: &HashMap<LoopId, bool>,
-    ) -> (LoopId, Expr, Expr) {
-        let mut level = stack.len() - 1;
-        while level > 0 {
-            let current = &stack[level];
-            let parent = &stack[level - 1];
-            // The loop being left must provably execute at least once, so
-            // the widened endpoints correspond to accesses that really run.
-            let trip_positive = matches!(
-                (affine::const_eval(&current.lo), affine::const_eval(&current.hi)),
-                (Some(l), Some(h)) if h > l
-            );
-            if !trip_positive
-                || barriers.get(&parent.id).copied().unwrap_or(false)
-                || self.ptr_defs_in_loop.contains(&(ptr, parent.id))
-            {
-                break;
-            }
-            // Widen the hull over the *parent's* induction variable: the
-            // bounds may still reference it after leaving `current`.
-            let (Some(alo), Some(ahi)) = (
-                affine::decompose(&lo, parent.id, parent.var, &self.env),
-                affine::decompose(&hi, parent.id, parent.var, &self.env),
-            ) else {
-                break;
-            };
-            let plo = || parent.lo.clone();
-            let phi = || parent.hi.clone() - 1;
-            lo = affine::fold(if alo.coeff >= 0 {
-                plo() * alo.coeff + alo.base
-            } else {
-                phi() * alo.coeff + alo.base
-            });
-            hi = affine::fold(if ahi.coeff >= 0 {
-                phi() * ahi.coeff + ahi.base
-            } else {
-                plo() * ahi.coeff + ahi.base
-            });
-            level -= 1;
-        }
-        (stack[level].id, lo, hi)
-    }
-
-    /// Anchors a provably non-negative constant lower offset at the object
-    /// base (§4.4.1) for anchored profiles.
-    fn anchor_lower(&self, lo: Expr) -> Expr {
-        if self.profile.anchored {
-            if let Some(c) = lo.as_const() {
-                if c >= 0 {
-                    return Expr::Const(0);
-                }
-            }
-        }
-        lo
-    }
-
-    /// Are the loop's bound expressions invariant inside the loop itself?
-    /// (They are evaluated at entry, but promotion also re-reads them in the
-    /// pre-check, so anything defined *inside* the loop disqualifies.)
-    fn bounds_invariant(&self, l: &LoopCtx) -> bool {
-        let check = |e: &Expr| {
-            e.vars().iter().all(|v| match self.env.get(v) {
-                None => true,
-                Some(d) => match d {
-                    VarDef::Induction { loops, .. }
-                    | VarDef::Let { loops, .. }
-                    | VarDef::Load { loops } => !loops.contains(&l.id),
-                },
-            })
-        };
-        check(&l.lo) && check(&l.hi)
-    }
-
-    /// Builds the `[lo, hi)` offset expressions of a promoted check:
-    /// `CI(x + min, x + max + width)` over the loop's iteration range, with
-    /// the anchor folded in for anchored tools (Figure 8c's `CI(x, x+4N)`).
-    fn promoted_range(&self, aff: &affine::Affine, l: &LoopCtx, width: u8) -> (Expr, Expr) {
-        let a = aff.coeff;
-        let b = || aff.base.clone();
-        let lo_i = || l.lo.clone();
-        let hi_i = || l.hi.clone() - 1;
-        let (mut lo, hi) = if a >= 0 {
-            (
-                affine::fold(lo_i() * a + b()),
-                affine::fold(hi_i() * a + b() + width as i64),
-            )
-        } else {
-            (
-                affine::fold(hi_i() * a + b()),
-                affine::fold(lo_i() * a + b() + width as i64),
-            )
-        };
-        if self.profile.anchored {
-            // Anchor at the base pointer when the static lower offset is a
-            // provably non-negative constant.
-            if let Some(c) = lo.as_const() {
-                if c >= 0 {
-                    lo = Expr::Const(0);
-                }
-            }
-        }
-        (lo, hi)
-    }
+    PassManager::for_profile(profile).run(program, profile)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use giantsan_ir::ProgramBuilder;
+    use crate::pipeline::PassId;
+    use giantsan_ir::{Expr, LoopId, ProgramBuilder, SiteAction};
 
     /// The paper's Figure 8a program.
     fn figure8() -> Program {
@@ -1103,5 +590,58 @@ mod tests {
         assert!(s.contains("site s1: history-cached"), "{s}");
         assert!(s.contains("pre-header: CI(p0 + 0, p0 +"), "{s}");
         assert!(s.contains("quasi-bound slot #0 for p1"), "{s}");
+    }
+
+    #[test]
+    fn provenance_names_the_deciding_pass() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.provenance.len(), prog.num_sites as usize);
+        let p0 = a.provenance[0].as_ref().unwrap();
+        assert_eq!(p0.pass, PassId::Promote);
+        assert!(p0.reason.contains("affine stride 4"), "{}", p0.reason);
+        let p1 = a.provenance[1].as_ref().unwrap();
+        assert_eq!(p1.pass, PassId::Cache);
+        let p2 = a.provenance[2].as_ref().unwrap();
+        assert_eq!(p2.pass, PassId::ConstProp);
+        let s = a.render_provenance();
+        assert!(s.contains("[promote"), "{s}");
+        assert!(s.contains("[cache"), "{s}");
+    }
+
+    #[test]
+    fn pass_stats_cover_the_whole_pipeline() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::giantsan());
+        assert_eq!(a.pass_stats.len(), PassId::PIPELINE.len());
+        // Every pass of the full profile is enabled and the decisions add
+        // up: promote 1, cache 1, const-prop settles the intrinsic.
+        assert!(a.pass_stats.iter().all(|s| s.enabled));
+        let by = |id: PassId| a.pass_stats.iter().find(|s| s.pass == id).unwrap();
+        assert_eq!(by(PassId::Promote).transformed, 1);
+        assert_eq!(by(PassId::Cache).transformed, 1);
+        assert_eq!(by(PassId::Finalize).transformed, 0);
+        let s = a.render_pass_stats();
+        assert!(s.contains("const-prop"), "{s}");
+        assert!(s.contains("promote"), "{s}");
+    }
+
+    #[test]
+    fn disabled_passes_decide_nothing() {
+        let prog = figure8();
+        let a = analyze(&prog, &ToolProfile::asan());
+        for s in &a.pass_stats {
+            if !s.enabled {
+                assert_eq!(s.transformed, 0, "{:?}", s.pass);
+            }
+        }
+        // Everything lands in finalize for ASan (but the intrinsic site is
+        // settled by const-prop).
+        let fin = a
+            .pass_stats
+            .iter()
+            .find(|s| s.pass == PassId::Finalize)
+            .unwrap();
+        assert_eq!(fin.transformed, 2);
     }
 }

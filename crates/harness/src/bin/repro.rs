@@ -8,7 +8,8 @@
 //! repro table4                      Table 4: CVE detection
 //! repro table5 [--div N]            Table 5: Magma redzone study
 //! repro fig11  [--rounds N]         Figure 11: traversal patterns
-//! repro ablation                    §5.4 mitigations + quarantine study
+//! repro ablation                    §5.4 mitigations + quarantine + pass subsets
+//! repro plan   [--scale N]          planner provenance + per-pass statistics
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
 //! repro bench  [--out DIR]          hot-path + batch-engine -> BENCH_PR{1,2}.json
@@ -28,7 +29,7 @@ use std::process::ExitCode;
 
 use giantsan_harness::csv;
 use giantsan_harness::experiments::{
-    ablation, density, fig10, fig11, memory, table2, table3, table4, table5,
+    ablation, density, fig10, fig11, memory, plan, table2, table3, table4, table5,
 };
 use giantsan_harness::{bench_pr1, bench_pr2, BatchRunner};
 
@@ -129,7 +130,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|memory|density|bench|all> \
+            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density|bench|all> \
              [--scale N] [--div N] [--rounds N] [--threads N] [--wall] [--out DIR]"
         );
         return ExitCode::FAILURE;
@@ -205,6 +206,14 @@ fn main() -> ExitCode {
         write_csv(opts, "fig11.csv", &csv::fig11_csv(&f));
     };
 
+    let run_plan = |opts: &Opts| {
+        println!("== Planner observability: per-pass statistics + site provenance ==\n");
+        let s = plan::plan_study_with(&opts.runner(), opts.scale);
+        println!("{}", s.render());
+        write_csv(opts, "plan_provenance.csv", &csv::plan_provenance_csv(&s));
+        write_csv(opts, "plan_passes.csv", &csv::plan_passes_csv(&s));
+    };
+
     let run_bench = |opts: &Opts| {
         println!("== Hot-path before/after (word-wide scanning + monomorphized dispatch) ==\n");
         let report = bench_pr1::run_bench();
@@ -225,6 +234,7 @@ fn main() -> ExitCode {
         "table5" => run_table5(&opts),
         "fig11" => run_fig11(&opts),
         "ablation" => run_ablation(&opts),
+        "plan" => run_plan(&opts),
         "memory" => run_memory(&opts),
         "density" => run_density(&opts),
         "bench" => run_bench(&opts),
@@ -242,6 +252,8 @@ fn main() -> ExitCode {
             run_fig11(&opts);
             println!();
             run_ablation(&opts);
+            println!();
+            run_plan(&opts);
             println!();
             run_memory(&opts);
             println!();

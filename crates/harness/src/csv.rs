@@ -108,6 +108,55 @@ pub fn table5_csv(t: &Table5) -> String {
     out
 }
 
+/// Serialises the plan study's provenance traces (one row per site per
+/// (workload, tool) cell: fate, deciding pass, recorded reasoning).
+pub fn plan_provenance_csv(s: &crate::experiments::plan::PlanStudy) -> String {
+    let mut out = String::from("workload,tool,site,fate,pass,reason\n");
+    for cell in &s.cells {
+        for (i, fate) in cell.analysis.fates.iter().enumerate() {
+            let (pass, reason) = match &cell.analysis.provenance[i] {
+                Some(p) => (p.pass.name(), p.reason.as_str()),
+                None => ("-", "-"),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{:?},{},{}",
+                esc(cell.workload),
+                esc(cell.tool.name()),
+                i,
+                fate,
+                pass,
+                esc(reason)
+            );
+        }
+    }
+    out
+}
+
+/// Serialises the plan study's per-pass statistics (one row per pipeline
+/// stage per (workload, tool) cell).
+pub fn plan_passes_csv(s: &crate::experiments::plan::PlanStudy) -> String {
+    let mut out =
+        String::from("workload,tool,pass,enabled,visited,transformed,eliminated,wall_ns\n");
+    for cell in &s.cells {
+        for p in &cell.analysis.pass_stats {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{}",
+                esc(cell.workload),
+                esc(cell.tool.name()),
+                p.pass.name(),
+                p.enabled as u8,
+                p.visited,
+                p.transformed,
+                p.eliminated,
+                p.wall.as_nanos()
+            );
+        }
+    }
+    out
+}
+
 /// Serialises Figure 11 (units and wall time per pattern/size/tool).
 pub fn fig11_csv(f: &Fig11) -> String {
     let mut out = String::from("pattern,size_bytes,tool,model_units,wall_us\n");
@@ -150,6 +199,22 @@ mod tests {
         assert_eq!(esc("plain"), "plain");
         assert_eq!(esc("a,b"), "\"a,b\"");
         assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn plan_csvs_cover_every_cell() {
+        let s = crate::experiments::plan::plan_study(1);
+        let prov = plan_provenance_csv(&s);
+        let total_sites: usize = s.cells.iter().map(|c| c.analysis.fates.len()).sum();
+        assert_eq!(prov.lines().count(), total_sites + 1);
+        assert!(prov.starts_with("workload,tool,site,fate,pass,reason"));
+        assert!(
+            prov.contains("figure8,GiantSan,0,Promoted,promote"),
+            "{prov}"
+        );
+        let passes = plan_passes_csv(&s);
+        assert_eq!(passes.lines().count(), s.cells.len() * 9 + 1);
+        assert!(passes.contains("figure8,GiantSan,cache,1,"), "{passes}");
     }
 
     #[test]

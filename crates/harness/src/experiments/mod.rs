@@ -5,6 +5,7 @@ pub mod density;
 pub mod fig10;
 pub mod fig11;
 pub mod memory;
+pub mod plan;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,185 @@
+//! Plan provenance study: what the planner decided, per pass and per site.
+//!
+//! Not a figure from the paper but an observability surface over its
+//! compilation phase (§4.4): for each (workload × tool) cell this runs the
+//! pass pipeline and records the full [`Analysis`] — per-site fates with the
+//! deciding pass and its reasoning, plus per-pass visited / transformed /
+//! eliminated counters and wall time. `repro plan` renders the tables and
+//! exports both as CSV.
+
+use giantsan_analysis::{analyze, Analysis};
+use giantsan_ir::Program;
+use giantsan_workloads::{figure8_program, spec_workload};
+
+use crate::batch::BatchRunner;
+use crate::table::TextTable;
+use crate::tool::Tool;
+
+/// The workloads under study: the paper's worked example plus three
+/// SPEC-model programs with distinct planner behavior (stencil,
+/// pointer-chasing, byte-stream) — the same set the golden plan snapshots
+/// lock.
+pub const WORKLOADS: [&str; 4] = ["figure8", "519.lbm_r", "505.mcf_r", "557.xz_r"];
+
+/// One (workload × tool) cell: the full analysis result.
+#[derive(Debug, Clone)]
+pub struct PlanCell {
+    /// Workload id.
+    pub workload: &'static str,
+    /// The analysed tool.
+    pub tool: Tool,
+    /// The pipeline's output: plan, fates, provenance, pass statistics.
+    pub analysis: Analysis,
+}
+
+/// The study: one cell per (workload × tool).
+#[derive(Debug, Clone)]
+pub struct PlanStudy {
+    /// All cells, workload-major in [`WORKLOADS`] / [`Tool::ALL`] order.
+    pub cells: Vec<PlanCell>,
+}
+
+fn workload_program(id: &str, scale: u64) -> Program {
+    if id == "figure8" {
+        figure8_program((100 * scale) as i64).0
+    } else {
+        spec_workload(id, scale)
+            .expect("known SPEC-model id")
+            .program
+    }
+}
+
+/// Runs the planner for every (workload × tool) cell.
+pub fn plan_study(scale: u64) -> PlanStudy {
+    plan_study_with(&BatchRunner::default(), scale)
+}
+
+/// [`plan_study`] on an explicit runner (one batch cell per pair).
+pub fn plan_study_with(runner: &BatchRunner, scale: u64) -> PlanStudy {
+    let mut jobs = Vec::new();
+    for workload in WORKLOADS {
+        for tool in Tool::ALL {
+            jobs.push((workload, tool));
+        }
+    }
+    let cells = runner.map(&jobs, |_, &(workload, tool)| {
+        let program = workload_program(workload, scale);
+        PlanCell {
+            workload,
+            tool,
+            analysis: analyze(&program, &tool.profile()),
+        }
+    });
+    PlanStudy { cells }
+}
+
+impl PlanStudy {
+    /// Renders a fate-count summary across all cells, then per-cell pass
+    /// statistics and the per-site provenance trace.
+    pub fn render(&self) -> String {
+        use giantsan_analysis::SiteFate;
+        let mut out = String::new();
+
+        out.push_str("-- site fates per (workload, tool) --\n");
+        let fates = [
+            SiteFate::Direct,
+            SiteFate::Anchored,
+            SiteFate::MergeLeader,
+            SiteFate::MergedAway,
+            SiteFate::Promoted,
+            SiteFate::Cached,
+            SiteFate::MemIntrinsic,
+            SiteFate::StaticallySafe,
+        ];
+        let mut head = vec!["workload".to_string(), "tool".to_string()];
+        head.extend(fates.iter().map(|f| format!("{f:?}")));
+        let mut t = TextTable::new(head);
+        for cell in &self.cells {
+            let counts = cell.analysis.fate_counts();
+            let mut row = vec![cell.workload.to_string(), cell.tool.name().to_string()];
+            row.extend(
+                fates
+                    .iter()
+                    .map(|f| counts.get(f).copied().unwrap_or(0).to_string()),
+            );
+            t.row(row);
+        }
+        out.push_str(&t.render());
+
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "\n== {} under {} ==\n",
+                cell.workload,
+                cell.tool.name()
+            ));
+            out.push_str(&cell.analysis.render_pass_stats());
+            out.push_str(&cell.analysis.render_provenance());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_analysis::{PassId, SiteFate};
+
+    #[test]
+    fn study_covers_the_full_matrix() {
+        let s = plan_study(1);
+        assert_eq!(s.cells.len(), WORKLOADS.len() * Tool::ALL.len());
+        // Every decided site carries provenance.
+        for cell in &s.cells {
+            for (i, fate) in cell.analysis.fates.iter().enumerate() {
+                if cell.analysis.provenance[i].is_none() {
+                    assert_eq!(
+                        *fate,
+                        SiteFate::Direct,
+                        "{} / {}: site {i} has a non-default fate but no provenance",
+                        cell.workload,
+                        cell.tool.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn giantsan_pipeline_is_fully_enabled_and_attributed() {
+        let s = plan_study(1);
+        let cell = s
+            .cells
+            .iter()
+            .find(|c| c.workload == "figure8" && c.tool == Tool::GiantSan)
+            .unwrap();
+        assert!(cell.analysis.pass_stats.iter().all(|p| p.enabled));
+        let p0 = cell.analysis.provenance[0].as_ref().unwrap();
+        assert_eq!(p0.pass, PassId::Promote);
+    }
+
+    #[test]
+    fn asan_disables_every_optional_pass() {
+        let s = plan_study(1);
+        let cell = s
+            .cells
+            .iter()
+            .find(|c| c.workload == "519.lbm_r" && c.tool == Tool::Asan)
+            .unwrap();
+        for p in &cell.analysis.pass_stats {
+            if !p.pass.is_structural() {
+                assert!(!p.enabled, "{:?} enabled for ASan", p.pass);
+                assert_eq!(p.transformed, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn render_shows_tables_and_traces() {
+        let s = plan_study(1);
+        let r = s.render();
+        assert!(r.contains("site fates per (workload, tool)"));
+        assert!(r.contains("== figure8 under GiantSan =="));
+        assert!(r.contains("const-prop"));
+        assert!(r.contains("[promote"), "{r}");
+    }
+}
