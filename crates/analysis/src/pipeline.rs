@@ -4,7 +4,7 @@
 //! [`analyze`](crate::analyze) used to be one monolithic walker; it is now a
 //! [`PassManager`] running discrete passes in a fixed canonical order (see
 //! [`PassId::PIPELINE`]), each reading and extending one shared
-//! [`AnalysisCtx`]. A [`crate::ToolProfile`] selects which passes run — the
+//! `AnalysisCtx`. A [`crate::ToolProfile`] selects which passes run — the
 //! paper's capability flags (§4.3–§4.4) are exactly pass subsets — and every
 //! pass records:
 //!

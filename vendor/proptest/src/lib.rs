@@ -8,8 +8,8 @@
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(N))]` header;
 //! * integer `Range` / `RangeInclusive` strategies,
-//!   [`collection::vec`](crate::collection::vec), and
-//!   [`sample::select`](crate::sample::select);
+//!   [`collection::vec`], and
+//!   [`sample::select`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
 //!
 //! Differences from upstream: case generation is *deterministic* (seeded per
@@ -154,7 +154,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible element-count range for [`vec`].
+    /// Admissible element-count range for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
