@@ -329,6 +329,39 @@ impl Sanitizer for Asan {
             }
         }
     }
+
+    fn contain(&mut self, report: &ErrorReport) {
+        // Heal the flat shadow from the ground-truth object table, mirroring
+        // GiantSan's containment so recover-mode comparisons stay fair.
+        let addr = report.addr;
+        if let Some(info) = self.world.objects().live_block_containing(addr).cloned() {
+            self.poison_allocation(&info);
+        } else if let Some(info) = self.world.objects().dead_block_containing(addr).cloned() {
+            self.poison_segments(info.block_start, info.block_len, codes::FREED);
+        } else if let Some(seg) = self.shadow.try_segment_of(addr) {
+            self.shadow.set(seg, codes::UNALLOCATED);
+            self.counters.shadow_stores += 1;
+        }
+    }
+
+    fn inject_metadata_fault(
+        &mut self,
+        addr: Addr,
+        fault: giantsan_runtime::MetadataFault,
+    ) -> bool {
+        let Some(seg) = self.shadow.try_segment_of(addr) else {
+            return false;
+        };
+        match fault {
+            giantsan_runtime::MetadataFault::BitFlip { bit } => {
+                let cur = self.shadow.get(seg);
+                self.shadow.set(seg, cur ^ (1 << (bit & 7)));
+                true
+            }
+            // ASan's flat encoding has no folded codes to downgrade.
+            giantsan_runtime::MetadataFault::FoldDowngrade => false,
+        }
+    }
 }
 
 impl Asan {

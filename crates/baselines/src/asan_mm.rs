@@ -125,6 +125,18 @@ impl Sanitizer for AsanMinusMinus {
     fn loop_final_check(&mut self, slot: &CacheSlot, base: Addr, kind: AccessKind) -> CheckResult {
         self.inner.loop_final_check(slot, base, kind)
     }
+
+    fn contain(&mut self, report: &giantsan_runtime::ErrorReport) {
+        self.inner.contain(report)
+    }
+
+    fn inject_metadata_fault(
+        &mut self,
+        addr: Addr,
+        fault: giantsan_runtime::MetadataFault,
+    ) -> bool {
+        self.inner.inject_metadata_fault(addr, fault)
+    }
 }
 
 #[cfg(test)]

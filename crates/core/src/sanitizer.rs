@@ -552,6 +552,49 @@ impl Sanitizer for GiantSan {
     fn supports_caching(&self) -> bool {
         true
     }
+
+    fn contain(&mut self, report: &ErrorReport) {
+        // Heal the shadow around the faulting address from the ground-truth
+        // object table: corrupted or stale folded codes are re-derived, so
+        // one bad byte cannot cascade into a storm of follow-on reports.
+        let addr = report.addr;
+        if let Some(info) = self.world.objects().live_block_containing(addr).cloned() {
+            self.poison_allocation(&info);
+        } else if let Some(info) = self.world.objects().dead_block_containing(addr).cloned() {
+            self.poison_block(&info, encoding::FREED);
+        } else if let Some(seg) = self.shadow.try_segment_of(addr) {
+            self.shadow.set(seg, encoding::UNALLOCATED);
+            self.counters.shadow_stores += 1;
+        }
+    }
+
+    fn inject_metadata_fault(
+        &mut self,
+        addr: Addr,
+        fault: giantsan_runtime::MetadataFault,
+    ) -> bool {
+        let Some(seg) = self.shadow.try_segment_of(addr) else {
+            return false;
+        };
+        match fault {
+            giantsan_runtime::MetadataFault::BitFlip { bit } => {
+                let cur = self.shadow.get(seg);
+                self.shadow.set(seg, cur ^ (1 << (bit & 7)));
+                true
+            }
+            giantsan_runtime::MetadataFault::FoldDowngrade => {
+                // Losing a fold is the sound direction: the code claims
+                // *fewer* addressable segments, never more.
+                let cur = self.shadow.get(seg);
+                if cur < giantsan_shadow::codes::GOOD {
+                    self.shadow.set(seg, giantsan_shadow::codes::GOOD);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,14 @@
 //! differential test `tests/determinism.rs` and the CI smoke job enforce
 //! this end-to-end on the experiment CSVs.
 //!
+//! Fault tolerance: each cell runs inside `catch_unwind`, so a panicking
+//! cell is *isolated* — it is retried up to [`BatchRunner::MAX_ATTEMPTS`]
+//! times with a bounded deterministic backoff, then quarantined as a
+//! [`CellFailure`] while every other cell completes normally.
+//! [`BatchRunner::try_map`] reports partial results plus a
+//! [`FailureSummary`]; [`BatchRunner::map`] keeps the infallible signature
+//! by panicking with the summary *after* the whole matrix has drained.
+//!
 //! # Example
 //!
 //! ```
@@ -22,20 +30,95 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One cell that kept failing after every retry and was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Index of the failed cell in the input matrix.
+    pub index: usize,
+    /// How many times the cell was attempted before quarantine.
+    pub attempts: u32,
+    /// The panic message of the final attempt.
+    pub message: String,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} failed after {} attempts: {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// Aggregate failure/retry record of one [`BatchRunner::try_map`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSummary {
+    /// Permanently failed (quarantined) cells, sorted by cell index.
+    pub failures: Vec<CellFailure>,
+    /// Total retry attempts across all cells (a cell that succeeded on its
+    /// second attempt contributes 1).
+    pub retries: u64,
+}
+
+impl FailureSummary {
+    /// `true` when every cell eventually succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Number of quarantined cells.
+    pub fn quarantined(&self) -> usize {
+        self.failures.len()
+    }
+}
+
+impl fmt::Display for FailureSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "all cells succeeded ({} retries)", self.retries);
+        }
+        write!(
+            f,
+            "{} cell(s) quarantined, {} retries; first: {}",
+            self.failures.len(),
+            self.retries,
+            self.failures[0]
+        )
+    }
+}
+
+/// Partial results plus the failure record of a fault-isolated batch run.
+#[derive(Debug)]
+pub struct BatchOutcome<R> {
+    /// Per-cell results in item order; `None` marks a quarantined cell.
+    pub results: Vec<Option<R>>,
+    /// What failed, what was retried.
+    pub summary: FailureSummary,
+}
 
 /// A worker pool that executes experiment cells with deterministic merging.
 ///
-/// The pool is scoped: threads are spawned per [`BatchRunner::map`] call and
-/// joined before it returns, so borrowed cell data needs no `'static`
-/// lifetime and a panicking cell propagates to the caller.
+/// The pool is scoped: threads are spawned per map call and joined before it
+/// returns, so borrowed cell data needs no `'static` lifetime. Panicking
+/// cells do **not** tear down the pool: each cell runs inside
+/// `catch_unwind`, is retried with bounded deterministic backoff, and is
+/// quarantined into a [`FailureSummary`] if it keeps failing, while the
+/// remaining cells complete and merge normally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchRunner {
     threads: usize,
 }
 
 impl BatchRunner {
+    /// Attempts per cell before it is quarantined (1 initial + 2 retries).
+    pub const MAX_ATTEMPTS: u32 = 3;
+
     /// A runner with exactly `threads` workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
         BatchRunner {
@@ -74,54 +157,146 @@ impl BatchRunner {
     ///
     /// # Panics
     ///
-    /// Re-raises a panic from any cell after the scope joins.
+    /// If any cell fails permanently (panics on every attempt), this panics
+    /// with the [`FailureSummary`] — but only after every other cell has
+    /// completed. Callers that want the partial results instead use
+    /// [`BatchRunner::try_map`].
     pub fn map<T, R, F>(&self, items: &[T], job: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        let n = items.len();
-        if self.threads == 1 || n <= 1 {
-            return items.iter().enumerate().map(|(i, t)| job(i, t)).collect();
+        let outcome = self.try_map(items, job);
+        if !outcome.summary.is_clean() {
+            panic!("batch failed: {}", outcome.summary);
         }
-        let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(n);
-        let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            // Work stealing: claim the next unfinished cell.
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(item) = items.get(i) else { break };
-                            local.push((i, job(i, item)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(shard) => shard,
-                    Err(payload) => std::panic::resume_unwind(payload),
+        outcome
+            .results
+            .into_iter()
+            .map(|r| r.expect("clean batch must have every result"))
+            .collect()
+    }
+
+    /// Fault-isolated variant of [`BatchRunner::map`]: never panics because
+    /// of a failing cell. Each cell is attempted up to
+    /// [`BatchRunner::MAX_ATTEMPTS`] times; a cell that keeps panicking is
+    /// quarantined (its slot is `None`) and recorded in the summary, while
+    /// all other cells run to completion.
+    ///
+    /// The summary is deterministic for a deterministic `job`: failures are
+    /// sorted by cell index and retry totals are scheduling-independent.
+    pub fn try_map<T, R, F>(&self, items: &[T], job: F) -> BatchOutcome<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let run_cell = |i: usize, item: &T| -> (u32, Result<R, CellFailure>) {
+            let mut attempts = 0u32;
+            loop {
+                attempts += 1;
+                match std::panic::catch_unwind(AssertUnwindSafe(|| job(i, item))) {
+                    Ok(r) => return (attempts, Ok(r)),
+                    Err(payload) if attempts >= Self::MAX_ATTEMPTS => {
+                        return (
+                            attempts,
+                            Err(CellFailure {
+                                index: i,
+                                attempts,
+                                message: panic_message(payload.as_ref()),
+                            }),
+                        );
+                    }
+                    Err(_) => backoff(attempts),
+                }
+            }
+        };
+
+        let cells: Vec<CellRecord<R>> = if self.threads == 1 || n <= 1 {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let (attempts, r) = run_cell(i, t);
+                    (i, attempts, r)
                 })
                 .collect()
-        });
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let workers = self.threads.min(n);
+            let shards: Vec<Vec<CellRecord<R>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                // Work stealing: claim the next cell.
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = items.get(i) else { break };
+                                let (attempts, r) = run_cell(i, item);
+                                local.push((i, attempts, r));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        // Worker bodies never unwind (cells are caught),
+                        // so a join error is a harness bug.
+                        h.join().expect("batch worker must not panic")
+                    })
+                    .collect()
+            });
+            shards.into_iter().flatten().collect()
+        };
+
         // Deterministic merge: place every result at its cell index, so the
         // output order owes nothing to scheduling.
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for shard in shards {
-            for (i, r) in shard {
-                debug_assert!(out[i].is_none(), "cell {i} executed twice");
-                out[i] = Some(r);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut summary = FailureSummary::default();
+        let mut failed: Vec<CellFailure> = Vec::new();
+        for (i, attempts, r) in cells {
+            summary.retries += (attempts - 1) as u64;
+            match r {
+                Ok(v) => {
+                    debug_assert!(results[i].is_none(), "cell {i} executed twice");
+                    results[i] = Some(v);
+                }
+                Err(fail) => failed.push(fail),
             }
         }
-        out.into_iter()
-            .map(|r| r.expect("every claimed cell must produce a result"))
-            .collect()
+        failed.sort_by_key(|f| f.index);
+        summary.failures = failed;
+        BatchOutcome { results, summary }
+    }
+}
+
+/// One executed cell: its index, attempt count, and result.
+type CellRecord<R> = (usize, u32, Result<R, CellFailure>);
+
+/// Renders a caught panic payload (the `&str`/`String` cases panics almost
+/// always carry).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Bounded deterministic backoff between attempts: a fixed spin that grows
+/// with the attempt number. No clocks, no randomness — retry schedules are
+/// identical run to run.
+fn backoff(attempt: u32) {
+    let spins = 1u64 << (6 + attempt.min(8));
+    for _ in 0..spins {
+        std::hint::spin_loop();
     }
 }
 
@@ -175,14 +350,72 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cell 3 panicked")]
-    fn cell_panics_propagate() {
-        let items: Vec<u64> = (0..8).collect();
-        BatchRunner::new(2).map(&items, |i, _| {
-            if i == 3 {
-                panic!("cell 3 panicked");
+    fn panicking_cell_is_quarantined_not_fatal() {
+        for threads in [1, 2, 8] {
+            let items: Vec<u64> = (0..8).collect();
+            let outcome = BatchRunner::new(threads).try_map(&items, |i, x| {
+                if i == 3 {
+                    panic!("cell 3 panicked");
+                }
+                x * 2
+            });
+            assert_eq!(outcome.summary.quarantined(), 1, "{threads} threads");
+            let fail = &outcome.summary.failures[0];
+            assert_eq!(fail.index, 3);
+            assert_eq!(fail.attempts, BatchRunner::MAX_ATTEMPTS);
+            assert!(fail.message.contains("cell 3 panicked"));
+            assert_eq!(
+                outcome.summary.retries,
+                (BatchRunner::MAX_ATTEMPTS - 1) as u64
+            );
+            // Every other cell still completed and merged in order.
+            assert!(outcome.results[3].is_none());
+            for (i, r) in outcome.results.iter().enumerate() {
+                if i != 3 {
+                    assert_eq!(*r, Some(i as u64 * 2));
+                }
             }
-            i
+            assert!(!outcome.summary.is_clean());
+            assert!(outcome.summary.to_string().contains("quarantined"));
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        use std::sync::atomic::AtomicU32;
+        let items: Vec<u64> = (0..4).collect();
+        let first_tries: Vec<AtomicU32> = items.iter().map(|_| AtomicU32::new(0)).collect();
+        let outcome = BatchRunner::new(2).try_map(&items, |i, x| {
+            // Cell 1 fails on its first attempt only (a transient fault).
+            if i == 1 && first_tries[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            *x + 10
         });
+        assert!(outcome.summary.is_clean());
+        assert_eq!(outcome.summary.retries, 1);
+        let got: Vec<u64> = outcome.results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn map_surfaces_permanent_failures_after_draining() {
+        let items: Vec<u64> = (0..8).collect();
+        let done = AtomicUsize::new(0);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            BatchRunner::new(2).map(&items, |i, x| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                *x
+            })
+        }))
+        .unwrap_err();
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("batch failed"), "{msg}");
+        assert!(msg.contains("cell 5"), "{msg}");
+        // The other 7 cells all ran before the failure surfaced.
+        assert_eq!(done.load(Ordering::Relaxed), 7);
     }
 }

@@ -1,0 +1,191 @@
+//! Recover-mode overhead benchmark: halt vs recover policy on clean runs.
+//!
+//! `repro bench` runs the PR 4 half of the benchmark suite: the same clean
+//! (bug-free) workload executed under GiantSan with
+//! [`RecoveryPolicy::Halt`] and with [`RecoveryPolicy::recover`], emitted to
+//! `BENCH_PR4.json`. On a clean run the recover machinery is pure standby —
+//! no report is ever admitted, so the dedup table stays empty and the only
+//! cost is the policy check on the (never-taken) report path. The artefact
+//! asserts that standby cost stays small (< 5% on interpreter throughput)
+//! and that both policies produce byte-identical interpreter results.
+//!
+//! Wall-clock fields vary run to run and host to host; the digest and
+//! checksum fields are deterministic.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use giantsan_runtime::{RecoveryPolicy, RuntimeConfig};
+use giantsan_workloads::spec_workload;
+
+use crate::tool::Tool;
+
+/// Timing samples per configuration (minimum taken).
+pub const SAMPLES: u32 = 5;
+
+/// The `BENCH_PR4.json` payload.
+#[derive(Debug, Clone)]
+pub struct BenchPr4Report {
+    /// Interpreter steps of one run (same for both policies).
+    pub steps: u64,
+    /// Clean-run wall-clock under [`RecoveryPolicy::Halt`] (best of
+    /// [`SAMPLES`], nanoseconds).
+    pub halt_ns: u128,
+    /// Clean-run wall-clock under [`RecoveryPolicy::recover`] (best of
+    /// [`SAMPLES`], nanoseconds).
+    pub recover_ns: u128,
+    /// [`giantsan_ir::ExecResult::digest`] under halt.
+    pub digest_halt: u64,
+    /// [`giantsan_ir::ExecResult::digest`] under recover (must match).
+    pub digest_recover: u64,
+}
+
+impl BenchPr4Report {
+    /// Recover-mode overhead on clean runs, percent (positive = slower).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.recover_ns as f64 / self.halt_ns.max(1) as f64 - 1.0) * 100.0
+    }
+
+    /// Both policies produced identical interpreter results.
+    pub fn deterministic(&self) -> bool {
+        self.digest_halt == self.digest_recover
+    }
+
+    /// Interpreter steps per second under recover mode.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.recover_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Renders the artefact as JSON (hand-rolled: numbers and ASCII only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"BENCH_PR4\",\n");
+        let _ = writeln!(
+            s,
+            "  \"steps\": {},\n  \"halt_ns\": {},\n  \"recover_ns\": {},",
+            self.steps, self.halt_ns, self.recover_ns
+        );
+        let _ = writeln!(
+            s,
+            "  \"overhead_pct\": {:.2},\n  \"recover_steps_per_sec\": {:.0},",
+            self.overhead_pct(),
+            self.steps_per_sec()
+        );
+        let _ = writeln!(
+            s,
+            "  \"digest_halt\": \"{:016x}\",\n  \"digest_recover\": \"{:016x}\",",
+            self.digest_halt, self.digest_recover
+        );
+        let _ = writeln!(s, "  \"deterministic\": {}", self.deterministic());
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary for the console.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "workload: clean SPEC-like mix, {} steps", self.steps);
+        let _ = writeln!(
+            s,
+            "halt:    {:>12} ns\nrecover: {:>12} ns  ({:+.2}% overhead)",
+            self.halt_ns,
+            self.recover_ns,
+            self.overhead_pct()
+        );
+        let _ = writeln!(
+            s,
+            "digests: {:016x} (halt) vs {:016x} (recover) -> {}",
+            self.digest_halt,
+            self.digest_recover,
+            if self.deterministic() {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        s
+    }
+}
+
+fn config_with(policy: RecoveryPolicy) -> RuntimeConfig {
+    RuntimeConfig::small().to_builder().recovery(policy).build()
+}
+
+/// Runs the recover-mode overhead benchmark.
+pub fn run_bench() -> BenchPr4Report {
+    // A clean workload mix: recover mode must not tax runs that never
+    // report. Plans are precomputed so only interpretation is timed.
+    let workloads: Vec<_> = ["519.lbm_r", "505.mcf_r", "557.xz_r"]
+        .iter()
+        .map(|id| spec_workload(id, 2).expect("known workload"))
+        .collect();
+    let plans: Vec<_> = workloads
+        .iter()
+        .map(|w| Tool::GiantSan.plan(&w.program))
+        .collect();
+
+    let run_all = |policy: RecoveryPolicy| {
+        let spec = Tool::GiantSan.builder().config(config_with(policy)).spec();
+        let mut steps = 0u64;
+        let mut digest = 0u64;
+        for (w, plan) in workloads.iter().zip(&plans) {
+            let out = spec.run_planned(&w.program, plan, &w.inputs);
+            assert!(
+                out.result.reports.is_empty(),
+                "benchmark workload must be clean"
+            );
+            steps += out.result.steps;
+            digest ^= out.result.digest().rotate_left(steps as u32 % 63);
+        }
+        (steps, digest)
+    };
+
+    // Warm-up (also the digest source).
+    let (steps, digest_halt) = run_all(RecoveryPolicy::Halt);
+    let (_, digest_recover) = run_all(RecoveryPolicy::recover());
+
+    let mut halt_ns = u128::MAX;
+    let mut recover_ns = u128::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let _ = run_all(RecoveryPolicy::Halt);
+        halt_ns = halt_ns.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        let _ = run_all(RecoveryPolicy::recover());
+        recover_ns = recover_ns.min(t.elapsed().as_nanos());
+    }
+
+    BenchPr4Report {
+        steps,
+        halt_ns,
+        recover_ns,
+        digest_halt,
+        digest_recover,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = BenchPr4Report {
+            steps: 1000,
+            halt_ns: 1_000_000,
+            recover_ns: 1_020_000,
+            digest_halt: 0xbeef,
+            digest_recover: 0xbeef,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"overhead_pct\": 2.00"), "{j}");
+        assert!(j.contains("\"deterministic\": true"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn policies_agree_on_clean_runs() {
+        let r = run_bench();
+        assert!(r.deterministic(), "{}", r.render());
+        assert!(r.steps > 0);
+    }
+}

@@ -12,7 +12,8 @@
 //! repro plan   [--scale N]          planner provenance + per-pass statistics
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
-//! repro bench  [--out DIR]          hot-path + batch-engine -> BENCH_PR{1,2}.json
+//! repro bench  [--out DIR]          hot-path + batch-engine + recover-mode -> BENCH_PR{1,2,4}.json
+//! repro faults [--seed S]           fault-injection campaign (detected/recovered/missed/crashed)
 //! repro all    [--div N] [--scale N] everything
 //! ```
 //!
@@ -23,23 +24,48 @@
 //! (default: the host's available parallelism). Results are deterministic:
 //! the modelled tables and CSVs are byte-identical for every thread count;
 //! only wall-clock columns vary run to run.
+//!
+//! `repro faults` sweeps every tool across a fuzz corpus with one
+//! deterministic fault armed per cell (shadow bit flips, fold downgrades,
+//! allocator OOM, quarantine exhaustion, step budgets) under recover mode.
+//! `--seed S` takes hex (`0x...`) or decimal; any other string (the CI badge
+//! seed `0xg1an75an` included) is hashed with FNV-1a, so every spelling is a
+//! valid, reproducible campaign seed. With `--out DIR` it writes `faults.csv`
+//! and `faults_digest.txt` — CI diffs the latter against
+//! `tests/golden/faults_digest.txt`.
 
 use std::env;
 use std::process::ExitCode;
 
 use giantsan_harness::csv;
 use giantsan_harness::experiments::{
-    ablation, density, fig10, fig11, memory, plan, table2, table3, table4, table5,
+    ablation, density, fault_study, fig10, fig11, memory, plan, table2, table3, table4, table5,
 };
-use giantsan_harness::{bench_pr1, bench_pr2, BatchRunner};
+use giantsan_harness::{bench_pr1, bench_pr2, bench_pr4, BatchRunner};
 
 struct Opts {
     scale: u64,
     div: u32,
     rounds: u64,
     threads: usize,
+    seed: u64,
     wall: bool,
     out: Option<std::path::PathBuf>,
+}
+
+/// Parses a campaign seed: hex with an `0x` prefix, plain decimal, or —
+/// for any other spelling — the FNV-1a hash of the raw string, so seeds
+/// like `0xg1an75an` are accepted and reproducible.
+fn parse_seed(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    if let Ok(v) = s.parse::<u64>() {
+        return v;
+    }
+    fault_study::fnv1a(s.as_bytes())
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -48,6 +74,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         div: 10,
         rounds: 4,
         threads: BatchRunner::available_parallelism(),
+        seed: 0,
         wall: false,
         out: None,
     };
@@ -81,6 +108,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--threads needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = parse_seed(it.next().ok_or("--seed needs a value")?);
             }
             "--wall" => opts.wall = true,
             "--out" => {
@@ -130,8 +160,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density|bench|all> \
-             [--scale N] [--div N] [--rounds N] [--threads N] [--wall] [--out DIR]"
+            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density|bench|faults|all> \
+             [--scale N] [--div N] [--rounds N] [--threads N] [--seed S] [--wall] [--out DIR]"
         );
         return ExitCode::FAILURE;
     };
@@ -224,6 +254,22 @@ fn main() -> ExitCode {
         let report = bench_pr2::run_bench(opts.threads);
         println!("{}", report.render());
         write_artifact(opts, "BENCH_PR2.json", &report.to_json());
+
+        println!("\n== Recover-mode overhead on clean runs (halt vs recover) ==\n");
+        let report = bench_pr4::run_bench();
+        println!("{}", report.render());
+        write_artifact(opts, "BENCH_PR4.json", &report.to_json());
+    };
+
+    let run_faults = |opts: &Opts| {
+        println!(
+            "== Fault-injection campaign (recover mode, seed {:#x}) ==\n",
+            opts.seed
+        );
+        let s = fault_study::fault_study_with(&opts.runner(), opts.seed, 5);
+        println!("{}", s.render());
+        write_csv(opts, "faults.csv", &csv::faults_csv(&s));
+        write_csv(opts, "faults_digest.txt", &s.digest_artifact());
     };
 
     match cmd.as_str() {
@@ -238,6 +284,7 @@ fn main() -> ExitCode {
         "memory" => run_memory(&opts),
         "density" => run_density(&opts),
         "bench" => run_bench(&opts),
+        "faults" => run_faults(&opts),
         "all" => {
             run_table2(&opts);
             println!();

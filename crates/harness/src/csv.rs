@@ -157,6 +157,24 @@ pub fn plan_passes_csv(s: &crate::experiments::plan::PlanStudy) -> String {
     out
 }
 
+/// Serialises the fault-injection campaign (one row per cell: label,
+/// verdict, interpreter digest, recovery counters).
+pub fn faults_csv(s: &crate::experiments::fault_study::FaultStudy) -> String {
+    let mut out = String::from("cell,verdict,result_digest,errors_recovered,errors_suppressed\n");
+    for o in &s.outcomes {
+        let _ = writeln!(
+            out,
+            "{},{},{:#018x},{},{}",
+            esc(&o.label),
+            o.verdict.name(),
+            o.result_digest,
+            o.errors_recovered,
+            o.errors_suppressed
+        );
+    }
+    out
+}
+
 /// Serialises Figure 11 (units and wall time per pattern/size/tool).
 pub fn fig11_csv(f: &Fig11) -> String {
     let mut out = String::from("pattern,size_bytes,tool,model_units,wall_us\n");

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod density;
+pub mod fault_study;
 pub mod fig10;
 pub mod fig11;
 pub mod memory;

@@ -11,6 +11,7 @@
 //! | Table 4 (CVE detection) | [`experiments::table4::table4`] | `repro table4` |
 //! | Table 5 (Magma redzones) | [`experiments::table5::table5`] | `repro table5` |
 //! | Figure 11 (traversals) | [`experiments::fig11::fig11`] | `repro fig11` |
+//! | Fault-injection campaign | [`experiments::fault_study::fault_study`] | `repro faults` |
 //!
 //! Timing experiments report both an analytic cost model
 //! ([`CostModel`], paper-style overhead percentages) and wall-clock ratios.
@@ -26,16 +27,19 @@
 pub mod batch;
 pub mod bench_pr1;
 pub mod bench_pr2;
+pub mod bench_pr4;
 pub mod cost;
 pub mod csv;
 pub mod experiments;
+pub mod faults;
 pub mod matrix;
 pub mod session;
 mod table;
 mod tool;
 
-pub use batch::BatchRunner;
+pub use batch::{BatchOutcome, BatchRunner, CellFailure, FailureSummary};
 pub use cost::{geomean, CostModel};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultySanitizer};
 pub use session::{SessionSpec, ToolBuilder};
 pub use table::{pct, TextTable};
 pub use tool::{run_planned, run_tool, RunOutcome, Tool};

@@ -30,6 +30,7 @@ use giantsan_core::{GiantSan, GiantSanOptions};
 use giantsan_ir::{run, CheckPlan, ExecConfig, ExecResult, Program};
 use giantsan_runtime::{NullSanitizer, RuntimeConfig, Sanitizer};
 
+use crate::faults::{FaultPlan, FaultySanitizer};
 use crate::tool::{RunOutcome, Tool};
 
 /// Fluent builder for a [`SessionSpec`].
@@ -51,6 +52,7 @@ pub struct ToolBuilder {
     tool: Tool,
     config: RuntimeConfig,
     options: GiantSanOptions,
+    faults: Option<FaultPlan>,
 }
 
 impl ToolBuilder {
@@ -59,6 +61,7 @@ impl ToolBuilder {
             tool,
             config: RuntimeConfig::default(),
             options: GiantSanOptions::default(),
+            faults: None,
         }
     }
 
@@ -81,12 +84,20 @@ impl ToolBuilder {
         self
     }
 
+    /// Arms a deterministic fault plan: every session built from the spec
+    /// injects the plan's faults (see [`crate::faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Finishes the description.
     pub fn spec(self) -> SessionSpec {
         SessionSpec {
             tool: self.tool,
             config: self.config,
             options: self.options,
+            faults: self.faults,
         }
     }
 }
@@ -103,6 +114,7 @@ pub struct SessionSpec {
     tool: Tool,
     config: RuntimeConfig,
     options: GiantSanOptions,
+    faults: Option<FaultPlan>,
 }
 
 impl SessionSpec {
@@ -119,6 +131,20 @@ impl SessionSpec {
     /// The GiantSan option block (meaningful for the GiantSan family only).
     pub fn options(&self) -> &GiantSanOptions {
         &self.options
+    }
+
+    /// The armed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The runtime config sessions are actually built with: the declared
+    /// config plus any session-wide fault overrides (quarantine exhaustion).
+    fn session_config(&self) -> RuntimeConfig {
+        match self.faults.as_ref().and_then(FaultPlan::quarantine_cap) {
+            Some(cap) => self.config.to_builder().quarantine_cap(cap).build(),
+            None => self.config.clone(),
+        }
     }
 
     /// The instrumentation capabilities of this tool's compiler pass.
@@ -145,23 +171,37 @@ impl SessionSpec {
     /// Builds a fresh boxed session (for callers that need to hold the
     /// sanitizer across calls, e.g. the memory study and microbenches).
     pub fn session(&self) -> Box<dyn Sanitizer> {
+        fn boxed<S: Sanitizer + 'static>(san: S, faults: Option<&FaultPlan>) -> Box<dyn Sanitizer> {
+            match faults {
+                Some(plan) => Box::new(FaultySanitizer::new(san, plan)),
+                None => Box::new(san),
+            }
+        }
+        let cfg = self.session_config();
+        let faults = self.faults.as_ref();
         match self.tool {
-            Tool::Native => Box::new(NullSanitizer::new(self.config.clone())),
-            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => Box::new(
-                GiantSan::with_options(self.config.clone(), self.options.clone()),
-            ),
-            Tool::Asan => Box::new(Asan::new(self.config.clone())),
-            Tool::AsanMinusMinus => Box::new(AsanMinusMinus::new(self.config.clone())),
-            Tool::Lfp => Box::new(Lfp::new(self.config.clone())),
+            Tool::Native => boxed(NullSanitizer::new(cfg), faults),
+            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => {
+                boxed(GiantSan::with_options(cfg, self.options.clone()), faults)
+            }
+            Tool::Asan => boxed(Asan::new(cfg), faults),
+            Tool::AsanMinusMinus => boxed(AsanMinusMinus::new(cfg), faults),
+            Tool::Lfp => boxed(Lfp::new(cfg), faults),
         }
     }
 
-    /// The interpreter policy sessions run under.
+    /// The interpreter policy sessions run under: the config's recovery
+    /// policy, with the fault plan's step budget (if any) capping
+    /// `max_steps`.
     pub fn exec_config(&self) -> ExecConfig {
-        ExecConfig {
-            halt_on_error: self.config.halt_on_error,
+        let mut exec = ExecConfig {
+            recovery: self.config.recovery,
             ..ExecConfig::default()
+        };
+        if let Some(budget) = self.faults.as_ref().and_then(FaultPlan::step_budget) {
+            exec.max_steps = exec.max_steps.min(budget);
         }
+        exec
     }
 
     /// Runs `program` in a fresh session with a pre-computed plan.
@@ -171,42 +211,56 @@ impl SessionSpec {
     /// check calls inline instead of costing a vtable hop per load/store.
     pub fn run_planned(&self, program: &Program, plan: &CheckPlan, inputs: &[i64]) -> RunOutcome {
         let exec = self.exec_config();
+        let cfg = self.session_config();
+        // Each arm stays monomorphized; the faulty variant instantiates the
+        // interpreter at `FaultySanitizer<Tool>`, the clean one at `Tool`.
+        fn dispatch<S: Sanitizer>(
+            san: S,
+            faults: Option<&FaultPlan>,
+            program: &Program,
+            plan: &CheckPlan,
+            inputs: &[i64],
+            exec: &ExecConfig,
+        ) -> RunOutcome {
+            match faults {
+                Some(fp) => {
+                    let mut san = FaultySanitizer::new(san, fp);
+                    timed_run(&mut san, program, plan, inputs, exec)
+                }
+                None => {
+                    let mut san = san;
+                    timed_run(&mut san, program, plan, inputs, exec)
+                }
+            }
+        }
+        let faults = self.faults.as_ref();
         match self.tool {
-            Tool::Native => timed_run(
-                &mut NullSanitizer::new(self.config.clone()),
+            Tool::Native => dispatch(
+                NullSanitizer::new(cfg),
+                faults,
                 program,
                 plan,
                 inputs,
                 &exec,
             ),
-            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => timed_run(
-                &mut GiantSan::with_options(self.config.clone(), self.options.clone()),
+            Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => dispatch(
+                GiantSan::with_options(cfg, self.options.clone()),
+                faults,
                 program,
                 plan,
                 inputs,
                 &exec,
             ),
-            Tool::Asan => timed_run(
-                &mut Asan::new(self.config.clone()),
+            Tool::Asan => dispatch(Asan::new(cfg), faults, program, plan, inputs, &exec),
+            Tool::AsanMinusMinus => dispatch(
+                AsanMinusMinus::new(cfg),
+                faults,
                 program,
                 plan,
                 inputs,
                 &exec,
             ),
-            Tool::AsanMinusMinus => timed_run(
-                &mut AsanMinusMinus::new(self.config.clone()),
-                program,
-                plan,
-                inputs,
-                &exec,
-            ),
-            Tool::Lfp => timed_run(
-                &mut Lfp::new(self.config.clone()),
-                program,
-                plan,
-                inputs,
-                &exec,
-            ),
+            Tool::Lfp => dispatch(Lfp::new(cfg), faults, program, plan, inputs, &exec),
         }
     }
 
@@ -292,10 +346,19 @@ mod tests {
     }
 
     #[test]
-    fn halt_on_error_reaches_the_interpreter_policy() {
+    fn recovery_policy_reaches_the_interpreter_policy() {
+        use giantsan_runtime::RecoveryPolicy;
         let cfg = RuntimeConfig::builder().halt_on_error(true).build();
         let spec = Tool::Asan.builder().config(cfg).spec();
-        assert!(spec.exec_config().halt_on_error);
-        assert!(!Tool::Asan.builder().spec().exec_config().halt_on_error);
+        assert!(spec.exec_config().recovery.halts());
+        assert_eq!(
+            Tool::Asan.builder().spec().exec_config().recovery,
+            RecoveryPolicy::Continue
+        );
+        let cfg = RuntimeConfig::builder()
+            .recovery(RecoveryPolicy::recover())
+            .build();
+        let spec = Tool::Asan.builder().config(cfg).spec();
+        assert!(spec.exec_config().recovery.contains_faults());
     }
 }

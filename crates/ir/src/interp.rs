@@ -2,9 +2,14 @@
 //!
 //! Executes a [`Program`] against a [`Sanitizer`]'s world, performing *real*
 //! data loads and stores in the simulated address space and running the
-//! checks prescribed by a [`CheckPlan`]. With `halt_on_error = false` (the
-//! paper's SPEC configuration) execution continues past reports, so buggy
-//! workloads yield complete report lists; unmapped accesses behave like
+//! checks prescribed by a [`CheckPlan`]. The [`RecoveryPolicy`] on
+//! [`ExecConfig`] decides what a report does: [`RecoveryPolicy::Continue`]
+//! (the paper's SPEC configuration) records every report and keeps going,
+//! [`RecoveryPolicy::Halt`] stops at the first one, and
+//! [`RecoveryPolicy::Recover`] deduplicates reports per site, rate-limits
+//! them per kind, and *contains* each faulting access — the access is
+//! skipped and the tool's [`Sanitizer::contain`] hook heals its metadata —
+//! so execution continues on a sound state. Unmapped accesses behave like
 //! hardware faults and abort the run for every tool, native included.
 //!
 //! [`run`] is generic over the sanitizer: calling it with a concrete tool
@@ -13,7 +18,9 @@
 //! vtable. [`run_dyn`] pins the `dyn Sanitizer` instantiation for call
 //! sites that hold boxed tools and for dispatch-cost benchmarks.
 
-use giantsan_runtime::{AccessKind, CacheSlot, ErrorReport, Sanitizer};
+use giantsan_runtime::{
+    AccessKind, Admission, CacheSlot, ErrorReport, RecoveryPolicy, RecoveryState, Sanitizer,
+};
 use giantsan_shadow::Addr;
 
 use crate::expr::Expr;
@@ -25,15 +32,16 @@ use crate::program::{Program, Stmt};
 pub struct ExecConfig {
     /// Abort after this many executed statements (runaway-loop backstop).
     pub max_steps: u64,
-    /// Stop at the first error report (the paper runs with `false`).
-    pub halt_on_error: bool,
+    /// What a raised report does: halt, record-and-continue (the paper's
+    /// configuration, the default), or recover with dedup + containment.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             max_steps: 200_000_000,
-            halt_on_error: false,
+            recovery: RecoveryPolicy::Continue,
         }
     }
 }
@@ -43,7 +51,7 @@ impl Default for ExecConfig {
 pub enum Termination {
     /// Ran to completion.
     Finished,
-    /// Stopped at the first report (only with `halt_on_error`).
+    /// Stopped at the first report (only with [`RecoveryPolicy::Halt`]).
     Halted,
     /// Hardware-fault analogue: an access left the simulated address space.
     Crashed {
@@ -148,6 +156,7 @@ pub fn run<S: Sanitizer + ?Sized>(
         vars: vec![0; program.num_vars as usize],
         ptrs: vec![0; program.num_ptrs as usize],
         slots: vec![CacheSlot::new(); plan.num_caches as usize],
+        recovery: RecoveryState::new(),
         result: ExecResult {
             reports: Vec::new(),
             termination: Termination::Finished,
@@ -186,6 +195,7 @@ struct Interp<'a, S: Sanitizer + ?Sized> {
     vars: Vec<i64>,
     ptrs: Vec<u64>,
     slots: Vec<CacheSlot>,
+    recovery: RecoveryState,
     result: ExecResult,
 }
 
@@ -203,12 +213,33 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
         Ok(())
     }
 
-    fn note_report(&mut self, report: ErrorReport) -> Result<(), Termination> {
-        self.result.reports.push(report);
-        if self.config.halt_on_error {
-            Err(Termination::Halted)
-        } else {
-            Ok(())
+    /// Handles a raised report per the recovery policy.
+    ///
+    /// Returns `Ok(true)` when the faulting access must be *contained*
+    /// (skipped) rather than performed — only under
+    /// [`RecoveryPolicy::Recover`], where the tool's
+    /// [`Sanitizer::contain`] hook has already been given a chance to heal
+    /// its metadata. `Ok(false)` is the historical record-and-continue path.
+    fn note_report(&mut self, report: ErrorReport) -> Result<bool, Termination> {
+        match self.recovery.admit(&self.config.recovery, &report) {
+            Admission::Halt => {
+                self.result.reports.push(report);
+                Err(Termination::Halted)
+            }
+            Admission::Record => {
+                let contain = self.config.recovery.contains_faults();
+                if contain {
+                    self.san.counters_mut().errors_recovered += 1;
+                    self.san.contain(&report);
+                }
+                self.result.reports.push(report);
+                Ok(contain)
+            }
+            Admission::Suppress => {
+                self.san.counters_mut().errors_suppressed += 1;
+                self.san.contain(&report);
+                Ok(true)
+            }
         }
     }
 
@@ -219,6 +250,9 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
     }
 
     /// Runs the planned check for an ordinary access site.
+    ///
+    /// Returns whether the real access should be performed: `false` only
+    /// when a failed check was contained under [`RecoveryPolicy::Recover`].
     #[inline]
     fn check_site(
         &mut self,
@@ -227,7 +261,7 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
         offset: i64,
         width: u8,
         kind: AccessKind,
-    ) -> Result<(), Termination> {
+    ) -> Result<bool, Termination> {
         let verdict = match self.plan.action(site) {
             SiteAction::Skip => Ok(()),
             SiteAction::Direct => self
@@ -254,12 +288,15 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
             }
         };
         match verdict {
-            Ok(()) => Ok(()),
-            Err(r) => self.note_report(r.with_site(site.0)),
+            Ok(()) => Ok(true),
+            Err(r) => Ok(!self.note_report(r.with_site(site.0))?),
         }
     }
 
     /// Runs a (possibly skipped) region check for a memory intrinsic.
+    ///
+    /// Returns whether the memop's real data movement should be performed
+    /// (see [`Interp::check_site`]).
     #[inline]
     fn check_memop(
         &mut self,
@@ -267,14 +304,14 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
         lo: Addr,
         hi: Addr,
         kind: AccessKind,
-    ) -> Result<(), Termination> {
+    ) -> Result<bool, Termination> {
         let verdict = match self.plan.action(site) {
             SiteAction::Skip => Ok(()),
             _ => self.san.check_region(lo, hi, kind),
         };
         match verdict {
-            Ok(()) => Ok(()),
-            Err(r) => self.note_report(r.with_site(site.0)),
+            Ok(()) => Ok(true),
+            Err(r) => Ok(!self.note_report(r.with_site(site.0))?),
         }
     }
 
@@ -306,6 +343,8 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                 let off = self.eval(offset);
                 let addr = Addr::new(self.ptrs[ptr.0 as usize]).offset(off);
                 if let Err(r) = self.san.free(addr) {
+                    // A rejected free performed no deallocation; there is
+                    // nothing further to contain.
                     self.note_report(r)?;
                 }
             }
@@ -314,7 +353,9 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                 let addr = Addr::new(self.ptrs[ptr.0 as usize]);
                 match self.san.realloc(addr, size) {
                     Ok(a) => self.ptrs[ptr.0 as usize] = a.base.raw(),
-                    Err(r) => self.note_report(r)?,
+                    Err(r) => {
+                        self.note_report(r)?;
+                    }
                 }
             }
             Stmt::Load {
@@ -326,7 +367,13 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
             } => {
                 let off = self.eval(offset);
                 let base = Addr::new(self.ptrs[ptr.0 as usize]);
-                self.check_site(*site, base, off, *width, AccessKind::Read)?;
+                if !self.check_site(*site, base, off, *width, AccessKind::Read)? {
+                    // Contained: the load is skipped and yields a safe zero.
+                    if let Some(d) = dst {
+                        self.vars[d.0 as usize] = 0;
+                    }
+                    return Ok(());
+                }
                 let addr = base.offset(off);
                 self.result.native_work += 1;
                 match self.san.world().space().read_uint(addr, *width as u32) {
@@ -349,7 +396,9 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                 let off = self.eval(offset);
                 let val = self.eval(value);
                 let base = Addr::new(self.ptrs[ptr.0 as usize]);
-                self.check_site(*site, base, off, *width, AccessKind::Write)?;
+                if !self.check_site(*site, base, off, *width, AccessKind::Write)? {
+                    return Ok(()); // contained: the store never lands
+                }
                 let addr = base.offset(off);
                 self.result.native_work += 1;
                 if self
@@ -375,7 +424,9 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                 let base = Addr::new(self.ptrs[ptr.0 as usize]);
                 let lo = base.offset(off);
                 let hi = lo.offset(len as i64);
-                self.check_memop(*site, lo, hi, AccessKind::Write)?;
+                if !self.check_memop(*site, lo, hi, AccessKind::Write)? {
+                    return Ok(());
+                }
                 self.result.native_work += len / 8 + 1;
                 if len > 0 && self.san.world_mut().space_mut().fill(lo, val, len).is_err() {
                     return Err(self.crash("memset", lo));
@@ -410,8 +461,13 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                     }
                 }
                 // The guardian checks both regions before the copy.
-                self.check_memop(*site, slo, slo.offset(len as i64), AccessKind::Read)?;
-                self.check_memop(*site, dlo, dlo.offset(len as i64), AccessKind::Write)?;
+                let src_ok =
+                    self.check_memop(*site, slo, slo.offset(len as i64), AccessKind::Read)?;
+                let dst_ok =
+                    self.check_memop(*site, dlo, dlo.offset(len as i64), AccessKind::Write)?;
+                if !(src_ok && dst_ok) {
+                    return Ok(());
+                }
                 self.result.native_work += len / 8 + 1;
                 if self
                     .san
@@ -438,8 +494,13 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                 let sbase = Addr::new(self.ptrs[src.0 as usize]);
                 let dlo = dbase.offset(doff);
                 let slo = sbase.offset(soff);
-                self.check_memop(*site, slo, slo.offset(len as i64), AccessKind::Read)?;
-                self.check_memop(*site, dlo, dlo.offset(len as i64), AccessKind::Write)?;
+                let src_ok =
+                    self.check_memop(*site, slo, slo.offset(len as i64), AccessKind::Read)?;
+                let dst_ok =
+                    self.check_memop(*site, dlo, dlo.offset(len as i64), AccessKind::Write)?;
+                if !(src_ok && dst_ok) {
+                    return Ok(());
+                }
                 self.result.native_work += len / 8 + 1;
                 if len > 0
                     && self
@@ -674,7 +735,7 @@ mod tests {
         let mut san = native();
         let cfg = ExecConfig {
             max_steps: 1000,
-            halt_on_error: false,
+            recovery: RecoveryPolicy::Continue,
         };
         let r = run(&prog, &[], &mut san, &CheckPlan::none(&prog), &cfg);
         assert_eq!(r.termination, Termination::StepLimit);
@@ -826,7 +887,7 @@ mod tests {
         let prog = b.build();
         let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
         let cfg = ExecConfig {
-            halt_on_error: true,
+            recovery: RecoveryPolicy::Halt,
             ..ExecConfig::default()
         };
         let r = run(&prog, &[], &mut gs, &CheckPlan::all_direct(&prog), &cfg);
@@ -845,6 +906,34 @@ mod tests {
             &ExecConfig::default(),
         );
         assert!(r.reports.len() >= 2);
+    }
+
+    #[test]
+    fn recover_mode_dedups_and_contains() {
+        let mut b = ProgramBuilder::new("t");
+        let p = b.alloc_heap(8);
+        b.store(p, 0i64, 8, 0x55i64);
+        b.for_loop(0i64, 10i64, |b, _| {
+            b.load_discard(p, 8i64, 8); // always OOB, same site
+        });
+        let v = b.load(p, 8i64, 8); // second OOB site
+        let out = b.alloc_heap(8);
+        b.store(out, 0i64, 8, Expr::var(v));
+        let prog = b.build();
+        let mut gs = giantsan_core::GiantSan::new(RuntimeConfig::small());
+        let cfg = ExecConfig {
+            recovery: RecoveryPolicy::recover(),
+            ..ExecConfig::default()
+        };
+        let r = run(&prog, &[], &mut gs, &CheckPlan::all_direct(&prog), &cfg);
+        assert_eq!(r.termination, Termination::Finished);
+        assert_eq!(r.reports.len(), 2, "one report per (site, kind)");
+        assert_eq!(gs.counters().errors_recovered, 2);
+        assert_eq!(gs.counters().errors_suppressed, 9);
+        // The contained load never touched memory: its destination holds the
+        // safe zero, not redzone bytes.
+        let out_base = gs.world().objects().iter_live().last().unwrap().base;
+        assert_eq!(gs.world().space().read_u64(out_base).unwrap(), 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Runtime configuration shared by all sanitizers.
 
+use crate::recovery::RecoveryPolicy;
+
 /// Configuration of the simulated runtime environment.
 ///
 /// Defaults follow the paper's evaluation setup (§5): 16-byte redzones (the
@@ -31,12 +33,13 @@ pub struct RuntimeConfig {
     pub stack_size: u64,
     /// Size of the global-object arena in bytes.
     pub global_size: u64,
-    /// Whether execution stops at the first error report.
+    /// What happens after an error report is raised.
     ///
     /// The paper sets `halt_on_error=false` for SPEC (§5, Configuration), and
     /// the detection studies need every report counted, so the default is
-    /// `false`.
-    pub halt_on_error: bool,
+    /// [`RecoveryPolicy::Continue`]. [`RecoveryPolicy::Recover`] adds
+    /// per-site dedup, per-kind rate limits, and access containment.
+    pub recovery: RecoveryPolicy,
 }
 
 impl RuntimeConfig {
@@ -131,8 +134,21 @@ impl RuntimeConfigBuilder {
     }
 
     /// Sets whether execution stops at the first error report.
+    ///
+    /// Shorthand for [`RuntimeConfigBuilder::recovery`] with
+    /// [`RecoveryPolicy::Halt`] / [`RecoveryPolicy::Continue`].
     pub fn halt_on_error(&mut self, halt: bool) -> &mut Self {
-        self.cfg.halt_on_error = halt;
+        self.cfg.recovery = if halt {
+            RecoveryPolicy::Halt
+        } else {
+            RecoveryPolicy::Continue
+        };
+        self
+    }
+
+    /// Sets the full post-report policy (halt / continue / recover).
+    pub fn recovery(&mut self, policy: RecoveryPolicy) -> &mut Self {
+        self.cfg.recovery = policy;
         self
     }
 
@@ -150,7 +166,7 @@ impl Default for RuntimeConfig {
             heap_size: 64 << 20,
             stack_size: 4 << 20,
             global_size: 1 << 20,
-            halt_on_error: false,
+            recovery: RecoveryPolicy::Continue,
         }
     }
 }
@@ -163,7 +179,7 @@ mod tests {
     fn defaults_match_paper_setup() {
         let cfg = RuntimeConfig::default();
         assert_eq!(cfg.redzone, 16);
-        assert!(!cfg.halt_on_error);
+        assert_eq!(cfg.recovery, RecoveryPolicy::Continue);
         assert!(cfg.quarantine_cap > 0);
     }
 
@@ -187,8 +203,12 @@ mod tests {
             .halt_on_error(true)
             .build();
         assert_eq!(cfg.redzone, 1);
-        assert!(cfg.halt_on_error);
+        assert_eq!(cfg.recovery, RecoveryPolicy::Halt);
         assert_eq!(cfg.heap_size, RuntimeConfig::default().heap_size);
+        let recov = RuntimeConfig::builder()
+            .recovery(RecoveryPolicy::recover())
+            .build();
+        assert!(recov.recovery.contains_faults());
     }
 
     #[test]

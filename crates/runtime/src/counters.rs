@@ -55,6 +55,12 @@ pub struct Counters {
     pub stack_sim_ops: u64,
     /// Error reports raised.
     pub reports: u64,
+    /// Reports recorded in recover mode after which execution continued
+    /// (the access was contained instead of performed).
+    pub errors_recovered: u64,
+    /// Reports dropped by recover-mode dedup/rate limits (still counted in
+    /// `reports` by the raising tool, but not recorded by the interpreter).
+    pub errors_suppressed: u64,
 }
 
 impl Counters {
@@ -110,6 +116,8 @@ impl AddAssign<&Counters> for Counters {
         self.stack_allocs += rhs.stack_allocs;
         self.stack_sim_ops += rhs.stack_sim_ops;
         self.reports += rhs.reports;
+        self.errors_recovered += rhs.errors_recovered;
+        self.errors_suppressed += rhs.errors_suppressed;
     }
 }
 
@@ -118,7 +126,7 @@ impl fmt::Display for Counters {
         write!(
             f,
             "loads={} fast={} slow={} cached={} updates={} under={} arith={} \
-             stores={} allocs={} frees={} reports={}",
+             stores={} allocs={} frees={} reports={} recovered={} suppressed={}",
             self.shadow_loads,
             self.fast_checks,
             self.slow_checks,
@@ -129,7 +137,9 @@ impl fmt::Display for Counters {
             self.shadow_stores,
             self.allocs,
             self.frees,
-            self.reports
+            self.reports,
+            self.errors_recovered,
+            self.errors_suppressed
         )
     }
 }
@@ -154,6 +164,24 @@ mod tests {
         assert_eq!(a.total_checks(), 30);
         a.reset();
         assert_eq!(a, Counters::default());
+    }
+
+    #[test]
+    fn merge_covers_recovery_counters() {
+        let mut total = Counters::default();
+        let worker = Counters {
+            reports: 4,
+            errors_recovered: 3,
+            errors_suppressed: 9,
+            ..Counters::default()
+        };
+        total.merge(&worker);
+        total.merge(&worker);
+        assert_eq!(total.errors_recovered, 6);
+        assert_eq!(total.errors_suppressed, 18);
+        assert_eq!(total.reports, 8);
+        let s = format!("{total}");
+        assert!(s.contains("recovered=6") && s.contains("suppressed=18"));
     }
 
     #[test]

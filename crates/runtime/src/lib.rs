@@ -37,6 +37,7 @@ mod counters;
 mod heap;
 mod object;
 mod quarantine;
+mod recovery;
 mod report;
 mod sanitizer;
 mod stack;
@@ -48,6 +49,7 @@ pub use counters::Counters;
 pub use heap::{HeapError, SimHeap};
 pub use object::{ObjectId, ObjectInfo, ObjectState, ObjectTable};
 pub use quarantine::Quarantine;
+pub use recovery::{Admission, MetadataFault, RecoverLimits, RecoveryPolicy, RecoveryState};
 pub use report::{AccessKind, CheckResult, ErrorKind, ErrorReport};
 pub use sanitizer::{CacheSlot, NullSanitizer, Sanitizer};
 pub use stack::StackSim;

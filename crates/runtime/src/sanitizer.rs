@@ -3,8 +3,8 @@
 use giantsan_shadow::Addr;
 
 use crate::{
-    AccessKind, Allocation, CheckResult, Counters, ErrorReport, HeapError, Region, RuntimeConfig,
-    World,
+    AccessKind, Allocation, CheckResult, Counters, ErrorReport, HeapError, MetadataFault, Region,
+    RuntimeConfig, World,
 };
 
 /// Per-pointer history-cache state (the paper's quasi-bound, §4.3).
@@ -165,6 +165,27 @@ pub trait Sanitizer: Send {
     /// to model its stack-simulation penalty (§5.2).
     fn note_stack_alloc(&mut self) {
         self.counters_mut().stack_allocs += 1;
+    }
+
+    /// Containment hook, called by the interpreter under
+    /// [`crate::RecoveryPolicy::Recover`] after `report` was recorded and
+    /// the faulting access skipped. Tools with shadow metadata override this
+    /// to *heal*: re-derive the shadow encoding around the faulting address
+    /// from the ground-truth object table, so one corrupted or stale byte
+    /// cannot cascade into a storm of follow-on reports.
+    ///
+    /// The default (for tools without shadow state) does nothing — skipping
+    /// the access is the whole containment.
+    fn contain(&mut self, _report: &ErrorReport) {}
+
+    /// Applies a deterministic [`MetadataFault`] to this tool's shadow
+    /// metadata at `addr`, returning `true` when the tool has metadata there
+    /// to corrupt. The default (no shadow) injects nothing.
+    ///
+    /// Fault-injection campaigns use this hook; production code never calls
+    /// it.
+    fn inject_metadata_fault(&mut self, _addr: Addr, _fault: MetadataFault) -> bool {
+        false
     }
 }
 
