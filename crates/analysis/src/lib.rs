@@ -48,5 +48,5 @@ mod planner;
 mod profile;
 
 pub use pipeline::{PassId, PassManager, PassSet, PassStats, Provenance};
-pub use planner::{analyze, Analysis, SiteFate};
+pub use planner::{analyze, analyze_recorded, Analysis, SiteFate};
 pub use profile::ToolProfile;

@@ -387,6 +387,22 @@ impl PassManager {
     /// switch — today the runtime's region-check cost model
     /// ([`ToolProfile::linear_region_checks`]).
     pub fn run(&self, program: &Program, profile: &ToolProfile) -> Analysis {
+        self.run_recorded(program, profile, &mut giantsan_telemetry::NoopRecorder)
+    }
+
+    /// [`PassManager::run`] with a telemetry [`Recorder`] attached: each
+    /// pipeline stage additionally emits one [`EventKind::Pass`] event
+    /// carrying its counters (the deterministic subset of [`PassStats`] —
+    /// wall time stays out of the data plane).
+    ///
+    /// [`Recorder`]: giantsan_telemetry::Recorder
+    /// [`EventKind::Pass`]: giantsan_telemetry::EventKind::Pass
+    pub fn run_recorded<R: giantsan_telemetry::Recorder>(
+        &self,
+        program: &Program,
+        profile: &ToolProfile,
+        rec: &mut R,
+    ) -> Analysis {
         let mut cx = AnalysisCtx::new(program, profile, self.enabled);
         let mut stats = Vec::with_capacity(PassId::PIPELINE.len());
         for pass in passes::registry() {
@@ -398,6 +414,15 @@ impl PassManager {
             } else {
                 PassOutcome::default()
             };
+            if R::ENABLED {
+                rec.record(giantsan_telemetry::EventKind::Pass {
+                    pass: id.name(),
+                    enabled,
+                    visited: out.visited,
+                    transformed: out.transformed,
+                    eliminated: out.eliminated,
+                });
+            }
             stats.push(PassStats {
                 pass: id,
                 enabled,

@@ -182,6 +182,18 @@ pub fn analyze(program: &Program, profile: &ToolProfile) -> Analysis {
     PassManager::for_profile(profile).run(program, profile)
 }
 
+/// [`analyze`] with a telemetry recorder: one [`Pass`] event per pipeline
+/// stage (see [`PassManager::run_recorded`]).
+///
+/// [`Pass`]: giantsan_telemetry::EventKind::Pass
+pub fn analyze_recorded<R: giantsan_telemetry::Recorder>(
+    program: &Program,
+    profile: &ToolProfile,
+    rec: &mut R,
+) -> Analysis {
+    PassManager::for_profile(profile).run_recorded(program, profile, rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -362,6 +362,11 @@ impl Sanitizer for Asan {
             giantsan_runtime::MetadataFault::FoldDowngrade => false,
         }
     }
+
+    fn shadow_probe(&self, addr: Addr) -> Option<u8> {
+        // Read-only telemetry peek; never counts as a shadow load.
+        self.shadow.try_segment_of(addr).map(|s| self.shadow.get(s))
+    }
 }
 
 impl Asan {

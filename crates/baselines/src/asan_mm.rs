@@ -137,6 +137,10 @@ impl Sanitizer for AsanMinusMinus {
     ) -> bool {
         self.inner.inject_metadata_fault(addr, fault)
     }
+
+    fn shadow_probe(&self, addr: Addr) -> Option<u8> {
+        self.inner.shadow_probe(addr)
+    }
 }
 
 #[cfg(test)]

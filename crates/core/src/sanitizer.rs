@@ -595,6 +595,12 @@ impl Sanitizer for GiantSan {
             }
         }
     }
+
+    fn shadow_probe(&self, addr: Addr) -> Option<u8> {
+        // Read-only: telemetry observes the folded code without counting a
+        // shadow load, so traced and untraced runs stay byte-identical.
+        self.shadow.try_segment_of(addr).map(|s| self.shadow.get(s))
+    }
 }
 
 #[cfg(test)]

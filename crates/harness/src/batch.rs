@@ -33,7 +33,160 @@
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use giantsan_telemetry::export::ChromeTrace;
+
+/// One executed cell as seen by the scheduler: where it ran, how long, and
+/// how many attempts it took.
+///
+/// Spans are **presentation-plane** records (see the telemetry crate's
+/// thread-invariance rule): they carry wall-clock and worker identity and
+/// exist only to be rendered as a Chrome trace. Nothing here is ever
+/// digested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpan {
+    /// Ordinal of the batch (`map`/`try_map` call) this cell belonged to.
+    pub batch: u32,
+    /// Cell index within the batch.
+    pub index: usize,
+    /// Worker that executed the cell (0 on the serial path).
+    pub worker: usize,
+    /// Attempts the cell took (1 = first try succeeded).
+    pub attempts: u32,
+    /// Microseconds since the sink's origin at which the cell was claimed.
+    pub start_us: f64,
+    /// Wall-clock duration of the cell in microseconds (all attempts).
+    pub dur_us: f64,
+}
+
+/// One whole batch (`map`/`try_map` call).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpan {
+    /// Batch ordinal (shared with the member [`CellSpan`]s).
+    pub batch: u32,
+    /// Number of cells in the batch.
+    pub cells: usize,
+    /// Worker-pool size used for the batch.
+    pub threads: usize,
+    /// Microseconds since the sink's origin at which the batch started.
+    pub start_us: f64,
+    /// Wall-clock duration of the whole batch in microseconds.
+    pub dur_us: f64,
+}
+
+/// Everything a [`TraceSink`] collected: batch spans plus cell spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchTrace {
+    /// One span per `map`/`try_map` call, in call order.
+    pub batches: Vec<BatchSpan>,
+    /// One span per executed cell (quarantined cells included).
+    pub cells: Vec<CellSpan>,
+}
+
+impl BatchTrace {
+    /// Renders the scheduling trace into `trace` as Chrome `trace_event`
+    /// slices: one process (`pid`), one named track per worker, one slice
+    /// per cell (annotated with batch, index, and attempts), and one slice
+    /// per batch on a dedicated "scheduler" track.
+    pub fn render_chrome(&self, trace: &mut ChromeTrace, pid: u32, process: &str) {
+        trace.process_name(pid, process);
+        trace.thread_name(pid, 0, "scheduler");
+        let workers: std::collections::BTreeSet<usize> =
+            self.cells.iter().map(|c| c.worker).collect();
+        for w in &workers {
+            trace.thread_name(pid, *w as u32 + 1, &format!("worker {w}"));
+        }
+        for b in &self.batches {
+            trace.complete(
+                pid,
+                0,
+                &format!("batch {}", b.batch),
+                "batch",
+                b.start_us,
+                b.dur_us,
+                &[
+                    ("cells", &b.cells.to_string()),
+                    ("threads", &b.threads.to_string()),
+                ],
+            );
+        }
+        for c in &self.cells {
+            trace.complete(
+                pid,
+                c.worker as u32 + 1,
+                &format!("cell {}", c.index),
+                "cell",
+                c.start_us,
+                c.dur_us,
+                &[
+                    ("batch", &c.batch.to_string()),
+                    ("attempts", &c.attempts.to_string()),
+                ],
+            );
+        }
+    }
+}
+
+/// Shared collector for batch-scheduling spans.
+///
+/// Attach one to a [`BatchRunner`] with [`BatchRunner::with_sink`]; every
+/// subsequent `map`/`try_map` call records per-cell and per-batch wall-clock
+/// spans into it. The sink is internally synchronised — workers append
+/// concurrently — and the collected [`BatchTrace`] is drained with
+/// [`TraceSink::take`].
+#[derive(Debug)]
+pub struct TraceSink {
+    origin: Instant,
+    next_batch: AtomicU32,
+    trace: Mutex<BatchTrace>,
+}
+
+impl TraceSink {
+    /// A fresh sink; its origin (timestamp zero) is the moment of creation.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TraceSink {
+            origin: Instant::now(),
+            next_batch: AtomicU32::new(0),
+            trace: Mutex::new(BatchTrace::default()),
+        })
+    }
+
+    /// Microseconds elapsed since the sink was created.
+    fn now_us(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn claim_batch(&self) -> u32 {
+        self.next_batch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn push_cell(&self, span: CellSpan) {
+        self.trace
+            .lock()
+            .expect("trace sink poisoned")
+            .cells
+            .push(span);
+    }
+
+    fn push_batch(&self, span: BatchSpan) {
+        self.trace
+            .lock()
+            .expect("trace sink poisoned")
+            .batches
+            .push(span);
+    }
+
+    /// Drains everything collected so far, sorted by start time.
+    pub fn take(&self) -> BatchTrace {
+        let mut t = std::mem::take(&mut *self.trace.lock().expect("trace sink poisoned"));
+        t.cells.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        t.batches.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        t
+    }
+}
 
 /// One cell that kept failing after every retry and was quarantined.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,10 +263,22 @@ pub struct BatchOutcome<R> {
 /// `catch_unwind`, is retried with bounded deterministic backoff, and is
 /// quarantined into a [`FailureSummary`] if it keeps failing, while the
 /// remaining cells complete and merge normally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct BatchRunner {
     threads: usize,
+    sink: Option<Arc<TraceSink>>,
 }
+
+impl PartialEq for BatchRunner {
+    /// Two runners are equal when they schedule identically (same worker
+    /// count); an attached trace sink observes scheduling without changing
+    /// it, so it does not participate in equality.
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for BatchRunner {}
 
 impl BatchRunner {
     /// Attempts per cell before it is quarantined (1 initial + 2 retries).
@@ -123,7 +288,22 @@ impl BatchRunner {
     pub fn new(threads: usize) -> Self {
         BatchRunner {
             threads: threads.max(1),
+            sink: None,
         }
+    }
+
+    /// Attaches a [`TraceSink`]: every subsequent `map`/`try_map` call
+    /// records per-cell and per-batch scheduling spans into it. Tracing is
+    /// observation-only — results and their ordering are unchanged.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn sink(&self) -> Option<&Arc<TraceSink>> {
+        self.sink.as_ref()
     }
 
     /// A single-threaded runner: cells run inline, in order.
@@ -193,14 +373,17 @@ impl BatchRunner {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
-        let run_cell = |i: usize, item: &T| -> (u32, Result<R, CellFailure>) {
+        let sink = self.sink.as_deref();
+        let batch = sink.map(|s| (s.claim_batch(), s.now_us()));
+        let run_cell = |i: usize, worker: usize, item: &T| -> (u32, Result<R, CellFailure>) {
+            let start_us = sink.map(|s| s.now_us());
             let mut attempts = 0u32;
-            loop {
+            let out = loop {
                 attempts += 1;
                 match std::panic::catch_unwind(AssertUnwindSafe(|| job(i, item))) {
-                    Ok(r) => return (attempts, Ok(r)),
+                    Ok(r) => break (attempts, Ok(r)),
                     Err(payload) if attempts >= Self::MAX_ATTEMPTS => {
-                        return (
+                        break (
                             attempts,
                             Err(CellFailure {
                                 index: i,
@@ -211,7 +394,18 @@ impl BatchRunner {
                     }
                     Err(_) => backoff(attempts),
                 }
+            };
+            if let (Some(s), Some(start_us), Some((batch, _))) = (sink, start_us, batch) {
+                s.push_cell(CellSpan {
+                    batch,
+                    index: i,
+                    worker,
+                    attempts: out.0,
+                    start_us,
+                    dur_us: s.now_us() - start_us,
+                });
             }
+            out
         };
 
         let cells: Vec<CellRecord<R>> = if self.threads == 1 || n <= 1 {
@@ -219,7 +413,7 @@ impl BatchRunner {
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
-                    let (attempts, r) = run_cell(i, t);
+                    let (attempts, r) = run_cell(i, 0, t);
                     (i, attempts, r)
                 })
                 .collect()
@@ -228,14 +422,16 @@ impl BatchRunner {
             let workers = self.threads.min(n);
             let shards: Vec<Vec<CellRecord<R>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
+                    .map(|w| {
+                        let run_cell = &run_cell;
+                        let cursor = &cursor;
+                        scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
                                 // Work stealing: claim the next cell.
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(item) = items.get(i) else { break };
-                                let (attempts, r) = run_cell(i, item);
+                                let (attempts, r) = run_cell(i, w, item);
                                 local.push((i, attempts, r));
                             }
                             local
@@ -253,6 +449,16 @@ impl BatchRunner {
             });
             shards.into_iter().flatten().collect()
         };
+
+        if let (Some(s), Some((batch, start_us))) = (sink, batch) {
+            s.push_batch(BatchSpan {
+                batch,
+                cells: n,
+                threads: self.threads,
+                start_us,
+                dur_us: s.now_us() - start_us,
+            });
+        }
 
         // Deterministic merge: place every result at its cell index, so the
         // output order owes nothing to scheduling.

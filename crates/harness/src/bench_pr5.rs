@@ -1,0 +1,225 @@
+//! Telemetry overhead benchmark: [`NoopRecorder`] vs [`TraceRecorder`].
+//!
+//! `repro bench` runs the PR 5 half of the benchmark suite: the same clean
+//! workload mix executed once with the default [`NoopRecorder`] (the
+//! recorder monomorphizes out — this is byte-for-byte the historical
+//! untraced path) and once with a live [`TraceRecorder`] capturing every
+//! check, quasi-bound refresh, and allocator event. The artefact, emitted
+//! to `BENCH_PR5.json`, pins the layer's two claims:
+//!
+//! 1. **Tracing never perturbs execution**: the interpreter digests under
+//!    noop and traced runs are identical (asserted in tests, recorded in
+//!    the artefact).
+//! 2. **Disabled means free**: the noop path carries no telemetry work at
+//!    all, so the traced-vs-noop delta *is* the full cost of observation —
+//!    reported as `trace_overhead_pct` alongside per-event cost.
+//!
+//! Wall-clock fields vary run to run and host to host; the digest and
+//! event-count fields are deterministic.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use giantsan_telemetry::{NoopRecorder, TraceRecorder};
+use giantsan_workloads::spec_workload;
+
+use crate::tool::Tool;
+
+/// Timing samples per configuration (minimum taken).
+pub const SAMPLES: u32 = 5;
+
+/// The `BENCH_PR5.json` payload.
+#[derive(Debug, Clone)]
+pub struct BenchPr5Report {
+    /// Interpreter steps of one run (same under both recorders).
+    pub steps: u64,
+    /// Telemetry events one traced run captures (0 dropped at this scale).
+    pub events: u64,
+    /// Clean-run wall-clock with [`NoopRecorder`] (best of [`SAMPLES`],
+    /// nanoseconds).
+    pub noop_ns: u128,
+    /// Clean-run wall-clock with [`TraceRecorder`] (best of [`SAMPLES`],
+    /// nanoseconds).
+    pub traced_ns: u128,
+    /// [`giantsan_ir::ExecResult::digest`] mix with the recorder compiled
+    /// out.
+    pub digest_noop: u64,
+    /// [`giantsan_ir::ExecResult::digest`] mix with live tracing (must
+    /// match).
+    pub digest_traced: u64,
+}
+
+impl BenchPr5Report {
+    /// Cost of live tracing over the compiled-out path, percent
+    /// (positive = tracing slower).
+    pub fn trace_overhead_pct(&self) -> f64 {
+        (self.traced_ns as f64 / self.noop_ns.max(1) as f64 - 1.0) * 100.0
+    }
+
+    /// Tracing produced interpreter results identical to the noop path.
+    pub fn deterministic(&self) -> bool {
+        self.digest_noop == self.digest_traced
+    }
+
+    /// Interpreter steps per second on the noop (production) path.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / (self.noop_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Marginal wall-clock cost per captured event, nanoseconds.
+    pub fn ns_per_event(&self) -> f64 {
+        self.traced_ns.saturating_sub(self.noop_ns) as f64 / self.events.max(1) as f64
+    }
+
+    /// Renders the artefact as JSON (hand-rolled: numbers and ASCII only).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"bench\": \"BENCH_PR5\",\n");
+        let _ = writeln!(
+            s,
+            "  \"steps\": {},\n  \"events\": {},\n  \"noop_ns\": {},\n  \"traced_ns\": {},",
+            self.steps, self.events, self.noop_ns, self.traced_ns
+        );
+        let _ = writeln!(
+            s,
+            "  \"trace_overhead_pct\": {:.2},\n  \"ns_per_event\": {:.1},\n  \"noop_steps_per_sec\": {:.0},",
+            self.trace_overhead_pct(),
+            self.ns_per_event(),
+            self.steps_per_sec()
+        );
+        let _ = writeln!(
+            s,
+            "  \"digest_noop\": \"{:016x}\",\n  \"digest_traced\": \"{:016x}\",",
+            self.digest_noop, self.digest_traced
+        );
+        let _ = writeln!(s, "  \"deterministic\": {}", self.deterministic());
+        s.push_str("}\n");
+        s
+    }
+
+    /// Human-readable summary for the console.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "workload: clean SPEC-like mix, {} steps, {} events when traced",
+            self.steps, self.events
+        );
+        let _ = writeln!(
+            s,
+            "noop:   {:>12} ns\ntraced: {:>12} ns  ({:+.2}% overhead, {:.1} ns/event)",
+            self.noop_ns,
+            self.traced_ns,
+            self.trace_overhead_pct(),
+            self.ns_per_event()
+        );
+        let _ = writeln!(
+            s,
+            "digests: {:016x} (noop) vs {:016x} (traced) -> {}",
+            self.digest_noop,
+            self.digest_traced,
+            if self.deterministic() {
+                "identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        s
+    }
+}
+
+/// Runs the telemetry overhead benchmark.
+pub fn run_bench() -> BenchPr5Report {
+    // The same clean mix bench_pr4 times: plans precomputed so only
+    // interpretation (and, on the traced arm, event capture) is timed.
+    let workloads: Vec<_> = ["519.lbm_r", "505.mcf_r", "557.xz_r"]
+        .iter()
+        .map(|id| spec_workload(id, 2).expect("known workload"))
+        .collect();
+    let plans: Vec<_> = workloads
+        .iter()
+        .map(|w| Tool::GiantSan.plan(&w.program))
+        .collect();
+    let spec = Tool::GiantSan.builder().spec();
+
+    let run_noop = || {
+        let mut steps = 0u64;
+        let mut digest = 0u64;
+        for (w, plan) in workloads.iter().zip(&plans) {
+            let out = spec.run_planned_recorded(&w.program, plan, &w.inputs, &mut NoopRecorder);
+            assert!(
+                out.result.reports.is_empty(),
+                "benchmark workload must be clean"
+            );
+            steps += out.result.steps;
+            digest ^= out.result.digest().rotate_left(steps as u32 % 63);
+        }
+        (steps, digest)
+    };
+    let run_traced = || {
+        let mut steps = 0u64;
+        let mut digest = 0u64;
+        let mut events = 0u64;
+        for (cell, (w, plan)) in workloads.iter().zip(&plans).enumerate() {
+            let mut rec = TraceRecorder::for_cell(cell as u32);
+            let out = spec.run_planned_recorded(&w.program, plan, &w.inputs, &mut rec);
+            steps += out.result.steps;
+            digest ^= out.result.digest().rotate_left(steps as u32 % 63);
+            events += rec.events().len() as u64 + rec.dropped();
+        }
+        (steps, digest, events)
+    };
+
+    // Warm-up (also the digest source).
+    let (steps, digest_noop) = run_noop();
+    let (_, digest_traced, events) = run_traced();
+
+    let mut noop_ns = u128::MAX;
+    let mut traced_ns = u128::MAX;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let _ = run_noop();
+        noop_ns = noop_ns.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        let _ = run_traced();
+        traced_ns = traced_ns.min(t.elapsed().as_nanos());
+    }
+
+    BenchPr5Report {
+        steps,
+        events,
+        noop_ns,
+        traced_ns,
+        digest_noop,
+        digest_traced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = BenchPr5Report {
+            steps: 1000,
+            events: 250,
+            noop_ns: 1_000_000,
+            traced_ns: 1_050_000,
+            digest_noop: 0xbeef,
+            digest_traced: 0xbeef,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"trace_overhead_pct\": 5.00"), "{j}");
+        assert!(j.contains("\"ns_per_event\": 200.0"), "{j}");
+        assert!(j.contains("\"deterministic\": true"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn tracing_never_perturbs_execution() {
+        let r = run_bench();
+        assert!(r.deterministic(), "{}", r.render());
+        assert!(r.steps > 0);
+        assert!(r.events > 0, "traced run must capture events");
+    }
+}

@@ -9,11 +9,12 @@
 //! repro table5 [--div N]            Table 5: Magma redzone study
 //! repro fig11  [--rounds N]         Figure 11: traversal patterns
 //! repro ablation                    §5.4 mitigations + quarantine + pass subsets
-//! repro plan   [--scale N]          planner provenance + per-pass statistics
+//! repro plan   [--scale N] [--format json]  planner provenance + per-pass statistics
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
 //! repro bench  [--out DIR]          hot-path + batch-engine + recover-mode -> BENCH_PR{1,2,4}.json
-//! repro faults [--seed S]           fault-injection campaign (detected/recovered/missed/crashed)
+//! repro faults [--seed S] [--format json]   fault-injection campaign (detected/recovered/missed/crashed)
+//! repro trace  [--workload W] [--tool T] end-to-end telemetry trace -> JSONL + Chrome + Prometheus
 //! repro all    [--div N] [--scale N] everything
 //! ```
 //!
@@ -33,15 +34,26 @@
 //! valid, reproducible campaign seed. With `--out DIR` it writes `faults.csv`
 //! and `faults_digest.txt` — CI diffs the latter against
 //! `tests/golden/faults_digest.txt`.
+//!
+//! `repro trace` runs one (workload × tool) pair under the telemetry layer
+//! and writes the three exports — `trace_events.jsonl` (deterministic,
+//! thread-invariant digest in `trace_digest.txt`), `trace_chrome.json`
+//! (Perfetto-loadable), `trace_metrics.prom` — plus a hot-spot table ranking
+//! sites by slow-path share. Independently, `--telemetry PATH` on *any*
+//! subcommand writes the batch engine's scheduling spans for that whole
+//! invocation as a Chrome trace to PATH.
 
 use std::env;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use giantsan_harness::csv;
 use giantsan_harness::experiments::{
     ablation, density, fault_study, fig10, fig11, memory, plan, table2, table3, table4, table5,
+    trace,
 };
-use giantsan_harness::{bench_pr1, bench_pr2, bench_pr4, BatchRunner};
+use giantsan_harness::{bench_pr1, bench_pr2, bench_pr4, bench_pr5, BatchRunner, Tool, TraceSink};
+use giantsan_telemetry::export::ChromeTrace;
 
 struct Opts {
     scale: u64,
@@ -51,6 +63,22 @@ struct Opts {
     seed: u64,
     wall: bool,
     out: Option<std::path::PathBuf>,
+    workload: String,
+    tool: Tool,
+    telemetry: Option<std::path::PathBuf>,
+    sink: Option<Arc<TraceSink>>,
+    json: bool,
+}
+
+/// Parses a tool by its paper column name, case-insensitively.
+fn parse_tool(s: &str) -> Result<Tool, String> {
+    Tool::ALL
+        .into_iter()
+        .find(|t| t.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let names: Vec<&str> = Tool::ALL.iter().map(|t| t.name()).collect();
+            format!("unknown tool `{s}` (one of: {})", names.join(", "))
+        })
 }
 
 /// Parses a campaign seed: hex with an `0x` prefix, plain decimal, or —
@@ -77,6 +105,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: 0,
         wall: false,
         out: None,
+        workload: "figure8".to_string(),
+        tool: Tool::GiantSan,
+        telemetry: None,
+        sink: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -116,6 +149,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--out" => {
                 opts.out = Some(it.next().ok_or("--out needs a directory")?.into());
             }
+            "--workload" => {
+                opts.workload = it.next().ok_or("--workload needs an id")?.clone();
+            }
+            "--tool" => {
+                opts.tool = parse_tool(it.next().ok_or("--tool needs a name")?)?;
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.into());
+                opts.sink = Some(TraceSink::new());
+            }
+            "--format" => match it.next().ok_or("--format needs text|json")?.as_str() {
+                "json" => opts.json = true,
+                "text" => opts.json = false,
+                other => return Err(format!("bad --format `{other}` (text or json)")),
+            },
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -124,7 +172,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 impl Opts {
     fn runner(&self) -> BatchRunner {
-        BatchRunner::new(self.threads)
+        let runner = BatchRunner::new(self.threads);
+        match &self.sink {
+            Some(sink) => runner.with_sink(Arc::clone(sink)),
+            None => runner,
+        }
     }
 }
 
@@ -160,8 +212,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!(
-            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density|bench|faults|all> \
-             [--scale N] [--div N] [--rounds N] [--threads N] [--seed S] [--wall] [--out DIR]"
+            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density|bench|faults|trace|all> \
+             [--scale N] [--div N] [--rounds N] [--threads N] [--seed S] [--wall] [--out DIR] \
+             [--workload W] [--tool T] [--telemetry PATH] [--format text|json]"
         );
         return ExitCode::FAILURE;
     };
@@ -237,9 +290,13 @@ fn main() -> ExitCode {
     };
 
     let run_plan = |opts: &Opts| {
-        println!("== Planner observability: per-pass statistics + site provenance ==\n");
         let s = plan::plan_study_with(&opts.runner(), opts.scale);
-        println!("{}", s.render());
+        if opts.json {
+            print!("{}", s.to_json());
+        } else {
+            println!("== Planner observability: per-pass statistics + site provenance ==\n");
+            println!("{}", s.render());
+        }
         write_csv(opts, "plan_provenance.csv", &csv::plan_provenance_csv(&s));
         write_csv(opts, "plan_passes.csv", &csv::plan_passes_csv(&s));
     };
@@ -259,15 +316,40 @@ fn main() -> ExitCode {
         let report = bench_pr4::run_bench();
         println!("{}", report.render());
         write_artifact(opts, "BENCH_PR4.json", &report.to_json());
+
+        println!("\n== Telemetry overhead (noop vs traced recorder) ==\n");
+        let report = bench_pr5::run_bench();
+        println!("{}", report.render());
+        write_artifact(opts, "BENCH_PR5.json", &report.to_json());
+    };
+
+    let run_trace = |opts: &Opts| -> Result<(), String> {
+        println!(
+            "== End-to-end telemetry trace: {} under {} ==\n",
+            opts.workload,
+            opts.tool.name()
+        );
+        let s = trace::trace_study_with(&opts.runner(), &opts.workload, opts.tool, opts.scale)?;
+        println!("{}", s.render());
+        write_artifact(opts, "trace_events.jsonl", &s.events_jsonl());
+        write_artifact(opts, "trace_chrome.json", &s.chrome_trace());
+        write_artifact(opts, "trace_metrics.prom", &s.prometheus());
+        write_artifact(opts, "trace_digest.txt", &s.digest_artifact());
+        write_csv(opts, "trace_counters.csv", &csv::trace_counters_csv(&s));
+        Ok(())
     };
 
     let run_faults = |opts: &Opts| {
-        println!(
-            "== Fault-injection campaign (recover mode, seed {:#x}) ==\n",
-            opts.seed
-        );
         let s = fault_study::fault_study_with(&opts.runner(), opts.seed, 5);
-        println!("{}", s.render());
+        if opts.json {
+            print!("{}", s.to_json());
+        } else {
+            println!(
+                "== Fault-injection campaign (recover mode, seed {:#x}) ==\n",
+                opts.seed
+            );
+            println!("{}", s.render());
+        }
         write_csv(opts, "faults.csv", &csv::faults_csv(&s));
         write_csv(opts, "faults_digest.txt", &s.digest_artifact());
     };
@@ -285,6 +367,12 @@ fn main() -> ExitCode {
         "density" => run_density(&opts),
         "bench" => run_bench(&opts),
         "faults" => run_faults(&opts),
+        "trace" => {
+            if let Err(e) = run_trace(&opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_table2(&opts);
             println!();
@@ -309,6 +397,22 @@ fn main() -> ExitCode {
         other => {
             eprintln!("unknown experiment: {other}");
             return ExitCode::FAILURE;
+        }
+    }
+
+    // `--telemetry PATH`: dump the whole invocation's batch-scheduling spans
+    // as a Chrome trace (`repro trace` uses its own sink and study-local
+    // exports instead).
+    if let (Some(path), Some(sink)) = (&opts.telemetry, &opts.sink) {
+        let mut chrome = ChromeTrace::new();
+        sink.take()
+            .render_chrome(&mut chrome, 1, &format!("repro {cmd}"));
+        match std::fs::write(path, chrome.finish()) {
+            Ok(()) => println!("(wrote {})", path.display()),
+            Err(e) => {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

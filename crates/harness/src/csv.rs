@@ -175,6 +175,29 @@ pub fn faults_csv(s: &crate::experiments::fault_study::FaultStudy) -> String {
     out
 }
 
+/// Serialises per-cell sanitizer counters of a trace study.
+///
+/// The header is driven by [`Counters::FIELD_NAMES`] — the single
+/// authoritative exporter field list — so a counter added to the struct
+/// (with its pinning test) appears here without touching this function.
+///
+/// [`Counters::FIELD_NAMES`]: giantsan_runtime::Counters::FIELD_NAMES
+pub fn trace_counters_csv(s: &crate::experiments::trace::TraceStudy) -> String {
+    let mut out = String::from("cell");
+    for name in giantsan_runtime::Counters::FIELD_NAMES {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for run in &s.runs {
+        let _ = write!(out, "{}", run.cell);
+        for v in run.counters.field_values() {
+            let _ = write!(out, ",{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Serialises Figure 11 (units and wall time per pattern/size/tool).
 pub fn fig11_csv(f: &Fig11) -> String {
     let mut out = String::from("pattern,size_bytes,tool,model_units,wall_us\n");
@@ -233,6 +256,23 @@ mod tests {
         let passes = plan_passes_csv(&s);
         assert_eq!(passes.lines().count(), s.cells.len() * 9 + 1);
         assert!(passes.contains("figure8,GiantSan,cache,1,"), "{passes}");
+    }
+
+    #[test]
+    fn trace_counters_csv_uses_the_canonical_field_list() {
+        use giantsan_runtime::Counters;
+        let s =
+            crate::experiments::trace::trace_study("figure8", crate::Tool::GiantSan, 1).unwrap();
+        let csv = trace_counters_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), s.runs.len() + 1);
+        assert_eq!(
+            lines[0],
+            format!("cell,{}", Counters::FIELD_NAMES.join(","))
+        );
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), Counters::FIELD_NAMES.len() + 1);
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use giantsan_workloads::fuzz::InjectedBug;
 
 use crate::batch::BatchRunner;
 use crate::faults::{splitmix64, FaultKind, FaultPlan};
+use crate::json::Json;
 use crate::matrix::{Cell, CellWorkload};
 use crate::table::TextTable;
 use crate::tool::Tool;
@@ -344,6 +345,33 @@ impl FaultStudy {
     pub fn digest_artifact(&self) -> String {
         format!("{:#018x}\n", self.digest())
     }
+
+    /// Machine-readable form of the campaign (`repro faults --format json`).
+    ///
+    /// Carries the same deterministic residue as the CSV — label, verdict,
+    /// result digest, recovery counters per cell — plus the campaign seed
+    /// and summary digest, so the document is identical at any `--threads`.
+    pub fn to_json(&self) -> String {
+        let outcomes: Vec<Json> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                Json::obj()
+                    .field("cell", o.label.as_str())
+                    .field("verdict", o.verdict.name())
+                    .field("result_digest", Json::hex(o.result_digest))
+                    .field("errors_recovered", o.errors_recovered)
+                    .field("errors_suppressed", o.errors_suppressed)
+            })
+            .collect();
+        Json::obj()
+            .field("study", "faults")
+            .field("seed", Json::hex(self.seed))
+            .field("digest", Json::hex(self.digest()))
+            .field("harness_panics", self.harness_panics)
+            .field("outcomes", outcomes)
+            .render()
+    }
 }
 
 /// FNV-1a over raw bytes (label hashing for schedule derivation).
@@ -363,6 +391,19 @@ mod tests {
     #[test]
     fn matrix_covers_a_thousand_cells_at_default_breadth() {
         assert!(fault_matrix(5).len() >= 1000);
+    }
+
+    #[test]
+    fn json_export_carries_the_digested_residue() {
+        let s = fault_study_with(&BatchRunner::serial(), 7, 1);
+        let j = s.to_json();
+        assert!(j.starts_with("{\n  \"study\": \"faults\""));
+        assert!(j.contains(&format!("\"digest\": \"{:#018x}\"", s.digest())));
+        assert_eq!(j.matches("\"verdict\"").count(), s.outcomes.len());
+        assert!(j.contains("\"harness_panics\": 0"));
+        // Thread-count invariant, like the digest itself.
+        assert_eq!(j, fault_study_with(&BatchRunner::new(4), 7, 1).to_json());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -11,3 +11,4 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod trace;

@@ -12,6 +12,7 @@ use giantsan_ir::Program;
 use giantsan_workloads::{figure8_program, spec_workload};
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
 use crate::table::TextTable;
 use crate::tool::Tool;
 
@@ -117,6 +118,58 @@ impl PlanStudy {
         }
         out
     }
+
+    /// Machine-readable form of the study (`repro plan --format json`).
+    ///
+    /// Deterministic: per-pass wall time is deliberately excluded, so the
+    /// document is byte-identical run to run and thread-count invariant.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let sites: Vec<Json> = cell
+                    .analysis
+                    .fates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, fate)| {
+                        let mut site = Json::obj()
+                            .field("site", i)
+                            .field("fate", format!("{fate:?}"));
+                        if let Some(p) = &cell.analysis.provenance[i] {
+                            site = site
+                                .field("pass", p.pass.name())
+                                .field("reason", p.reason.as_str());
+                        }
+                        site
+                    })
+                    .collect();
+                let passes: Vec<Json> = cell
+                    .analysis
+                    .pass_stats
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .field("pass", p.pass.name())
+                            .field("enabled", p.enabled)
+                            .field("visited", p.visited)
+                            .field("transformed", p.transformed)
+                            .field("eliminated", p.eliminated)
+                    })
+                    .collect();
+                Json::obj()
+                    .field("workload", cell.workload)
+                    .field("tool", cell.tool.name())
+                    .field("sites", sites)
+                    .field("passes", passes)
+            })
+            .collect();
+        Json::obj()
+            .field("study", "plan")
+            .field("cells", cells)
+            .render()
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +224,22 @@ mod tests {
                 assert_eq!(p.transformed, 0);
             }
         }
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_complete() {
+        let s = plan_study(1);
+        let j = s.to_json();
+        assert!(j.starts_with("{\n  \"study\": \"plan\""));
+        assert_eq!(j.matches("\"workload\"").count(), s.cells.len());
+        // One site object per fate, one pass object per pipeline stage.
+        let total_sites: usize = s.cells.iter().map(|c| c.analysis.fates.len()).sum();
+        assert_eq!(j.matches("\"fate\"").count(), total_sites);
+        assert_eq!(j.matches("\"enabled\"").count(), s.cells.len() * 9);
+        // Wall time is excluded, so the document is run-to-run identical.
+        assert!(!j.contains("wall"));
+        assert_eq!(j, plan_study(1).to_json());
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

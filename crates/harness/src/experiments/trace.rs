@@ -1,0 +1,406 @@
+//! The end-to-end telemetry study behind `repro trace`.
+//!
+//! One (workload × tool) pair is run as a small cell matrix with the full
+//! telemetry pipeline attached: the planner runs under
+//! [`analyze_recorded`] (per-pass events), every cell runs under a
+//! [`TraceRecorder`] (check / quasi-bound / allocator / containment events
+//! plus the sampling histograms), and the batch engine records its
+//! scheduling spans into a [`TraceSink`]. The study then exports all three
+//! formats the telemetry crate supports:
+//!
+//! * **JSON Lines** — the deterministic data-plane event stream, sorted by
+//!   `(cell, seq)`; its FNV-1a digest is invariant under thread count.
+//! * **Chrome `trace_event`** — the presentation plane (worker tracks, cell
+//!   slices, wall-clock), loadable in Perfetto / `chrome://tracing`.
+//! * **Prometheus text exposition** — final counters, log2 histograms, and
+//!   the per-site check-path mix.
+//!
+//! [`TraceStudy::hotspots`] ranks sites by slow-path share, which on the
+//! paper's Figure 8 example singles out the data-dependent `y[j]` store
+//! (history-cache refreshes) and the hoisted pre-header / loop-final region
+//! checks — exactly the sites the paper's optimisation story is about.
+
+use std::sync::Arc;
+
+use giantsan_analysis::analyze_recorded;
+use giantsan_ir::{CheckPlan, Program};
+use giantsan_runtime::Counters;
+use giantsan_telemetry::export::{events_jsonl, jsonl_digest, prometheus, ChromeTrace};
+use giantsan_telemetry::{site_label, Event, Histograms, PathMix, TraceRecorder};
+use giantsan_workloads::{figure8_program, spec_workload};
+
+use crate::batch::{BatchRunner, BatchTrace, TraceSink};
+use crate::table::{pct, TextTable};
+use crate::tool::Tool;
+
+/// Number of batch cells a trace study runs (cell ids `1..=DEFAULT_CELLS`;
+/// cell 0 carries the planner's per-pass events).
+pub const DEFAULT_CELLS: u32 = 4;
+
+/// Data-plane summary of one executed cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRun {
+    /// Cell id (1-based; 0 is the planning cell).
+    pub cell: u32,
+    /// [`giantsan_ir::ExecResult::digest`] of the run.
+    pub result_digest: u64,
+    /// Executed statement count.
+    pub steps: u64,
+    /// Error reports raised.
+    pub reports: usize,
+    /// Events this cell emitted (before any cap).
+    pub events: usize,
+    /// The cell's sanitizer counters.
+    pub counters: Counters,
+}
+
+/// Everything one `repro trace` invocation collected.
+#[derive(Debug, Clone)]
+pub struct TraceStudy {
+    /// Workload id (`figure8` or a SPEC row id).
+    pub workload: String,
+    /// The traced tool.
+    pub tool: Tool,
+    /// Worker-pool size the cells were scheduled across.
+    pub threads: usize,
+    /// Merged data-plane event stream, sorted by `(cell, seq)`.
+    pub events: Vec<Event>,
+    /// Merged sampling histograms (all cells).
+    pub hists: Histograms,
+    /// Events past the per-cell recorder caps (sampled, not buffered).
+    pub dropped: u64,
+    /// Summed sanitizer counters across cells.
+    pub counters: Counters,
+    /// Per-cell run summaries, in cell order.
+    pub runs: Vec<TraceRun>,
+    /// Presentation-plane scheduling spans (never digested).
+    pub schedule: BatchTrace,
+}
+
+/// Builds the program under study. `figure8` is the paper's worked example;
+/// anything else is looked up as a SPEC-model row id.
+fn workload_program(id: &str, scale: u64) -> Option<(Program, Vec<i64>)> {
+    if id == "figure8" {
+        Some(figure8_program((64 * scale) as i64))
+    } else {
+        spec_workload(id, scale).map(|w| (w.program, w.inputs))
+    }
+}
+
+/// Per-cell inputs: figure8 scales its trip count with the cell id (so the
+/// cells exercise different convergence lengths); SPEC workloads replay
+/// their fixed input tape in every cell.
+fn cell_inputs(id: &str, scale: u64, cell: u32, base: &[i64]) -> Vec<i64> {
+    if id == "figure8" {
+        vec![(64 * scale * cell as u64) as i64]
+    } else {
+        base.to_vec()
+    }
+}
+
+/// Runs the study on a default (auto-sized) runner.
+pub fn trace_study(workload: &str, tool: Tool, scale: u64) -> Result<TraceStudy, String> {
+    trace_study_with(&BatchRunner::default(), workload, tool, scale)
+}
+
+/// [`trace_study`] on an explicit runner.
+///
+/// The data plane (events, histograms, digest) is invariant under the
+/// runner's thread count; only [`TraceStudy::schedule`] — the presentation
+/// plane — differs between serial and parallel runs.
+pub fn trace_study_with(
+    runner: &BatchRunner,
+    workload: &str,
+    tool: Tool,
+    scale: u64,
+) -> Result<TraceStudy, String> {
+    let (program, base_inputs) = workload_program(workload, scale).ok_or_else(|| {
+        format!("unknown workload `{workload}` (figure8 or a SPEC row id like 519.lbm_r)")
+    })?;
+    let spec = tool.builder().spec();
+
+    // Cell 0 of the data plane: the planner's per-pass events.
+    let mut plan_rec = TraceRecorder::for_cell(0);
+    let plan = match tool {
+        Tool::Native => CheckPlan::none(&program),
+        _ => analyze_recorded(&program, &spec.profile(), &mut plan_rec).plan,
+    };
+
+    // Presentation plane: a fresh sink snapshots this study's scheduling.
+    let sink = TraceSink::new();
+    let runner = runner.clone().with_sink(Arc::clone(&sink));
+
+    let cells: Vec<u32> = (1..=DEFAULT_CELLS).collect();
+    let results = runner.map(&cells, |_, &cell| {
+        let inputs = cell_inputs(workload, scale, cell, &base_inputs);
+        let mut rec = TraceRecorder::for_cell(cell);
+        let out = spec.run_planned_recorded(&program, &plan, &inputs, &mut rec);
+        (out, rec)
+    });
+
+    let (mut events, mut hists, mut dropped) = plan_rec.finish();
+    let mut counters = Counters::default();
+    let mut runs = Vec::new();
+    for (out, rec) in results {
+        let cell = rec.cell();
+        let (ev, h, d) = rec.finish();
+        runs.push(TraceRun {
+            cell,
+            result_digest: out.result.digest(),
+            steps: out.result.steps,
+            reports: out.result.reports.len(),
+            events: ev.len(),
+            counters: out.counters,
+        });
+        events.extend(ev);
+        hists.merge(&h);
+        dropped += d;
+        counters += &out.counters;
+    }
+    events.sort_by_key(|e| (e.cell, e.seq));
+
+    Ok(TraceStudy {
+        workload: workload.to_string(),
+        tool,
+        threads: runner.threads(),
+        events,
+        hists,
+        dropped,
+        counters,
+        runs,
+        schedule: sink.take(),
+    })
+}
+
+impl TraceStudy {
+    /// The deterministic JSONL event stream.
+    pub fn events_jsonl(&self) -> String {
+        events_jsonl(&self.events)
+    }
+
+    /// FNV-1a digest of the JSONL bytes — the thread-invariant fingerprint
+    /// CI diffs serial vs parallel.
+    pub fn digest(&self) -> u64 {
+        jsonl_digest(&self.events)
+    }
+
+    /// The one-line digest artefact (`trace_digest.txt`).
+    pub fn digest_artifact(&self) -> String {
+        format!("{:#018x}\n", self.digest())
+    }
+
+    /// The Chrome `trace_event` JSON: the batch engine's scheduling spans
+    /// plus a final counter sample carrying the data-plane path totals.
+    pub fn chrome_trace(&self) -> String {
+        let mut t = ChromeTrace::new();
+        self.schedule.render_chrome(
+            &mut t,
+            1,
+            &format!("repro trace: {} under {}", self.workload, self.tool.name()),
+        );
+        let end = self
+            .schedule
+            .batches
+            .iter()
+            .map(|b| b.start_us + b.dur_us)
+            .fold(0.0, f64::max);
+        let mut mix = PathMix::default();
+        for m in self.hists.sites.values() {
+            mix.merge(m);
+        }
+        let series: Vec<(&str, String)> = [
+            ("fast", mix.fast),
+            ("slow", mix.slow),
+            ("cache_hit", mix.cache_hits),
+            ("cache_update", mix.cache_updates),
+            ("underflow", mix.underflow),
+            ("arith", mix.arith),
+            ("skipped", mix.skipped),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k, v.to_string()))
+        .collect();
+        let series_refs: Vec<(&str, &str)> = series.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        t.counter(1, "check paths", end, &series_refs);
+        t.finish()
+    }
+
+    /// The Prometheus text exposition: summed sanitizer counters, the four
+    /// log2 histograms, the per-site path mix, and the dropped-event count.
+    pub fn prometheus(&self) -> String {
+        let counters: Vec<(&str, u64)> = self.counters.fields().collect();
+        prometheus(&counters, &self.hists, self.dropped)
+    }
+
+    /// The top `n` sites by slow-path share (ties broken by visit volume,
+    /// then site id). Sentinel sites render via [`site_label`].
+    pub fn hotspots(&self, n: usize) -> Vec<(u32, PathMix)> {
+        let mut v: Vec<(u32, PathMix)> = self.hists.sites.iter().map(|(s, m)| (*s, *m)).collect();
+        v.sort_by(|a, b| {
+            b.1.slow_share()
+                .total_cmp(&a.1.slow_share())
+                .then(b.1.total().cmp(&a.1.total()))
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// Renders the study: run summaries plus the hot-spot table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} under {}: {} cells on {} worker(s), {} events ({} dropped), digest {:#018x}\n\n",
+            self.workload,
+            self.tool.name(),
+            self.runs.len(),
+            self.threads,
+            self.events.len(),
+            self.dropped,
+            self.digest()
+        ));
+
+        let mut t = TextTable::new(
+            ["cell", "steps", "events", "reports", "result digest"]
+                .map(String::from)
+                .to_vec(),
+        );
+        for r in &self.runs {
+            t.row(vec![
+                r.cell.to_string(),
+                r.steps.to_string(),
+                r.events.to_string(),
+                r.reports.to_string(),
+                format!("{:#018x}", r.result_digest),
+            ]);
+        }
+        out.push_str(&t.render());
+
+        out.push_str("\n-- hot spots by slow-path share --\n");
+        let mut t = TextTable::new(
+            [
+                "site", "total", "fast", "hit", "update", "slow", "under", "arith", "skip", "slow%",
+            ]
+            .map(String::from)
+            .to_vec(),
+        );
+        for (site, mix) in self.hotspots(10) {
+            t.row(vec![
+                site_label(site),
+                mix.total().to_string(),
+                mix.fast.to_string(),
+                mix.cache_hits.to_string(),
+                mix.cache_updates.to_string(),
+                mix.slow.to_string(),
+                mix.underflow.to_string(),
+                mix.arith.to_string(),
+                mix.skipped.to_string(),
+                pct(mix.slow_share() * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giantsan_telemetry::{EventKind, PRE_CHECK_SITE};
+
+    #[test]
+    fn figure8_trace_covers_every_layer() {
+        let s = trace_study("figure8", Tool::GiantSan, 1).unwrap();
+        assert_eq!(s.runs.len(), DEFAULT_CELLS as usize);
+        // Planner events (cell 0) are present alongside run events.
+        assert!(s
+            .events
+            .iter()
+            .any(|e| e.cell == 0 && matches!(e.kind, EventKind::Pass { .. })));
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Run { .. })));
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Alloc { .. })));
+        // All three figure8 sites were observed.
+        for site in [0u32, 1, 2] {
+            assert!(s.hists.site(site).is_some(), "site {site} missing");
+        }
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn figure8_hotspots_single_out_the_slow_path_sites() {
+        let s = trace_study("figure8", Tool::GiantSan, 1).unwrap();
+        // The data-dependent y[j] store (site 1) refreshes its history
+        // cache once per cell, then hits it for the rest of the loop.
+        let site1 = s.hists.site(1).expect("site 1 traced");
+        assert_eq!(site1.cache_updates, DEFAULT_CELLS as u64, "{site1:?}");
+        assert!(site1.cache_hits > site1.cache_updates, "{site1:?}");
+        // The hoisted pre-header region check runs once per cell and is the
+        // only metadata work left for x[i]; site 0 itself is eliminated.
+        let pre = s.hists.site(PRE_CHECK_SITE).expect("pre-header traced");
+        assert_eq!(pre.total(), DEFAULT_CELLS as u64, "{pre:?}");
+        assert_eq!(pre.fast + pre.slow, pre.total(), "{pre:?}");
+        let site0 = s.hists.site(0).expect("site 0 traced");
+        assert_eq!(site0.total(), site0.skipped, "{site0:?}");
+        // Ranking: the once-per-cell region checks (memset guardian,
+        // pre-header) carry the highest slow-path share, the cached y[j]
+        // store follows, and the eliminated x[i] load ranks below them all.
+        let hot: Vec<u32> = s.hotspots(10).into_iter().map(|(site, _)| site).collect();
+        let pos = |s: u32| hot.iter().position(|&x| x == s);
+        assert!(pos(2) < pos(1), "{hot:?}");
+        assert!(pos(PRE_CHECK_SITE) < pos(1), "{hot:?}");
+        assert!(pos(1) < pos(0), "{hot:?}");
+        let rendered = s.render();
+        assert!(rendered.contains("pre-header"), "{rendered}");
+        assert!(rendered.contains("hot spots"));
+    }
+
+    #[test]
+    fn data_plane_is_thread_invariant() {
+        let serial =
+            trace_study_with(&BatchRunner::serial(), "figure8", Tool::GiantSan, 1).unwrap();
+        let parallel =
+            trace_study_with(&BatchRunner::new(4), "figure8", Tool::GiantSan, 1).unwrap();
+        assert_eq!(serial.events, parallel.events);
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial.hists, parallel.hists);
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(serial.runs, parallel.runs);
+    }
+
+    #[test]
+    fn exporters_render_all_three_formats() {
+        let s = trace_study("figure8", Tool::GiantSan, 1).unwrap();
+        let jsonl = s.events_jsonl();
+        assert!(jsonl.lines().count() > 10);
+        assert!(jsonl.starts_with("{\"cell\":0,\"seq\":0,"));
+        let chrome = s.chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("check paths"));
+        let prom = s.prometheus();
+        assert!(prom.contains("giantsan_shadow_loads_total"));
+        assert!(prom.contains("giantsan_site_checks_total"));
+        assert!(s.digest_artifact().starts_with("0x"));
+    }
+
+    #[test]
+    fn spec_workloads_and_native_trace_too() {
+        let s = trace_study("519.lbm_r", Tool::Asan, 1).unwrap();
+        assert!(!s.events.is_empty());
+        let native = trace_study("figure8", Tool::Native, 1).unwrap();
+        // No planner events for Native (no pipeline runs), but run events
+        // still flow; every check is planner-skipped.
+        assert!(native
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::Pass { .. })));
+        assert!(native.hists.sites.values().all(|m| m.total() == m.skipped));
+        assert!(trace_study("nope", Tool::GiantSan, 1).is_err());
+    }
+}

@@ -285,6 +285,10 @@ impl<S: Sanitizer> Sanitizer for FaultySanitizer<S> {
     fn inject_metadata_fault(&mut self, addr: Addr, fault: MetadataFault) -> bool {
         self.inner.inject_metadata_fault(addr, fault)
     }
+
+    fn shadow_probe(&self, addr: Addr) -> Option<u8> {
+        self.inner.shadow_probe(addr)
+    }
 }
 
 #[cfg(test)]

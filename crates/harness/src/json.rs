@@ -1,0 +1,229 @@
+//! Minimal JSON serialisation shared by the machine-readable exports
+//! (`repro plan --format json`, `repro faults --format json`).
+//!
+//! The repo vendors no serde; studies that expose JSON build a [`Json`]
+//! value tree and render it with [`Json::render`]. Rendering is
+//! deterministic — object keys keep insertion order, integers and hex
+//! digests print exactly, and the studies deliberately exclude wall-clock
+//! fields — so the emitted document is byte-identical run to run and can be
+//! diffed or digested like the CSVs.
+//!
+//! # Example
+//!
+//! ```
+//! use giantsan_harness::json::Json;
+//! let doc = Json::obj()
+//!     .field("study", "demo")
+//!     .field("ok", true)
+//!     .field("cells", Json::Array(vec![Json::from(1u64), Json::from(2u64)]));
+//! assert_eq!(
+//!     doc.render(),
+//!     "{\n  \"study\": \"demo\",\n  \"ok\": true,\n  \"cells\": [\n    1,\n    2\n  ]\n}\n"
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value tree with a deterministic pretty renderer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (rendered exactly).
+    U64(u64),
+    /// A finite float (rendered via Rust's shortest round-trip formatting;
+    /// non-finite values render as `null`).
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::field`] chaining.
+    pub fn obj() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a key/value pair (builder style). Panics if `self` is not an
+    /// object — the misuse is a programming error, not a data error.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// A 64-bit digest as the repo prints them: `0x`-prefixed, zero-padded
+    /// hex inside a string (JSON numbers cannot carry u64 exactly).
+    pub fn hex(v: u64) -> Json {
+        Json::Str(format!("{v:#018x}"))
+    }
+
+    /// Renders the tree as pretty-printed JSON (2-space indent, trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad);
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_exactly() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::from(true).render(), "true\n");
+        assert_eq!(Json::from(42u64).render(), "42\n");
+        assert_eq!(Json::from(2.5).render(), "2.5\n");
+        assert_eq!(Json::F64(f64::NAN).render(), "null\n");
+        assert_eq!(Json::hex(0xabc).render(), "\"0x0000000000000abc\"\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::from("a\"b\\c\nd\u{1}").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nesting_keeps_key_order_and_balances() {
+        let doc = Json::obj()
+            .field("b", 1u64)
+            .field("a", Json::Array(vec![]))
+            .field("c", Json::obj().field("inner", "x"));
+        let s = doc.render();
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+        assert!(s.contains("\"a\": []"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_non_object_panics() {
+        let _ = Json::Null.field("k", 1u64);
+    }
+}

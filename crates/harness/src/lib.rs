@@ -12,6 +12,7 @@
 //! | Table 5 (Magma redzones) | [`experiments::table5::table5`] | `repro table5` |
 //! | Figure 11 (traversals) | [`experiments::fig11::fig11`] | `repro fig11` |
 //! | Fault-injection campaign | [`experiments::fault_study::fault_study`] | `repro faults` |
+//! | Telemetry trace (JSONL + Chrome + Prometheus) | [`experiments::trace::trace_study`] | `repro trace` |
 //!
 //! Timing experiments report both an analytic cost model
 //! ([`CostModel`], paper-style overhead percentages) and wall-clock ratios.
@@ -28,16 +29,21 @@ pub mod batch;
 pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr4;
+pub mod bench_pr5;
 pub mod cost;
 pub mod csv;
 pub mod experiments;
 pub mod faults;
+pub mod json;
 pub mod matrix;
 pub mod session;
 mod table;
 mod tool;
 
-pub use batch::{BatchOutcome, BatchRunner, CellFailure, FailureSummary};
+pub use batch::{
+    BatchOutcome, BatchRunner, BatchSpan, BatchTrace, CellFailure, CellSpan, FailureSummary,
+    TraceSink,
+};
 pub use cost::{geomean, CostModel};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultySanitizer};
 pub use session::{SessionSpec, ToolBuilder};

@@ -27,8 +27,9 @@ use std::time::Instant;
 use giantsan_analysis::{analyze, ToolProfile};
 use giantsan_baselines::{Asan, AsanMinusMinus, Lfp};
 use giantsan_core::{GiantSan, GiantSanOptions};
-use giantsan_ir::{run, CheckPlan, ExecConfig, ExecResult, Program};
+use giantsan_ir::{run_with, CheckPlan, ExecConfig, ExecResult, Program};
 use giantsan_runtime::{NullSanitizer, RuntimeConfig, Sanitizer};
+use giantsan_telemetry::{NoopRecorder, Recorder};
 
 use crate::faults::{FaultPlan, FaultySanitizer};
 use crate::tool::{RunOutcome, Tool};
@@ -207,29 +208,50 @@ impl SessionSpec {
     /// Runs `program` in a fresh session with a pre-computed plan.
     ///
     /// Dispatches on the tool *here*, outside the interpreter, so each arm
-    /// instantiates [`run`] at a concrete sanitizer type: the per-access
+    /// instantiates [`giantsan_ir::run`] at a concrete sanitizer type: the
+    /// per-access
     /// check calls inline instead of costing a vtable hop per load/store.
     pub fn run_planned(&self, program: &Program, plan: &CheckPlan, inputs: &[i64]) -> RunOutcome {
+        self.run_planned_recorded(program, plan, inputs, &mut NoopRecorder)
+    }
+
+    /// [`SessionSpec::run_planned`] with a telemetry [`Recorder`] attached.
+    ///
+    /// With [`NoopRecorder`] (what [`SessionSpec::run_planned`] passes) the
+    /// recorder compiles out and this is exactly the untraced path. With a
+    /// [`TraceRecorder`] the interpreter emits structured events for every
+    /// check, quasi-bound refresh, allocator operation, and containment (see
+    /// [`giantsan_ir::run_with`]).
+    ///
+    /// [`TraceRecorder`]: giantsan_telemetry::TraceRecorder
+    pub fn run_planned_recorded<R: Recorder>(
+        &self,
+        program: &Program,
+        plan: &CheckPlan,
+        inputs: &[i64],
+        rec: &mut R,
+    ) -> RunOutcome {
         let exec = self.exec_config();
         let cfg = self.session_config();
         // Each arm stays monomorphized; the faulty variant instantiates the
         // interpreter at `FaultySanitizer<Tool>`, the clean one at `Tool`.
-        fn dispatch<S: Sanitizer>(
+        fn dispatch<S: Sanitizer, R: Recorder>(
             san: S,
             faults: Option<&FaultPlan>,
             program: &Program,
             plan: &CheckPlan,
             inputs: &[i64],
             exec: &ExecConfig,
+            rec: &mut R,
         ) -> RunOutcome {
             match faults {
                 Some(fp) => {
                     let mut san = FaultySanitizer::new(san, fp);
-                    timed_run(&mut san, program, plan, inputs, exec)
+                    timed_run(&mut san, program, plan, inputs, exec, rec)
                 }
                 None => {
                     let mut san = san;
-                    timed_run(&mut san, program, plan, inputs, exec)
+                    timed_run(&mut san, program, plan, inputs, exec, rec)
                 }
             }
         }
@@ -242,6 +264,7 @@ impl SessionSpec {
                 plan,
                 inputs,
                 &exec,
+                rec,
             ),
             Tool::GiantSan | Tool::CacheOnly | Tool::EliminationOnly => dispatch(
                 GiantSan::with_options(cfg, self.options.clone()),
@@ -250,8 +273,9 @@ impl SessionSpec {
                 plan,
                 inputs,
                 &exec,
+                rec,
             ),
-            Tool::Asan => dispatch(Asan::new(cfg), faults, program, plan, inputs, &exec),
+            Tool::Asan => dispatch(Asan::new(cfg), faults, program, plan, inputs, &exec, rec),
             Tool::AsanMinusMinus => dispatch(
                 AsanMinusMinus::new(cfg),
                 faults,
@@ -259,8 +283,9 @@ impl SessionSpec {
                 plan,
                 inputs,
                 &exec,
+                rec,
             ),
-            Tool::Lfp => dispatch(Lfp::new(cfg), faults, program, plan, inputs, &exec),
+            Tool::Lfp => dispatch(Lfp::new(cfg), faults, program, plan, inputs, &exec, rec),
         }
     }
 
@@ -271,15 +296,16 @@ impl SessionSpec {
     }
 }
 
-fn timed_run<S: Sanitizer>(
+fn timed_run<S: Sanitizer, R: Recorder>(
     san: &mut S,
     program: &Program,
     plan: &CheckPlan,
     inputs: &[i64],
     exec: &ExecConfig,
+    rec: &mut R,
 ) -> RunOutcome {
     let start = Instant::now();
-    let result: ExecResult = run(program, inputs, san, plan, exec);
+    let result: ExecResult = run_with(program, inputs, san, plan, exec, rec);
     let wall = start.elapsed();
     RunOutcome {
         result,

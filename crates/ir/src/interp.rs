@@ -17,11 +17,26 @@
 //! methods, so the per-access fast path inlines instead of going through a
 //! vtable. [`run_dyn`] pins the `dyn Sanitizer` instantiation for call
 //! sites that hold boxed tools and for dispatch-cost benchmarks.
+//!
+//! [`run_with`] additionally threads a [`Recorder`] through the loop. Every
+//! emission site is guarded by `if R::ENABLED`, so [`run`] — which delegates
+//! with [`NoopRecorder`] — monomorphizes to exactly the untraced
+//! interpreter: telemetry is zero-cost unless a [`TraceRecorder`] is passed.
+//! Events are classified from the sanitizer's own counter deltas (the tool
+//! needs no telemetry hooks beyond the read-only
+//! [`Sanitizer::shadow_probe`]), so traced and untraced runs execute
+//! byte-identically.
+//!
+//! [`TraceRecorder`]: giantsan_telemetry::TraceRecorder
 
 use giantsan_runtime::{
-    AccessKind, Admission, CacheSlot, ErrorReport, RecoveryPolicy, RecoveryState, Sanitizer,
+    AccessKind, Admission, CacheSlot, Counters, ErrorReport, RecoveryPolicy, RecoveryState, Region,
+    Sanitizer,
 };
 use giantsan_shadow::Addr;
+use giantsan_telemetry::{
+    CheckPathKind, EventKind, NoopRecorder, Recorder, LOOP_FINAL_SITE, PRE_CHECK_SITE,
+};
 
 use crate::expr::Expr;
 use crate::plan::{CheckPlan, SiteAction};
@@ -147,12 +162,34 @@ pub fn run<S: Sanitizer + ?Sized>(
     plan: &CheckPlan,
     config: &ExecConfig,
 ) -> ExecResult {
+    run_with(program, inputs, san, plan, config, &mut NoopRecorder)
+}
+
+/// [`run`] with a telemetry [`Recorder`] attached.
+///
+/// With [`NoopRecorder`] (what [`run`] passes) every `if R::ENABLED` guard
+/// is a compile-time `false` and this is exactly the untraced interpreter.
+/// With an enabled recorder the loop additionally emits a structured
+/// [`EventKind`] per check (site, path classified from counter deltas,
+/// shadow loads, region size, observed folded code), per quasi-bound
+/// refresh, per allocator operation (with poisoning spans), per report or
+/// containment, and one end-of-run summary. Tracing never changes execution:
+/// the recorder only observes counters the sanitizer already maintains.
+pub fn run_with<S: Sanitizer + ?Sized, R: Recorder>(
+    program: &Program,
+    inputs: &[i64],
+    san: &mut S,
+    plan: &CheckPlan,
+    config: &ExecConfig,
+    rec: &mut R,
+) -> ExecResult {
     debug_assert_eq!(plan.sites.len(), program.num_sites as usize);
     let mut interp = Interp {
         san,
         plan,
         inputs,
         config,
+        rec,
         vars: vec![0; program.num_vars as usize],
         ptrs: vec![0; program.num_ptrs as usize],
         slots: vec![CacheSlot::new(); plan.num_caches as usize],
@@ -168,6 +205,13 @@ pub fn run<S: Sanitizer + ?Sized>(
     match interp.exec_block(&program.stmts) {
         Ok(()) => {}
         Err(stop) => interp.result.termination = stop,
+    }
+    if R::ENABLED {
+        interp.rec.record(EventKind::Run {
+            steps: interp.result.steps,
+            native_work: interp.result.native_work,
+            reports: interp.result.reports.len() as u64,
+        });
     }
     interp.result
 }
@@ -187,11 +231,12 @@ pub fn run_dyn(
     run(program, inputs, san, plan, config)
 }
 
-struct Interp<'a, S: Sanitizer + ?Sized> {
+struct Interp<'a, S: Sanitizer + ?Sized, R: Recorder> {
     san: &'a mut S,
     plan: &'a CheckPlan,
     inputs: &'a [i64],
     config: &'a ExecConfig,
+    rec: &'a mut R,
     vars: Vec<i64>,
     ptrs: Vec<u64>,
     slots: Vec<CacheSlot>,
@@ -199,9 +244,63 @@ struct Interp<'a, S: Sanitizer + ?Sized> {
     result: ExecResult,
 }
 
-impl<S: Sanitizer + ?Sized> Interp<'_, S> {
+/// Classifies the path one check took from the counter delta it left.
+///
+/// Precedence mirrors the paths' cost ordering: a cache refresh implies a
+/// real check underneath it, an anchored slow path may also bump the
+/// underflow counter, so the most specific counter wins.
+fn classify_path(before: &Counters, after: &Counters) -> CheckPathKind {
+    if after.cache_hits > before.cache_hits {
+        CheckPathKind::CacheHit
+    } else if after.cache_updates > before.cache_updates {
+        CheckPathKind::CacheUpdate
+    } else if after.slow_checks > before.slow_checks {
+        CheckPathKind::Slow
+    } else if after.underflow_checks > before.underflow_checks {
+        CheckPathKind::Underflow
+    } else if after.arith_checks > before.arith_checks {
+        CheckPathKind::Arith
+    } else if after.fast_checks > before.fast_checks {
+        CheckPathKind::Fast
+    } else {
+        CheckPathKind::Skipped
+    }
+}
+
+impl<S: Sanitizer + ?Sized, R: Recorder> Interp<'_, S, R> {
     fn eval(&self, e: &Expr) -> i64 {
         e.eval(&self.vars, self.inputs)
+    }
+
+    /// Snapshot of the tool's counters, taken only when tracing.
+    #[inline]
+    fn counters_snapshot(&self) -> Counters {
+        if R::ENABLED {
+            *self.san.counters()
+        } else {
+            Counters::default()
+        }
+    }
+
+    /// Emits one `Check` event classified against the `before` snapshot.
+    #[inline]
+    fn record_check(
+        &mut self,
+        site: u32,
+        before: &Counters,
+        kind: AccessKind,
+        region: u64,
+        probe: Addr,
+    ) {
+        let after = *self.san.counters();
+        self.rec.record(EventKind::Check {
+            site,
+            path: classify_path(before, &after),
+            write: kind == AccessKind::Write,
+            loads: after.shadow_loads.saturating_sub(before.shadow_loads) as u32,
+            region,
+            code: self.san.shadow_probe(probe),
+        });
     }
 
     #[inline]
@@ -223,6 +322,9 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
     fn note_report(&mut self, report: ErrorReport) -> Result<bool, Termination> {
         match self.recovery.admit(&self.config.recovery, &report) {
             Admission::Halt => {
+                if R::ENABLED {
+                    self.rec.record(EventKind::Report { site: report.site });
+                }
                 self.result.reports.push(report);
                 Err(Termination::Halted)
             }
@@ -232,12 +334,27 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                     self.san.counters_mut().errors_recovered += 1;
                     self.san.contain(&report);
                 }
+                if R::ENABLED {
+                    self.rec.record(EventKind::Report { site: report.site });
+                    if contain {
+                        self.rec.record(EventKind::Contained {
+                            site: report.site,
+                            suppressed: false,
+                        });
+                    }
+                }
                 self.result.reports.push(report);
                 Ok(contain)
             }
             Admission::Suppress => {
                 self.san.counters_mut().errors_suppressed += 1;
                 self.san.contain(&report);
+                if R::ENABLED {
+                    self.rec.record(EventKind::Contained {
+                        site: report.site,
+                        suppressed: true,
+                    });
+                }
                 Ok(true)
             }
         }
@@ -262,31 +379,67 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
         width: u8,
         kind: AccessKind,
     ) -> Result<bool, Termination> {
+        let before = self.counters_snapshot();
+        // (cache index, pre-check bound) for the quasi-bound refresh event.
+        let mut cached_pre: Option<(usize, u64)> = None;
+        let mut region = width as u64;
         let verdict = match self.plan.action(site) {
-            SiteAction::Skip => Ok(()),
+            SiteAction::Skip => {
+                region = 0;
+                Ok(())
+            }
             SiteAction::Direct => self
                 .san
                 .check_access(base.offset(offset), width as u32, kind),
-            SiteAction::Anchored => self.san.check_anchored(
-                base,
-                base.offset(offset),
-                base.offset(offset + width as i64),
-                kind,
-            ),
+            SiteAction::Anchored => {
+                if R::ENABLED {
+                    // Anchored checks cover base..access end (both directions).
+                    let lo = base.min(base.offset(offset));
+                    let hi = base.max(base.offset(offset + width as i64));
+                    region = hi.raw().saturating_sub(lo.raw());
+                }
+                self.san.check_anchored(
+                    base,
+                    base.offset(offset),
+                    base.offset(offset + width as i64),
+                    kind,
+                )
+            }
             SiteAction::Region { lo, hi } => {
                 // The planner already folded any anchoring into `lo`, so a
                 // plain region check keeps non-anchored tools honest.
                 let lo = self.eval(lo);
                 let hi = self.eval(hi);
+                if R::ENABLED {
+                    region = (hi.max(lo) - lo) as u64;
+                }
                 self.san
                     .check_region(base.offset(lo), base.offset(hi.max(lo)), kind)
             }
             SiteAction::Cached { cache } => {
-                let slot = &mut self.slots[cache.0 as usize];
+                let idx = cache.0 as usize;
+                if R::ENABLED {
+                    cached_pre = Some((idx, self.slots[idx].ub));
+                }
+                let slot = &mut self.slots[idx];
                 self.san
                     .cached_check(slot, base, offset, width as u32, kind)
             }
         };
+        if R::ENABLED {
+            self.record_check(site.0, &before, kind, region, base.offset(offset));
+            if let Some((idx, old_ub)) = cached_pre {
+                let slot = self.slots[idx];
+                if slot.ub != old_ub {
+                    self.rec.record(EventKind::QuasiBound {
+                        site: site.0,
+                        old_ub,
+                        new_ub: slot.ub,
+                        step: slot.updates,
+                    });
+                }
+            }
+        }
         match verdict {
             Ok(()) => Ok(true),
             Err(r) => Ok(!self.note_report(r.with_site(site.0))?),
@@ -305,10 +458,15 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
         hi: Addr,
         kind: AccessKind,
     ) -> Result<bool, Termination> {
+        let before = self.counters_snapshot();
         let verdict = match self.plan.action(site) {
             SiteAction::Skip => Ok(()),
             _ => self.san.check_region(lo, hi, kind),
         };
+        if R::ENABLED {
+            let region = hi.raw().saturating_sub(lo.raw());
+            self.record_check(site.0, &before, kind, region, lo);
+        }
         match verdict {
             Ok(()) => Ok(true),
             Err(r) => Ok(!self.note_report(r.with_site(site.0))?),
@@ -330,8 +488,22 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
             }
             Stmt::Alloc { ptr, size, region } => {
                 let size = self.eval(size).max(0) as u64;
+                let stores_before = self.counters_snapshot().shadow_stores;
                 match self.san.alloc(size, *region) {
-                    Ok(a) => self.ptrs[ptr.0 as usize] = a.base.raw(),
+                    Ok(a) => {
+                        self.ptrs[ptr.0 as usize] = a.base.raw();
+                        if R::ENABLED {
+                            self.rec.record(EventKind::Alloc {
+                                size,
+                                stack: *region == Region::Stack,
+                                poison: self
+                                    .san
+                                    .counters()
+                                    .shadow_stores
+                                    .saturating_sub(stores_before),
+                            });
+                        }
+                    }
                     Err(e) => {
                         return Err(Termination::Crashed {
                             reason: format!("allocation failure: {e}"),
@@ -342,17 +514,39 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
             Stmt::Free { ptr, offset } => {
                 let off = self.eval(offset);
                 let addr = Addr::new(self.ptrs[ptr.0 as usize]).offset(off);
+                let stores_before = self.counters_snapshot().shadow_stores;
                 if let Err(r) = self.san.free(addr) {
                     // A rejected free performed no deallocation; there is
                     // nothing further to contain.
                     self.note_report(r)?;
+                } else if R::ENABLED {
+                    self.rec.record(EventKind::Free {
+                        poison: self
+                            .san
+                            .counters()
+                            .shadow_stores
+                            .saturating_sub(stores_before),
+                    });
                 }
             }
             Stmt::Realloc { ptr, new_size } => {
                 let size = self.eval(new_size).max(0) as u64;
                 let addr = Addr::new(self.ptrs[ptr.0 as usize]);
+                let stores_before = self.counters_snapshot().shadow_stores;
                 match self.san.realloc(addr, size) {
-                    Ok(a) => self.ptrs[ptr.0 as usize] = a.base.raw(),
+                    Ok(a) => {
+                        self.ptrs[ptr.0 as usize] = a.base.raw();
+                        if R::ENABLED {
+                            self.rec.record(EventKind::Realloc {
+                                new_size: size,
+                                poison: self
+                                    .san
+                                    .counters()
+                                    .shadow_stores
+                                    .saturating_sub(stores_before),
+                            });
+                        }
+                    }
                     Err(r) => {
                         self.note_report(r)?;
                     }
@@ -534,11 +728,22 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                             let plo = self.eval(&pre.lo);
                             let phi = self.eval(&pre.hi);
                             let base = Addr::new(self.ptrs[pre.ptr.0 as usize]);
+                            let before = self.counters_snapshot();
                             let verdict = self.san.check_region(
                                 base.offset(plo),
                                 base.offset(phi.max(plo)),
                                 pre.kind,
                             );
+                            if R::ENABLED {
+                                let region = (phi.max(plo) - plo) as u64;
+                                self.record_check(
+                                    PRE_CHECK_SITE,
+                                    &before,
+                                    pre.kind,
+                                    region,
+                                    base.offset(plo),
+                                );
+                            }
                             if let Err(r) = verdict {
                                 self.note_report(r)?;
                             }
@@ -568,7 +773,18 @@ impl<S: Sanitizer + ?Sized> Interp<'_, S> {
                     for (cache, ptr) in &lp.caches {
                         let slot = self.slots[cache.0 as usize];
                         let base = Addr::new(self.ptrs[ptr.0 as usize]);
-                        if let Err(r) = self.san.loop_final_check(&slot, base, AccessKind::Read) {
+                        let before = self.counters_snapshot();
+                        let verdict = self.san.loop_final_check(&slot, base, AccessKind::Read);
+                        if R::ENABLED {
+                            self.record_check(
+                                LOOP_FINAL_SITE,
+                                &before,
+                                AccessKind::Read,
+                                slot.ub,
+                                base,
+                            );
+                        }
+                        if let Err(r) = verdict {
                             self.note_report(r)?;
                         }
                     }

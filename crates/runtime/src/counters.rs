@@ -64,6 +64,56 @@ pub struct Counters {
 }
 
 impl Counters {
+    /// Every counter field, in declaration order.
+    ///
+    /// This is the single authoritative field list for exporters (CSV
+    /// headers, Prometheus series): [`Counters::field_values`] yields values
+    /// in the same order, and a unit test pins the list against the struct
+    /// so a new field cannot be added without updating both.
+    pub const FIELD_NAMES: [&'static str; 15] = [
+        "shadow_loads",
+        "fast_checks",
+        "slow_checks",
+        "cache_hits",
+        "cache_updates",
+        "underflow_checks",
+        "arith_checks",
+        "shadow_stores",
+        "allocs",
+        "frees",
+        "stack_allocs",
+        "stack_sim_ops",
+        "reports",
+        "errors_recovered",
+        "errors_suppressed",
+    ];
+
+    /// Counter values in [`Counters::FIELD_NAMES`] order.
+    pub fn field_values(&self) -> [u64; 15] {
+        [
+            self.shadow_loads,
+            self.fast_checks,
+            self.slow_checks,
+            self.cache_hits,
+            self.cache_updates,
+            self.underflow_checks,
+            self.arith_checks,
+            self.shadow_stores,
+            self.allocs,
+            self.frees,
+            self.stack_allocs,
+            self.stack_sim_ops,
+            self.reports,
+            self.errors_recovered,
+            self.errors_suppressed,
+        ]
+    }
+
+    /// `(name, value)` pairs in declaration order, ready for an exporter.
+    pub fn fields(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        Self::FIELD_NAMES.into_iter().zip(self.field_values())
+    }
+
     /// Total number of checks executed on any path.
     pub fn total_checks(&self) -> u64 {
         self.fast_checks
@@ -126,7 +176,8 @@ impl fmt::Display for Counters {
         write!(
             f,
             "loads={} fast={} slow={} cached={} updates={} under={} arith={} \
-             stores={} allocs={} frees={} reports={} recovered={} suppressed={}",
+             stores={} allocs={} frees={} stacks={} stacksim={} reports={} \
+             recovered={} suppressed={}",
             self.shadow_loads,
             self.fast_checks,
             self.slow_checks,
@@ -137,6 +188,8 @@ impl fmt::Display for Counters {
             self.shadow_stores,
             self.allocs,
             self.frees,
+            self.stack_allocs,
+            self.stack_sim_ops,
             self.reports,
             self.errors_recovered,
             self.errors_suppressed
@@ -182,11 +235,97 @@ mod tests {
         assert_eq!(total.reports, 8);
         let s = format!("{total}");
         assert!(s.contains("recovered=6") && s.contains("suppressed=18"));
+        // Display names every exporter field (one `k=v` pair per field).
+        assert_eq!(s.matches('=').count(), Counters::FIELD_NAMES.len(), "{s}");
     }
 
     #[test]
     fn display_is_nonempty() {
         let c = Counters::default();
         assert!(format!("{c}").contains("loads=0"));
+    }
+
+    /// Pins the exporter field list against the struct definition. Adding a
+    /// field to `Counters` breaks the exhaustive destructuring below until
+    /// `FIELD_NAMES` / `field_values` / `AddAssign` / `Display` are updated
+    /// to match.
+    #[test]
+    fn field_list_is_exhaustive_and_ordered() {
+        let mut c = Counters::default();
+        for (i, slot) in [
+            &mut c.shadow_loads,
+            &mut c.fast_checks,
+            &mut c.slow_checks,
+            &mut c.cache_hits,
+            &mut c.cache_updates,
+            &mut c.underflow_checks,
+            &mut c.arith_checks,
+            &mut c.shadow_stores,
+            &mut c.allocs,
+            &mut c.frees,
+            &mut c.stack_allocs,
+            &mut c.stack_sim_ops,
+            &mut c.reports,
+            &mut c.errors_recovered,
+            &mut c.errors_suppressed,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *slot = i as u64 + 1;
+        }
+        // Exhaustive destructure: a new field fails this match to compile.
+        let Counters {
+            shadow_loads,
+            fast_checks,
+            slow_checks,
+            cache_hits,
+            cache_updates,
+            underflow_checks,
+            arith_checks,
+            shadow_stores,
+            allocs,
+            frees,
+            stack_allocs,
+            stack_sim_ops,
+            reports,
+            errors_recovered,
+            errors_suppressed,
+        } = c;
+        let by_decl = [
+            shadow_loads,
+            fast_checks,
+            slow_checks,
+            cache_hits,
+            cache_updates,
+            underflow_checks,
+            arith_checks,
+            shadow_stores,
+            allocs,
+            frees,
+            stack_allocs,
+            stack_sim_ops,
+            reports,
+            errors_recovered,
+            errors_suppressed,
+        ];
+        assert_eq!(c.field_values(), by_decl, "field_values order drifted");
+        assert_eq!(Counters::FIELD_NAMES.len(), by_decl.len());
+        let expected: Vec<(&str, u64)> = Counters::FIELD_NAMES
+            .into_iter()
+            .zip((1..=15).map(|v| v as u64))
+            .collect();
+        assert_eq!(c.fields().collect::<Vec<_>>(), expected);
+        // The PR4 recovery counters are present and last.
+        assert_eq!(Counters::FIELD_NAMES[13], "errors_recovered");
+        assert_eq!(Counters::FIELD_NAMES[14], "errors_suppressed");
+        // Merging doubles every field — AddAssign covers the full list.
+        let snapshot = c;
+        c += &snapshot;
+        assert_eq!(
+            c.field_values(),
+            by_decl.map(|v| v * 2),
+            "AddAssign missed a field"
+        );
     }
 }

@@ -187,6 +187,20 @@ pub trait Sanitizer: Send {
     fn inject_metadata_fault(&mut self, _addr: Addr, _fault: MetadataFault) -> bool {
         false
     }
+
+    /// Read-only peek at the shadow byte covering `addr`, for telemetry.
+    ///
+    /// Tools with encoded shadow metadata (GiantSan's folded segments,
+    /// ASan's partial-byte encoding) return the raw byte so a trace can
+    /// record folding degrees and poison codes alongside each check. The
+    /// default — tools without shadow state — returns `None`.
+    ///
+    /// Implementations must not touch counters or any mutable state: the
+    /// interpreter only calls this when tracing is enabled, and a probe
+    /// that perturbed counters would make traced and untraced runs diverge.
+    fn shadow_probe(&self, _addr: Addr) -> Option<u8> {
+        None
+    }
 }
 
 /// Native execution: no redzones, no quarantine, no checks.

@@ -6,8 +6,8 @@
 //! require byte-identical modelled outputs: CSV rows, detection counters,
 //! matrix digests, and the `BENCH_PR2` determinism payload fields.
 
-use giantsan::harness::experiments::{table2, table3, table4, table5};
-use giantsan::harness::{csv, matrix, BatchRunner};
+use giantsan::harness::experiments::{table2, table3, table4, table5, trace};
+use giantsan::harness::{csv, matrix, BatchRunner, Tool};
 use giantsan::runtime::RuntimeConfig;
 
 #[test]
@@ -52,6 +52,35 @@ fn matrix_digests_agree_across_three_seed_sets_and_thread_counts() {
         // share no state).
         let again = matrix::run_matrix(&BatchRunner::serial(), &cells, &cfg);
         assert_eq!(serial_digest, matrix::digest(&again));
+    }
+}
+
+#[test]
+fn telemetry_data_plane_is_thread_count_invariant() {
+    // The telemetry layer's determinism contract: the JSONL event stream,
+    // its FNV-1a digest, the histograms, and the Prometheus exposition are
+    // byte-identical at any thread count. Only the Chrome trace — the
+    // presentation plane — may (and does) differ.
+    for (workload, tool) in [
+        ("figure8", Tool::GiantSan),
+        ("figure8", Tool::Asan),
+        ("519.lbm_r", Tool::GiantSan),
+    ] {
+        let serial = trace::trace_study_with(&BatchRunner::serial(), workload, tool, 1).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                trace::trace_study_with(&BatchRunner::new(threads), workload, tool, 1).unwrap();
+            let tag = format!("{workload} / {} / {threads} threads", tool.name());
+            assert_eq!(serial.events_jsonl(), parallel.events_jsonl(), "{tag}");
+            assert_eq!(serial.digest(), parallel.digest(), "{tag}");
+            assert_eq!(serial.hists, parallel.hists, "{tag}");
+            assert_eq!(serial.prometheus(), parallel.prometheus(), "{tag}");
+            assert_eq!(
+                csv::trace_counters_csv(&serial),
+                csv::trace_counters_csv(&parallel),
+                "{tag}"
+            );
+        }
     }
 }
 
