@@ -7,14 +7,20 @@
 //! bytes become one *k*-partial segment.
 //!
 //! The writer fills the pattern run-by-run, touching each shadow byte exactly
-//! once — the same linear cost as ASan's `memset`-style poisoning.
+//! once — the same linear cost as ASan's `memset`-style poisoning — through
+//! the active [`giantsan_shadow::kernel`] backend's `write_folded_run`, so
+//! alloc-heavy workloads benefit from vectorized shadow writes too.
 
-use giantsan_shadow::{Addr, ShadowMemory, SEGMENT_SIZE};
+use giantsan_shadow::{kernel, Addr, ShadowMemory, SEGMENT_SIZE};
 
-use crate::encoding::{self, folded, partial};
+use crate::encoding::{folded, partial};
 
 /// Computes the folding degree of segment `j` out of `q` good segments:
-/// `⌊log2(q − j)⌋`, capped at [`encoding::MAX_DEGREE`].
+/// `⌊log2(q − j)⌋`, capped at [`crate::encoding::MAX_DEGREE`].
+///
+/// The canonical definition lives in [`giantsan_shadow::codes::degree_at`]
+/// (next to the codes it indexes and the kernels that write it); this is a
+/// re-export for the checkers and validators in this crate.
 ///
 /// # Panics
 ///
@@ -28,11 +34,7 @@ use crate::encoding::{self, folded, partial};
 /// let degrees: Vec<u32> = (0..8).map(|j| degree_at(8, j)).collect();
 /// assert_eq!(degrees, [3, 2, 2, 2, 2, 1, 1, 0]);
 /// ```
-pub fn degree_at(q: u64, j: u64) -> u32 {
-    assert!(j < q, "segment index beyond object");
-    let remaining = q - j;
-    (63 - remaining.leading_zeros()).min(encoding::MAX_DEGREE)
-}
+pub use giantsan_shadow::codes::degree_at;
 
 /// Poisons the shadow of an object's user region `[base, base + size)` with
 /// the canonical folding pattern.
@@ -55,24 +57,11 @@ pub fn poison_object(shadow: &mut ShadowMemory, base: Addr, size: u64) -> u64 {
     let mut written = 0;
 
     if q > 0 {
-        // Fill runs of equal degree: segment j has degree ⌊log2(q − j)⌋, so
-        // the segments with degree d are exactly those with q − j in
-        // [2^d, 2^(d+1)), a contiguous run.
-        let t = degree_at(q, 0);
-        let mut d = t;
-        loop {
-            // Degrees are capped, so the top run may span several powers.
-            let hi_remaining = if d == t { q } else { (2u64 << d) - 1 };
-            let lo_remaining = 1u64 << d;
-            let j_lo = q - hi_remaining.min(q);
-            let j_hi = q - lo_remaining + 1; // exclusive: j with remaining ≥ 2^d
-            shadow.set_range(first + j_lo, first + j_hi, folded(d));
-            written += j_hi - j_lo;
-            if d == 0 {
-                break;
-            }
-            d -= 1;
-        }
+        // The run decomposition (segment j has degree ⌊log2(q − j)⌋, so the
+        // degree-d segments form one contiguous run) and the fill width both
+        // live in the kernel backend now.
+        kernel::active().write_folded_run(shadow.slice_mut(first, first + q));
+        written += q;
     }
     if rem > 0 {
         shadow.set(first + q, partial(rem));
@@ -123,6 +112,7 @@ pub fn poison_object_reference(shadow: &mut ShadowMemory, base: Addr, size: u64)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoding;
     use giantsan_shadow::AddressSpace;
 
     fn fresh(segments: u64) -> (AddressSpace, ShadowMemory) {

@@ -12,7 +12,7 @@
 //! repro plan   [--scale N] [--format json]  planner provenance + per-pass statistics
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
-//! repro bench  [--out DIR]          hot-path + batch-engine + recover-mode -> BENCH_PR{1,2,4}.json
+//! repro bench  [--out DIR]          hot-path + batch + recover + telemetry + kernels -> BENCH_PR{1,2,4,5,6}.json
 //! repro faults [--seed S] [--format json]   fault-injection campaign (detected/recovered/missed/crashed)
 //! repro trace  [--workload W] [--tool T] end-to-end telemetry trace -> JSONL + Chrome + Prometheus
 //! repro all    [--div N] [--scale N] everything
@@ -52,7 +52,9 @@ use giantsan_harness::experiments::{
     ablation, density, fault_study, fig10, fig11, memory, plan, table2, table3, table4, table5,
     trace,
 };
-use giantsan_harness::{bench_pr1, bench_pr2, bench_pr4, bench_pr5, BatchRunner, Tool, TraceSink};
+use giantsan_harness::{
+    bench_pr1, bench_pr2, bench_pr4, bench_pr5, bench_pr6, BatchRunner, Tool, TraceSink,
+};
 use giantsan_telemetry::export::ChromeTrace;
 
 struct Opts {
@@ -321,6 +323,11 @@ fn main() -> ExitCode {
         let report = bench_pr5::run_bench();
         println!("{}", report.render());
         write_artifact(opts, "BENCH_PR5.json", &report.to_json());
+
+        println!("\n== Shadow-kernel backends (scalar vs swar vs simd) ==\n");
+        let report = bench_pr6::run_bench();
+        println!("{}", report.render());
+        write_artifact(opts, "BENCH_PR6.json", &report.to_json());
     };
 
     let run_trace = |opts: &Opts| -> Result<(), String> {
@@ -405,8 +412,9 @@ fn main() -> ExitCode {
     // exports instead).
     if let (Some(path), Some(sink)) = (&opts.telemetry, &opts.sink) {
         let mut chrome = ChromeTrace::new();
+        let kernel = giantsan_shadow::kernel::active().name();
         sink.take()
-            .render_chrome(&mut chrome, 1, &format!("repro {cmd}"));
+            .render_chrome(&mut chrome, 1, &format!("repro {cmd} [kernel={kernel}]"));
         match std::fs::write(path, chrome.finish()) {
             Ok(()) => println!("(wrote {})", path.display()),
             Err(e) => {

@@ -61,6 +61,12 @@ pub struct TraceStudy {
     pub workload: String,
     /// The traced tool.
     pub tool: Tool,
+    /// Shadow-kernel backend the cells executed under (e.g. `simd-avx2`).
+    ///
+    /// Presentation metadata only: the data-plane events and their digest
+    /// are kernel-invariant by the backend contract, so this appears in the
+    /// Prometheus exposition and schedule dumps but never in the JSONL.
+    pub kernel: &'static str,
     /// Worker-pool size the cells were scheduled across.
     pub threads: usize,
     /// Merged data-plane event stream, sorted by `(cell, seq)`.
@@ -162,6 +168,7 @@ pub fn trace_study_with(
     Ok(TraceStudy {
         workload: workload.to_string(),
         tool,
+        kernel: giantsan_shadow::kernel::active().name(),
         threads: runner.threads(),
         events,
         hists,
@@ -196,7 +203,12 @@ impl TraceStudy {
         self.schedule.render_chrome(
             &mut t,
             1,
-            &format!("repro trace: {} under {}", self.workload, self.tool.name()),
+            &format!(
+                "repro trace: {} under {} [kernel={}]",
+                self.workload,
+                self.tool.name(),
+                self.kernel
+            ),
         );
         let end = self
             .schedule
@@ -229,7 +241,7 @@ impl TraceStudy {
     /// log2 histograms, the per-site path mix, and the dropped-event count.
     pub fn prometheus(&self) -> String {
         let counters: Vec<(&str, u64)> = self.counters.fields().collect();
-        prometheus(&counters, &self.hists, self.dropped)
+        prometheus(self.kernel, &counters, &self.hists, self.dropped)
     }
 
     /// The top `n` sites by slow-path share (ties broken by visit volume,
@@ -250,9 +262,11 @@ impl TraceStudy {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{} under {}: {} cells on {} worker(s), {} events ({} dropped), digest {:#018x}\n\n",
+            "{} under {} [kernel={}]: {} cells on {} worker(s), {} events ({} dropped), \
+             digest {:#018x}\n\n",
             self.workload,
             self.tool.name(),
+            self.kernel,
             self.runs.len(),
             self.threads,
             self.events.len(),
@@ -384,8 +398,13 @@ mod tests {
         assert!(chrome.contains("\"ph\":\"X\""));
         assert!(chrome.contains("check paths"));
         let prom = s.prometheus();
+        assert!(prom.contains(&format!(
+            "giantsan_kernel_info{{kernel=\"{}\"}} 1",
+            s.kernel
+        )));
         assert!(prom.contains("giantsan_shadow_loads_total"));
         assert!(prom.contains("giantsan_site_checks_total"));
+        assert!(chrome.contains(&format!("[kernel={}]", s.kernel)));
         assert!(s.digest_artifact().starts_with("0x"));
     }
 

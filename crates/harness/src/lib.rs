@@ -30,6 +30,7 @@ pub mod bench_pr1;
 pub mod bench_pr2;
 pub mod bench_pr4;
 pub mod bench_pr5;
+pub mod bench_pr6;
 pub mod cost;
 pub mod csv;
 pub mod experiments;

@@ -76,6 +76,36 @@ pub const fn partial(k: u32) -> u8 {
     72 - k as u8
 }
 
+/// Computes the folding degree of segment `j` out of `q` good segments:
+/// `⌊log2(q − j)⌋`, capped at [`MAX_DEGREE`] (paper §4.1 Figure 5).
+///
+/// This is the one shared definition of the canonical poisoning pattern:
+/// `giantsan-core::poison` delegates here, and the [`crate::kernel`]
+/// backends' `write_folded_run` kernels are all verified against it.
+///
+/// # Panics
+///
+/// Panics if `j >= q`.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_shadow::codes::degree_at;
+/// // Figure 5: an object with 8 full segments.
+/// let degrees: Vec<u32> = (0..8).map(|j| degree_at(8, j)).collect();
+/// assert_eq!(degrees, [3, 2, 2, 2, 2, 1, 1, 0]);
+/// ```
+pub const fn degree_at(q: u64, j: u64) -> u32 {
+    assert!(j < q, "segment index beyond object");
+    let remaining = q - j;
+    let degree = 63 - remaining.leading_zeros();
+    if degree < MAX_DEGREE {
+        degree
+    } else {
+        MAX_DEGREE
+    }
+}
+
 /// Extracts the folding degree of a folded code, or `None` otherwise.
 pub const fn folding_degree(code: u8) -> Option<u32> {
     if code <= GOOD && code >= MIN_FOLDED {

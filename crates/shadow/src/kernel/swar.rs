@@ -1,0 +1,158 @@
+//! The `swar` backend: SIMD-within-a-register, eight bytes per `u64` step.
+//!
+//! This is PR 1's scan discipline (the same as production ASan's
+//! `mem_is_zero` word loop), now one backend among three. The word loops use
+//! exact SWAR predicates from the classic bit-twiddling repertoire: each
+//! predicate is a word-level boolean ("does this word contain a hit?"), and
+//! the hit word is then re-scanned by byte to extract the exact index. That
+//! split keeps the fast path branch-light without giving up byte-precise
+//! answers, and sidesteps the borrow-propagation subtleties of per-byte SWAR
+//! masks.
+//!
+//! Endianness: words are loaded with `from_le_bytes`, so `trailing_zeros`
+//! maps to the lowest-indexed byte on any host.
+
+use super::folded_runs;
+
+/// `0x0101…01`: a 1 in every byte lane.
+const LSB: u64 = u64::from_le_bytes([1; 8]);
+/// `0x8080…80`: the sign bit of every byte lane.
+const MSB: u64 = u64::from_le_bytes([0x80; 8]);
+
+/// Loads a `u64` from an 8-byte chunk (little-endian lane order).
+#[inline]
+fn word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8) yields 8 bytes"))
+}
+
+/// Splats `byte` across all eight lanes.
+#[inline]
+fn splat(byte: u8) -> u64 {
+    LSB * byte as u64
+}
+
+/// Exact word-level boolean: does `x` contain a byte strictly greater than
+/// `n`?
+///
+/// The SWAR `hasmore` identity requires `n <= 127`; larger `n` routes to a
+/// byte loop, so the predicate is exact for *every* `n` — release builds
+/// included. (Earlier revisions only `debug_assert!`ed the precondition,
+/// leaving release builds one unguarded call away from false negatives.)
+#[inline]
+pub fn has_byte_gt(x: u64, n: u8) -> bool {
+    if n >= 128 {
+        // wrapping_add(splat(127 - n)) underflows its precondition; fall
+        // back to the exact byte comparison.
+        return x.to_le_bytes().into_iter().any(|b| b > n);
+    }
+    (x.wrapping_add(splat(127 - n)) | x) & MSB != 0
+}
+
+pub(super) fn first_ne(s: &[u8], byte: u8) -> Option<usize> {
+    let pattern = splat(byte);
+    let mut chunks = s.chunks_exact(8);
+    for (w, chunk) in chunks.by_ref().enumerate() {
+        let x = word(chunk) ^ pattern;
+        if x != 0 {
+            return Some(w * 8 + x.trailing_zeros() as usize / 8);
+        }
+    }
+    let base = s.len() & !7;
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b != byte)
+        .map(|i| base + i)
+}
+
+pub(super) fn all_eq(s: &[u8], byte: u8) -> bool {
+    // A dedicated loop (rather than `first_ne(..).is_none()`) lets the
+    // compiler drop the index bookkeeping entirely.
+    let pattern = splat(byte);
+    let mut chunks = s.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        if word(chunk) != pattern {
+            return false;
+        }
+    }
+    chunks.remainder().iter().all(|&b| b == byte)
+}
+
+pub(super) fn first_ge(s: &[u8], threshold: u8) -> Option<usize> {
+    if threshold == 0 {
+        // Every byte qualifies.
+        return if s.is_empty() { None } else { Some(0) };
+    }
+    let mut chunks = s.chunks_exact(8);
+    for (w, chunk) in chunks.by_ref().enumerate() {
+        let x = word(chunk);
+        // Word-level test, exact and false-negative-free in both arms:
+        // * threshold <= 128: `b >= t` ⇔ `b > t-1`, and `has_byte_gt` is
+        //   exact for n = t-1 <= 127;
+        // * threshold > 128: only bytes with the sign bit set can qualify,
+        //   so `x & MSB != 0` over-approximates and the byte re-scan settles
+        //   it (false positives cost one 8-byte loop, never correctness).
+        let hit = if threshold <= 128 {
+            has_byte_gt(x, threshold - 1)
+        } else {
+            x & MSB != 0
+        };
+        if hit {
+            if let Some(i) = chunk.iter().position(|&b| b >= threshold) {
+                return Some(w * 8 + i);
+            }
+        }
+    }
+    let base = s.len() & !7;
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b >= threshold)
+        .map(|i| base + i)
+}
+
+pub(super) fn fill(dst: &mut [u8], byte: u8) {
+    // `slice::fill` on `u8` lowers to `memset`, which is already word-wide
+    // (or better); that IS the swar-tier bulk write.
+    dst.fill(byte);
+}
+
+pub(super) fn write_folded_run(dst: &mut [u8]) {
+    folded_runs(dst.len() as u64, |lo, hi, code| {
+        dst[lo as usize..hi as usize].fill(code);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_byte_gt_is_exact_for_every_n() {
+        // The regression the promoted guard pins: n >= 128 used to be a
+        // debug_assert, so release builds silently computed garbage.
+        let samples = [
+            0u64,
+            u64::MAX,
+            word(&[0, 10, 127, 128, 200, 250, 255, 3]),
+            word(&[128; 8]),
+            word(&[127; 8]),
+            word(&[0, 0, 0, 0, 0, 0, 0, 255]),
+            word(&[129, 0, 0, 0, 0, 0, 0, 0]),
+            0x8000_0000_0000_0000,
+            0x0101_0101_0101_0101,
+        ];
+        for x in samples {
+            for n in 0..=u8::MAX {
+                let expect = x.to_le_bytes().into_iter().any(|b| b > n);
+                assert_eq!(has_byte_gt(x, n), expect, "x={x:#018x} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn has_byte_gt_255_is_never_true() {
+        assert!(!has_byte_gt(u64::MAX, 255));
+        assert!(!has_byte_gt(0, 255));
+    }
+}

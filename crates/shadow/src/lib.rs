@@ -32,11 +32,13 @@
 
 mod addr;
 pub mod codes;
+pub mod kernel;
 mod scan;
 mod shadow;
 mod space;
 
 pub use addr::{align_down, align_up, Addr, SEGMENT_SHIFT, SEGMENT_SIZE};
+pub use kernel::{Backend, Kernels};
 pub use scan::{slice_all_eq, slice_first_ge, slice_first_ne, SegmentView};
 pub use shadow::{SegmentIndex, ShadowMemory};
 pub use space::{AddressSpace, SpaceError};

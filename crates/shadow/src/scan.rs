@@ -1,120 +1,42 @@
-//! Word-wide shadow scanning primitives.
+//! Shadow scanning entry points, dispatching to the active [`crate::kernel`]
+//! backend.
 //!
 //! Region checks, blame scans, and shadow validation all reduce to three
 //! questions over a segment range: *is every shadow byte equal to X*, *where
 //! is the first byte different from X*, and *where is the first byte ≥ X*.
 //! Answering them through [`ShadowMemory::get`] costs a bounds check, an
 //! `Option`, and a fill-byte fallback per segment. This module answers them
-//! over borrowed slices, eight segments per `u64` step — the same discipline
-//! as production ASan's `mem_is_zero` word loop — while preserving the
-//! fill-byte semantics for ranges that run past the mapped shadow.
+//! over borrowed slices — at whatever step width the resolved kernel backend
+//! provides (1, 8, 16, or 32 bytes) — while preserving the fill-byte
+//! semantics for ranges that run past the mapped shadow.
 //!
-//! The word loops use SWAR (SIMD-within-a-register) predicates from the
-//! classic bit-twiddling repertoire. Each predicate is an *exact* word-level
-//! boolean ("does this word contain a hit?"); the hit word is then re-scanned
-//! by byte to extract the exact index. That split keeps the fast path
-//! branch-light without giving up byte-precise answers, and sidesteps the
-//! borrow-propagation subtleties of per-byte SWAR masks.
-//!
-//! Endianness: words are loaded with `from_le_bytes`, so `trailing_zeros`
-//! maps to the lowest-indexed byte on any host.
+//! The loops themselves live in [`crate::kernel`]; this module contributes
+//! the [`SegmentView`] split of a requested range into mapped bytes plus a
+//! virtual fill-valued tail, and the free-function wrappers the rest of the
+//! workspace scans through.
 
+use crate::kernel;
 use crate::shadow::{SegmentIndex, ShadowMemory};
 
-/// `0x0101…01`: a 1 in every byte lane.
-const LSB: u64 = u64::from_le_bytes([1; 8]);
-/// `0x8080…80`: the sign bit of every byte lane.
-const MSB: u64 = u64::from_le_bytes([0x80; 8]);
-
-/// Loads a `u64` from an 8-byte chunk (little-endian lane order).
-#[inline]
-fn word(chunk: &[u8]) -> u64 {
-    u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8) yields 8 bytes"))
-}
-
-/// Splats `byte` across all eight lanes.
-#[inline]
-fn splat(byte: u8) -> u64 {
-    LSB * byte as u64
-}
-
-/// Exact word-level boolean: does `x` contain a byte strictly greater than
-/// `n`? Requires `n <= 127` (bit-twiddling `hasmore` precondition).
-#[inline]
-fn has_byte_gt(x: u64, n: u8) -> bool {
-    debug_assert!(n <= 127);
-    (x.wrapping_add(splat(127 - n)) | x) & MSB != 0
-}
-
-/// Index of the first byte of `s` not equal to `byte`, scanning eight bytes
-/// per step.
+/// Index of the first byte of `s` not equal to `byte`, scanning at the
+/// active kernel backend's step width.
 #[inline]
 pub fn slice_first_ne(s: &[u8], byte: u8) -> Option<usize> {
-    let pattern = splat(byte);
-    let mut chunks = s.chunks_exact(8);
-    for (w, chunk) in chunks.by_ref().enumerate() {
-        let x = word(chunk) ^ pattern;
-        if x != 0 {
-            return Some(w * 8 + x.trailing_zeros() as usize / 8);
-        }
-    }
-    let base = s.len() & !7;
-    chunks
-        .remainder()
-        .iter()
-        .position(|&b| b != byte)
-        .map(|i| base + i)
+    kernel::active().first_ne(s, byte)
 }
 
 /// Whether every byte of `s` equals `byte` (true for the empty slice).
 #[inline]
 pub fn slice_all_eq(s: &[u8], byte: u8) -> bool {
-    // A dedicated loop (rather than `slice_first_ne(..).is_none()`) lets the
-    // compiler drop the index bookkeeping entirely.
-    let pattern = splat(byte);
-    let mut chunks = s.chunks_exact(8);
-    for chunk in chunks.by_ref() {
-        if word(chunk) != pattern {
-            return false;
-        }
-    }
-    chunks.remainder().iter().all(|&b| b == byte)
+    kernel::active().all_eq(s, byte)
 }
 
-/// Index of the first byte of `s` that is `>= threshold` (unsigned), scanning
-/// eight bytes per step.
+/// Index of the first byte of `s` that is `>= threshold` (unsigned),
+/// scanning at the active kernel backend's step width. Exact for every
+/// threshold, including `>= 128`.
 #[inline]
 pub fn slice_first_ge(s: &[u8], threshold: u8) -> Option<usize> {
-    if threshold == 0 {
-        // Every byte qualifies.
-        return if s.is_empty() { None } else { Some(0) };
-    }
-    let mut chunks = s.chunks_exact(8);
-    for (w, chunk) in chunks.by_ref().enumerate() {
-        let x = word(chunk);
-        // Word-level test, exact and false-negative-free in both arms:
-        // * threshold <= 128: `b >= t` ⇔ `b > t-1`, and `has_byte_gt` is
-        //   exact for n = t-1 <= 127;
-        // * threshold > 128: only bytes with the sign bit set can qualify,
-        //   so `x & MSB != 0` over-approximates and the byte re-scan settles
-        //   it (false positives cost one 8-byte loop, never correctness).
-        let hit = if threshold <= 128 {
-            has_byte_gt(x, threshold - 1)
-        } else {
-            x & MSB != 0
-        };
-        if hit {
-            if let Some(i) = chunk.iter().position(|&b| b >= threshold) {
-                return Some(w * 8 + i);
-            }
-        }
-    }
-    let base = s.len() & !7;
-    chunks
-        .remainder()
-        .iter()
-        .position(|&b| b >= threshold)
-        .map(|i| base + i)
+    kernel::active().first_ge(s, threshold)
 }
 
 /// A borrowed view of the segment range `[lo, hi)` of a [`ShadowMemory`],

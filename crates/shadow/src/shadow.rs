@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use crate::{Addr, AddressSpace, SEGMENT_SIZE};
+use crate::{kernel, Addr, AddressSpace, SEGMENT_SIZE};
 
 /// Index of a segment within a [`ShadowMemory`].
 ///
@@ -131,7 +131,7 @@ impl ShadowMemory {
     ///
     /// Panics if the range is out of bounds or reversed.
     pub fn set_range(&mut self, lo: SegmentIndex, hi: SegmentIndex, value: u8) {
-        self.bytes[lo as usize..hi as usize].fill(value);
+        kernel::active().fill(&mut self.bytes[lo as usize..hi as usize], value);
     }
 
     /// Returns a slice of the shadow bytes in `[lo, hi)` for bulk inspection.
@@ -156,7 +156,7 @@ impl ShadowMemory {
     /// Resets the whole shadow to the fill byte.
     pub fn clear(&mut self) {
         let fill = self.fill;
-        self.bytes.fill(fill);
+        kernel::active().fill(&mut self.bytes, fill);
     }
 }
 

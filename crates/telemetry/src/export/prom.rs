@@ -28,12 +28,26 @@ fn hist_exposition(out: &mut String, name: &str, help: &str, h: &Log2Hist) {
     let _ = writeln!(out, "{name}_count {}", h.count);
 }
 
-/// Renders the exposition: one counter series per `(name, value)` pair in
-/// `counters` (names are emitted verbatim, prefixed `giantsan_`), the four
+/// Renders the exposition: an info gauge naming the shadow-kernel backend
+/// the run executed under (`kernel`, e.g. `swar` or `simd-avx2` — the
+/// telemetry crate does not depend on `giantsan-shadow`, so callers pass the
+/// resolved name), one counter series per `(name, value)` pair in `counters`
+/// (names are emitted verbatim, prefixed `giantsan_`), the four
 /// deterministic histograms, the per-site path mix, and the dropped-event
 /// count (so a truncated trace can never read as a complete one).
-pub fn prometheus(counters: &[(&str, u64)], hists: &Histograms, dropped: u64) -> String {
+pub fn prometheus(
+    kernel: &str,
+    counters: &[(&str, u64)],
+    hists: &Histograms,
+    dropped: u64,
+) -> String {
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP giantsan_kernel_info Shadow-kernel backend this run executed under."
+    );
+    let _ = writeln!(out, "# TYPE giantsan_kernel_info gauge");
+    let _ = writeln!(out, "giantsan_kernel_info{{kernel=\"{kernel}\"}} 1");
     for (name, value) in counters {
         let metric = format!("giantsan_{name}_total");
         let _ = writeln!(out, "# HELP {metric} Sanitizer counter `{name}`.");
@@ -117,7 +131,8 @@ mod tests {
             stack: false,
             poison: 8,
         });
-        let s = prometheus(&[("shadow_loads", 3), ("reports", 0)], &h, 5);
+        let s = prometheus("swar", &[("shadow_loads", 3), ("reports", 0)], &h, 5);
+        assert!(s.contains("giantsan_kernel_info{kernel=\"swar\"} 1"));
         assert!(s.contains("giantsan_shadow_loads_total 3"));
         assert!(s.contains("giantsan_reports_total 0"));
         assert!(s.contains("# TYPE giantsan_region_size_bytes histogram"));
@@ -137,7 +152,7 @@ mod tests {
                 poison: 0,
             });
         }
-        let s = prometheus(&[], &h, 0);
+        let s = prometheus("scalar", &[], &h, 0);
         let mut last = 0u64;
         for line in s
             .lines()
