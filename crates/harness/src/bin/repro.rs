@@ -12,27 +12,53 @@
 //! repro plan   [--scale N] [--format json]  planner provenance + per-pass statistics
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
-//! repro bench  [--out DIR]          hot-path + batch + recover + telemetry + kernels -> BENCH_PR{1,2,4,5,6}.json
+//! repro bench  [--out-dir DIR]      hot-path + batch + recover + telemetry + kernels -> BENCH_PR{1,2,4,5,6}.json
 //! repro faults [--seed S] [--format json]   fault-injection campaign (detected/recovered/missed/crashed)
 //! repro trace  [--workload W] [--tool T] end-to-end telemetry trace -> JSONL + Chrome + Prometheus
 //! repro all    [--div N] [--scale N] everything
+//! repro merge DIR                   merge a sharded campaign's blobs into the full report
 //! ```
 //!
-//! `--div 1` runs the full detection corpora (5,948 Juliet cases, 58,969
-//! Magma cases); the default subsamples for a quick pass.
+//! Every subcommand is a [`Study`] resolved from [`StudyRegistry::builtin`]
+//! and accepts the same flag grammar (see `giantsan_harness::cli`). `--div 1`
+//! runs the full detection corpora (5,948 Juliet cases, 58,969 Magma cases);
+//! the default subsamples for a quick pass.
 //!
-//! Every experiment shards its cell matrix across `--threads N` workers
-//! (default: the host's available parallelism). Results are deterministic:
-//! the modelled tables and CSVs are byte-identical for every thread count;
-//! only wall-clock columns vary run to run.
+//! # Campaigns: sharding, resuming, merging
+//!
+//! A study run with `--out-dir DIR` plus `--shard i/n` becomes a *campaign*:
+//! the cell matrix is deterministically partitioned into `n` contiguous
+//! shards, and each invocation runs one shard to a digest-committed blob in
+//! DIR (see `giantsan_harness::campaign` for the artifact format). Shards are
+//! independent processes:
+//!
+//! ```text
+//! repro faults --out-dir D --shard 0/3 &
+//! repro faults --out-dir D --shard 1/3 &
+//! repro faults --out-dir D --shard 2/3 &
+//! wait
+//! repro merge D
+//! ```
+//!
+//! `--resume DIR` verifies the campaign manifest, skips completed shards,
+//! runs the missing ones, and renders the full report. `repro merge DIR`
+//! only recombines (it never runs cells) and fails with the missing shard
+//! list if the campaign is incomplete. Both verify the stored spec hash:
+//! resuming against changed flags, a changed binary, or a changed cell
+//! matrix fails loudly instead of mixing incompatible results. The merged
+//! report and artifacts are byte-identical to a monolithic run's.
+//!
+//! Results are deterministic: the modelled tables, CSVs, and digests are
+//! byte-identical for every thread count and every shard partition; only
+//! wall-clock columns vary run to run.
 //!
 //! `repro faults` sweeps every tool across a fuzz corpus with one
 //! deterministic fault armed per cell (shadow bit flips, fold downgrades,
 //! allocator OOM, quarantine exhaustion, step budgets) under recover mode.
 //! `--seed S` takes hex (`0x...`) or decimal; any other string (the CI badge
 //! seed `0xg1an75an` included) is hashed with FNV-1a, so every spelling is a
-//! valid, reproducible campaign seed. With `--out DIR` it writes `faults.csv`
-//! and `faults_digest.txt` — CI diffs the latter against
+//! valid, reproducible campaign seed. With `--out-dir DIR` it writes
+//! `faults.csv` and `faults_digest.txt` — CI diffs the latter against
 //! `tests/golden/faults_digest.txt`.
 //!
 //! `repro trace` runs one (workload × tool) pair under the telemetry layer
@@ -44,376 +70,277 @@
 //! invocation as a Chrome trace to PATH.
 
 use std::env;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use giantsan_harness::csv;
-use giantsan_harness::experiments::{
-    ablation, density, fault_study, fig10, fig11, memory, plan, table2, table3, table4, table5,
-    trace,
-};
-use giantsan_harness::{
-    bench_pr1, bench_pr2, bench_pr4, bench_pr5, bench_pr6, BatchRunner, Tool, TraceSink,
-};
+use giantsan_harness::campaign::{self, Campaign, ShardSpec};
+use giantsan_harness::cli::{self, CliOpts};
+use giantsan_harness::study::records_json;
+use giantsan_harness::{BatchTrace, Study, StudyOutput, StudyRegistry, TraceSink};
 use giantsan_telemetry::export::ChromeTrace;
 
-struct Opts {
-    scale: u64,
-    div: u32,
-    rounds: u64,
-    threads: usize,
-    seed: u64,
-    wall: bool,
-    out: Option<std::path::PathBuf>,
-    workload: String,
-    tool: Tool,
-    telemetry: Option<std::path::PathBuf>,
-    sink: Option<Arc<TraceSink>>,
-    json: bool,
+/// The studies `repro all` runs, in output order.
+const ALL: [&str; 10] = [
+    "table2", "fig10", "table3", "table4", "table5", "fig11", "ablation", "plan", "memory",
+    "density",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density\
+         |bench|faults|trace|all> {}\n       repro merge DIR [--format text|json] [--out-dir DIR]",
+        cli::FLAG_USAGE
+    )
 }
 
-/// Parses a tool by its paper column name, case-insensitively.
-fn parse_tool(s: &str) -> Result<Tool, String> {
-    Tool::ALL
-        .into_iter()
-        .find(|t| t.name().eq_ignore_ascii_case(s))
-        .ok_or_else(|| {
-            let names: Vec<&str> = Tool::ALL.iter().map(|t| t.name()).collect();
-            format!("unknown tool `{s}` (one of: {})", names.join(", "))
-        })
-}
-
-/// Parses a campaign seed: hex with an `0x` prefix, plain decimal, or —
-/// for any other spelling — the FNV-1a hash of the raw string, so seeds
-/// like `0xg1an75an` are accepted and reproducible.
-fn parse_seed(s: &str) -> u64 {
-    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        if let Ok(v) = u64::from_str_radix(hex, 16) {
-            return v;
-        }
-    }
-    if let Ok(v) = s.parse::<u64>() {
-        return v;
-    }
-    fault_study::fnv1a(s.as_bytes())
-}
-
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts {
-        scale: 1,
-        div: 10,
-        rounds: 4,
-        threads: BatchRunner::available_parallelism(),
-        seed: 0,
-        wall: false,
-        out: None,
-        workload: "figure8".to_string(),
-        tool: Tool::GiantSan,
-        telemetry: None,
-        sink: None,
-        json: false,
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                opts.scale = it
-                    .next()
-                    .ok_or("--scale needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --scale: {e}"))?
-            }
-            "--div" => {
-                opts.div = it
-                    .next()
-                    .ok_or("--div needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --div: {e}"))?
-            }
-            "--rounds" => {
-                opts.rounds = it
-                    .next()
-                    .ok_or("--rounds needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --rounds: {e}"))?
-            }
-            "--threads" => {
-                opts.threads = it
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?
-            }
-            "--seed" => {
-                opts.seed = parse_seed(it.next().ok_or("--seed needs a value")?);
-            }
-            "--wall" => opts.wall = true,
-            "--out" => {
-                opts.out = Some(it.next().ok_or("--out needs a directory")?.into());
-            }
-            "--workload" => {
-                opts.workload = it.next().ok_or("--workload needs an id")?.clone();
-            }
-            "--tool" => {
-                opts.tool = parse_tool(it.next().ok_or("--tool needs a name")?)?;
-            }
-            "--telemetry" => {
-                opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.into());
-                opts.sink = Some(TraceSink::new());
-            }
-            "--format" => match it.next().ok_or("--format needs text|json")?.as_str() {
-                "json" => opts.json = true,
-                "text" => opts.json = false,
-                other => return Err(format!("bad --format `{other}` (text or json)")),
-            },
-            other => return Err(format!("unknown option {other}")),
-        }
-    }
-    Ok(opts)
-}
-
-impl Opts {
-    fn runner(&self) -> BatchRunner {
-        let runner = BatchRunner::new(self.threads);
-        match &self.sink {
-            Some(sink) => runner.with_sink(Arc::clone(sink)),
-            None => runner,
-        }
-    }
-}
-
-/// Writes `content` to `<out>/<name>` when `--out` was given.
-fn write_csv(opts: &Opts, name: &str, content: &str) {
-    if let Some(dir) = &opts.out {
-        if let Err(e) =
-            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(name), content))
-        {
-            eprintln!("warning: failed to write {name}: {e}");
-        } else {
-            println!("(wrote {})", dir.join(name).display());
-        }
-    }
-}
-
-/// Writes a benchmark artefact to `<out or .>/<name>`.
-fn write_artifact(opts: &Opts, name: &str, content: &str) {
-    let path = opts
-        .out
-        .clone()
-        .unwrap_or_else(|| std::path::PathBuf::from("."))
-        .join(name);
-    match std::fs::create_dir_all(path.parent().unwrap_or(std::path::Path::new(".")))
-        .and_then(|()| std::fs::write(&path, content))
-    {
+/// Writes `content` to `<dir>/<name>`, reporting the path on stdout like the
+/// historical per-subcommand writers did.
+fn write_file(dir: &Path, name: &str, content: &str) {
+    let path = dir.join(name);
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, content)) {
         Ok(()) => println!("(wrote {})", path.display()),
         Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a rendered study and writes its artifacts.
+///
+/// * `out.report` / `out.json` go to stdout (exactly one of them).
+/// * `out.artifacts` (the CSV exports) are written only when a directory was
+///   given.
+/// * `out.main_artifacts` (bench JSONs, trace exports) land in the directory
+///   or the current directory.
+fn emit(
+    study: &dyn Study,
+    opts: &CliOpts,
+    out_dir: Option<&Path>,
+    records: &[giantsan_harness::Record],
+    out: &StudyOutput,
+    schedule: &BatchTrace,
+) {
+    if opts.json {
+        match &out.json {
+            Some(j) => print!("{j}"),
+            None => print!("{}", records_json(study.name(), records)),
+        }
+    } else {
+        print!("{}", out.report);
+    }
+    if let Some(dir) = out_dir {
+        for (name, content) in &out.artifacts {
+            write_file(dir, name, content);
+        }
+    }
+    let main_dir = out_dir.map(Path::to_path_buf).unwrap_or_else(|| ".".into());
+    for (name, content) in &out.main_artifacts {
+        write_file(&main_dir, name, content);
+    }
+    for (name, content) in study.presentation(&opts.study, records, schedule) {
+        write_file(&main_dir, &name, &content);
+    }
+}
+
+/// Runs one study monolithically (no campaign directory involvement beyond
+/// artifact writes).
+fn run_plain(study: &dyn Study, opts: &CliOpts, schedule_of: &TakeOnce) -> Result<(), String> {
+    let campaign = Campaign::new(study, opts.study.clone()).map_err(|e| e.to_string())?;
+    let records = campaign.run_all(&opts.runner());
+    let out = study.render(&opts.study, &records)?;
+    emit(
+        study,
+        opts,
+        opts.out_dir.as_deref(),
+        &records,
+        &out,
+        schedule_of.get(),
+    );
+    Ok(())
+}
+
+/// Runs one shard of a campaign into `--out-dir` and stops — rendering
+/// happens at `--resume` / `repro merge` time.
+fn run_shard(study: &dyn Study, opts: &CliOpts, shard: ShardSpec) -> Result<(), String> {
+    let dir = opts
+        .out_dir
+        .as_deref()
+        .expect("validated by cli::parse_opts");
+    let campaign = Campaign::new(study, opts.study.clone()).map_err(|e| e.to_string())?;
+    let range = campaign::shard_range(campaign.labels().len(), shard.index, shard.count);
+    let ran = campaign
+        .run_shard(dir, shard, &opts.runner())
+        .map_err(|e| e.to_string())?;
+    if ran {
+        println!(
+            "campaign `{}` at {}: committed shard {}/{} (cells {}..{})",
+            study.name(),
+            dir.display(),
+            shard.index,
+            shard.count,
+            range.start,
+            range.end
+        );
+    } else {
+        println!(
+            "campaign `{}` at {}: shard {}/{} already committed; nothing to do",
+            study.name(),
+            dir.display(),
+            shard.index,
+            shard.count
+        );
+    }
+    println!(
+        "(merge with `repro merge {}` once all {} shards are committed)",
+        dir.display(),
+        shard.count
+    );
+    Ok(())
+}
+
+/// Finishes the campaign at `--resume DIR` and renders the full report.
+fn run_resume(
+    study: &dyn Study,
+    opts: &CliOpts,
+    dir: &Path,
+    schedule_of: &TakeOnce,
+) -> Result<(), String> {
+    let campaign = Campaign::new(study, opts.study.clone()).map_err(|e| e.to_string())?;
+    let (records, stats) = campaign
+        .resume(dir, &opts.runner())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "(resume: reused {} shard(s) {:?}, ran {} {:?})",
+        stats.reused.len(),
+        stats.reused,
+        stats.ran.len(),
+        stats.ran
+    );
+    let out = study.render(&opts.study, &records)?;
+    // Artifacts default into the campaign directory so a resumed run leaves
+    // its digests next to its shards.
+    let out_dir = opts.out_dir.as_deref().unwrap_or(dir);
+    emit(
+        study,
+        opts,
+        Some(out_dir),
+        &records,
+        &out,
+        schedule_of.get(),
+    );
+    Ok(())
+}
+
+/// `repro merge DIR`: recombine a completed campaign without running cells.
+fn run_merge(registry: &StudyRegistry, args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("merge needs a campaign directory: repro merge DIR".to_string());
+    };
+    let dir = PathBuf::from(dir);
+    let opts = cli::parse_opts(&args[1..])?;
+    let campaign = campaign::open_for_merge(registry, &dir).map_err(|e| e.to_string())?;
+    let records = campaign.load_records(&dir).map_err(|e| e.to_string())?;
+    let study = campaign.study();
+    // Merge renders under the stored campaign parameters, not the CLI's.
+    let mut merged_opts = opts;
+    merged_opts.study = campaign.opts().clone();
+    let out = study.render(&merged_opts.study, &records)?;
+    let out_dir = merged_opts.out_dir.clone().unwrap_or_else(|| dir.clone());
+    let schedule = BatchTrace::default();
+    emit(
+        study,
+        &merged_opts,
+        Some(&out_dir),
+        &records,
+        &out,
+        &schedule,
+    );
+    Ok(())
+}
+
+/// Lazily takes the invocation-wide scheduling trace exactly once, so the
+/// study presentation pass and the `--telemetry` writer see the same spans.
+struct TakeOnce {
+    sink: std::sync::Arc<TraceSink>,
+    taken: std::cell::OnceCell<BatchTrace>,
+}
+
+impl TakeOnce {
+    fn get(&self) -> &BatchTrace {
+        self.taken.get_or_init(|| self.sink.take())
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!(
-            "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density|bench|faults|trace|all> \
-             [--scale N] [--div N] [--rounds N] [--threads N] [--seed S] [--wall] [--out DIR] \
-             [--workload W] [--tool T] [--telemetry PATH] [--format text|json]"
-        );
+        eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(&args[1..]) {
+    let registry = StudyRegistry::builtin();
+
+    if cmd == "merge" {
+        return match run_merge(&registry, &args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut opts = match cli::parse_opts(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-
-    let run_table2 = |opts: &Opts| {
-        println!("== Table 2: runtime overhead on the SPEC-like suite ==");
-        println!("(paper geomeans: GiantSan 146.04%, ASan 212.58%, ASan-- 174.89%, LFP 161.76%,");
-        println!(" CacheOnly 175.63%, EliminationOnly 170.24%)\n");
-        let t = table2::table2_with(&opts.runner(), opts.scale);
-        println!("{}", t.render());
-        write_csv(opts, "table2.csv", &csv::table2_csv(&t));
-        if opts.wall {
-            println!("\n-- wall-clock variant --\n{}", t.render_wall());
-        }
-    };
-    let run_fig10 = |opts: &Opts| {
-        println!("== Figure 10: checks per optimisation category (GiantSan) ==\n");
-        let f = fig10::fig10_with(&opts.runner(), opts.scale);
-        println!("{}", f.render());
-        write_csv(opts, "fig10.csv", &csv::fig10_csv(&f));
-    };
-    let run_table3 = |opts: &Opts| {
-        println!("== Table 3: Juliet-like detection ==\n");
-        let t = table3::table3_with(&opts.runner(), opts.div);
-        println!("{}", t.render());
-        write_csv(opts, "table3.csv", &csv::table3_csv(&t));
-    };
-    let run_table4 = |opts: &Opts| {
-        println!("== Table 4: Linux-Flaw-Project-like CVE detection ==\n");
-        let t = table4::table4_with(&opts.runner());
-        println!("{}", t.render());
-        write_csv(opts, "table4.csv", &csv::table4_csv(&t));
-    };
-    let run_table5 = |opts: &Opts| {
-        println!("== Table 5: Magma-like redzone study ==\n");
-        let t = table5::table5_with(&opts.runner(), opts.div);
-        println!("{}", t.render());
-        write_csv(opts, "table5.csv", &csv::table5_csv(&t));
-    };
-    let run_density = |opts: &Opts| {
-        println!("== Supporting study: achieved protection density ==\n");
-        println!(
-            "{}",
-            density::density_study_with(&opts.runner(), opts.scale).render()
-        );
-    };
-    let run_memory = |opts: &Opts| {
-        println!("== Supporting study: memory overhead ==\n");
-        println!(
-            "{}",
-            memory::memory_study_with(&opts.runner(), opts.scale).render()
-        );
-    };
-    let run_ablation = |opts: &Opts| {
-        println!("== Supporting ablations (DESIGN.md §5) ==\n");
-        println!("{}", ablation::render_with(&opts.runner(), 8192, 2));
-    };
-    let run_fig11 = |opts: &Opts| {
-        println!("== Figure 11: traversal patterns ==");
-        println!(
-            "(paper: GiantSan 1.48x faster random, 1.07x faster forward, 1.39x slower reverse)"
-        );
-        let f = fig11::fig11_with(&opts.runner(), opts.rounds);
-        println!("{}", f.render());
-        write_csv(opts, "fig11.csv", &csv::fig11_csv(&f));
+    // One scheduling sink for the whole invocation: the trace study's Chrome
+    // export and the `--telemetry` writer both read it.
+    if opts.sink.is_none() {
+        opts.sink = Some(TraceSink::new());
+    }
+    let schedule_of = TakeOnce {
+        sink: std::sync::Arc::clone(opts.sink.as_ref().expect("just set")),
+        taken: std::cell::OnceCell::new(),
     };
 
-    let run_plan = |opts: &Opts| {
-        let s = plan::plan_study_with(&opts.runner(), opts.scale);
-        if opts.json {
-            print!("{}", s.to_json());
+    let result = if cmd == "all" {
+        if opts.shard.is_some() || opts.resume.is_some() {
+            Err("--shard/--resume apply to a single study, not `all`".to_string())
         } else {
-            println!("== Planner observability: per-pass statistics + site provenance ==\n");
-            println!("{}", s.render());
+            ALL.iter().enumerate().try_for_each(|(i, name)| {
+                if i > 0 {
+                    println!();
+                }
+                let study = registry.get(name).expect("ALL lists registered studies");
+                run_plain(study, &opts, &schedule_of)
+            })
         }
-        write_csv(opts, "plan_provenance.csv", &csv::plan_provenance_csv(&s));
-        write_csv(opts, "plan_passes.csv", &csv::plan_passes_csv(&s));
-    };
-
-    let run_bench = |opts: &Opts| {
-        println!("== Hot-path before/after (word-wide scanning + monomorphized dispatch) ==\n");
-        let report = bench_pr1::run_bench();
-        println!("{}", report.render());
-        write_artifact(opts, "BENCH_PR1.json", &report.to_json());
-
-        println!("\n== Batch engine: serial vs {} workers ==\n", opts.threads);
-        let report = bench_pr2::run_bench(opts.threads);
-        println!("{}", report.render());
-        write_artifact(opts, "BENCH_PR2.json", &report.to_json());
-
-        println!("\n== Recover-mode overhead on clean runs (halt vs recover) ==\n");
-        let report = bench_pr4::run_bench();
-        println!("{}", report.render());
-        write_artifact(opts, "BENCH_PR4.json", &report.to_json());
-
-        println!("\n== Telemetry overhead (noop vs traced recorder) ==\n");
-        let report = bench_pr5::run_bench();
-        println!("{}", report.render());
-        write_artifact(opts, "BENCH_PR5.json", &report.to_json());
-
-        println!("\n== Shadow-kernel backends (scalar vs swar vs simd) ==\n");
-        let report = bench_pr6::run_bench();
-        println!("{}", report.render());
-        write_artifact(opts, "BENCH_PR6.json", &report.to_json());
-    };
-
-    let run_trace = |opts: &Opts| -> Result<(), String> {
-        println!(
-            "== End-to-end telemetry trace: {} under {} ==\n",
-            opts.workload,
-            opts.tool.name()
-        );
-        let s = trace::trace_study_with(&opts.runner(), &opts.workload, opts.tool, opts.scale)?;
-        println!("{}", s.render());
-        write_artifact(opts, "trace_events.jsonl", &s.events_jsonl());
-        write_artifact(opts, "trace_chrome.json", &s.chrome_trace());
-        write_artifact(opts, "trace_metrics.prom", &s.prometheus());
-        write_artifact(opts, "trace_digest.txt", &s.digest_artifact());
-        write_csv(opts, "trace_counters.csv", &csv::trace_counters_csv(&s));
-        Ok(())
-    };
-
-    let run_faults = |opts: &Opts| {
-        let s = fault_study::fault_study_with(&opts.runner(), opts.seed, 5);
-        if opts.json {
-            print!("{}", s.to_json());
-        } else {
-            println!(
-                "== Fault-injection campaign (recover mode, seed {:#x}) ==\n",
-                opts.seed
-            );
-            println!("{}", s.render());
-        }
-        write_csv(opts, "faults.csv", &csv::faults_csv(&s));
-        write_csv(opts, "faults_digest.txt", &s.digest_artifact());
-    };
-
-    match cmd.as_str() {
-        "table2" => run_table2(&opts),
-        "fig10" => run_fig10(&opts),
-        "table3" => run_table3(&opts),
-        "table4" => run_table4(&opts),
-        "table5" => run_table5(&opts),
-        "fig11" => run_fig11(&opts),
-        "ablation" => run_ablation(&opts),
-        "plan" => run_plan(&opts),
-        "memory" => run_memory(&opts),
-        "density" => run_density(&opts),
-        "bench" => run_bench(&opts),
-        "faults" => run_faults(&opts),
-        "trace" => {
-            if let Err(e) = run_trace(&opts) {
-                eprintln!("error: {e}");
+    } else {
+        match registry.get(cmd) {
+            None => {
+                eprintln!("unknown experiment: {cmd}");
                 return ExitCode::FAILURE;
             }
+            Some(study) => match (opts.shard, opts.resume.clone()) {
+                (Some(shard), _) => run_shard(study, &opts, shard),
+                (None, Some(dir)) => run_resume(study, &opts, &dir, &schedule_of),
+                (None, None) => run_plain(study, &opts, &schedule_of),
+            },
         }
-        "all" => {
-            run_table2(&opts);
-            println!();
-            run_fig10(&opts);
-            println!();
-            run_table3(&opts);
-            println!();
-            run_table4(&opts);
-            println!();
-            run_table5(&opts);
-            println!();
-            run_fig11(&opts);
-            println!();
-            run_ablation(&opts);
-            println!();
-            run_plan(&opts);
-            println!();
-            run_memory(&opts);
-            println!();
-            run_density(&opts);
-        }
-        other => {
-            eprintln!("unknown experiment: {other}");
-            return ExitCode::FAILURE;
-        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
 
     // `--telemetry PATH`: dump the whole invocation's batch-scheduling spans
-    // as a Chrome trace (`repro trace` uses its own sink and study-local
-    // exports instead).
-    if let (Some(path), Some(sink)) = (&opts.telemetry, &opts.sink) {
+    // as a Chrome trace.
+    if let Some(path) = &opts.telemetry {
         let mut chrome = ChromeTrace::new();
         let kernel = giantsan_shadow::kernel::active().name();
-        sink.take()
+        schedule_of
+            .get()
             .render_chrome(&mut chrome, 1, &format!("repro {cmd} [kernel={kernel}]"));
         match std::fs::write(path, chrome.finish()) {
             Ok(()) => println!("(wrote {})", path.display()),

@@ -108,27 +108,62 @@ pub fn table5_csv(t: &Table5) -> String {
     out
 }
 
+/// Header of the plan-provenance CSV.
+pub const PLAN_PROVENANCE_HEADER: &str = "workload,tool,site,fate,pass,reason\n";
+
+/// Header of the plan per-pass statistics CSV.
+pub const PLAN_PASSES_HEADER: &str =
+    "workload,tool,pass,enabled,visited,transformed,eliminated,wall_ns\n";
+
+/// The provenance rows of one plan cell (no header) — the unit campaign
+/// shards store, so a merged CSV concatenates byte-identically.
+pub fn plan_provenance_rows(cell: &crate::experiments::plan::PlanCell) -> String {
+    let mut out = String::new();
+    for (i, fate) in cell.analysis.fates.iter().enumerate() {
+        let (pass, reason) = match &cell.analysis.provenance[i] {
+            Some(p) => (p.pass.name(), p.reason.as_str()),
+            None => ("-", "-"),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{:?},{},{}",
+            esc(cell.workload),
+            esc(cell.tool.name()),
+            i,
+            fate,
+            pass,
+            esc(reason)
+        );
+    }
+    out
+}
+
+/// The per-pass statistics rows of one plan cell (no header).
+pub fn plan_passes_rows(cell: &crate::experiments::plan::PlanCell) -> String {
+    let mut out = String::new();
+    for p in &cell.analysis.pass_stats {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            esc(cell.workload),
+            esc(cell.tool.name()),
+            p.pass.name(),
+            p.enabled as u8,
+            p.visited,
+            p.transformed,
+            p.eliminated,
+            p.wall.as_nanos()
+        );
+    }
+    out
+}
+
 /// Serialises the plan study's provenance traces (one row per site per
 /// (workload, tool) cell: fate, deciding pass, recorded reasoning).
 pub fn plan_provenance_csv(s: &crate::experiments::plan::PlanStudy) -> String {
-    let mut out = String::from("workload,tool,site,fate,pass,reason\n");
+    let mut out = String::from(PLAN_PROVENANCE_HEADER);
     for cell in &s.cells {
-        for (i, fate) in cell.analysis.fates.iter().enumerate() {
-            let (pass, reason) = match &cell.analysis.provenance[i] {
-                Some(p) => (p.pass.name(), p.reason.as_str()),
-                None => ("-", "-"),
-            };
-            let _ = writeln!(
-                out,
-                "{},{},{},{:?},{},{}",
-                esc(cell.workload),
-                esc(cell.tool.name()),
-                i,
-                fate,
-                pass,
-                esc(reason)
-            );
-        }
+        out.push_str(&plan_provenance_rows(cell));
     }
     out
 }
@@ -136,23 +171,9 @@ pub fn plan_provenance_csv(s: &crate::experiments::plan::PlanStudy) -> String {
 /// Serialises the plan study's per-pass statistics (one row per pipeline
 /// stage per (workload, tool) cell).
 pub fn plan_passes_csv(s: &crate::experiments::plan::PlanStudy) -> String {
-    let mut out =
-        String::from("workload,tool,pass,enabled,visited,transformed,eliminated,wall_ns\n");
+    let mut out = String::from(PLAN_PASSES_HEADER);
     for cell in &s.cells {
-        for p in &cell.analysis.pass_stats {
-            let _ = writeln!(
-                out,
-                "{},{},{},{},{},{},{},{}",
-                esc(cell.workload),
-                esc(cell.tool.name()),
-                p.pass.name(),
-                p.enabled as u8,
-                p.visited,
-                p.transformed,
-                p.eliminated,
-                p.wall.as_nanos()
-            );
-        }
+        out.push_str(&plan_passes_rows(cell));
     }
     out
 }
@@ -183,12 +204,20 @@ pub fn faults_csv(s: &crate::experiments::fault_study::FaultStudy) -> String {
 ///
 /// [`Counters::FIELD_NAMES`]: giantsan_runtime::Counters::FIELD_NAMES
 pub fn trace_counters_csv(s: &crate::experiments::trace::TraceStudy) -> String {
+    trace_counters_csv_runs(&s.runs)
+}
+
+/// [`trace_counters_csv`] over bare runs — the campaign path, which rebuilds
+/// runs from shard payloads without a full [`TraceStudy`].
+///
+/// [`TraceStudy`]: crate::experiments::trace::TraceStudy
+pub fn trace_counters_csv_runs(runs: &[crate::experiments::trace::TraceRun]) -> String {
     let mut out = String::from("cell");
     for name in giantsan_runtime::Counters::FIELD_NAMES {
         let _ = write!(out, ",{name}");
     }
     out.push('\n');
-    for run in &s.runs {
+    for run in runs {
         let _ = write!(out, "{}", run.cell);
         for v in run.counters.field_values() {
             let _ = write!(out, ",{v}");

@@ -9,6 +9,8 @@ use giantsan_workloads::{figure8_program, quarantine_probe, traversal_program, P
 
 use crate::batch::BatchRunner;
 use crate::cost::CostModel;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -221,8 +223,17 @@ pub fn render(size: u64, rounds: u64) -> String {
 
 /// [`render`] on an explicit runner.
 pub fn render_with(runner: &BatchRunner, size: u64, rounds: u64) -> String {
-    let mut out = String::new();
-    out.push_str("-- §5.4 reverse-traversal mitigation alternatives --\n");
+    format!(
+        "{}{}{}",
+        reverse_block(runner, size, rounds),
+        quarantine_block(runner),
+        pass_block(runner)
+    )
+}
+
+/// The reverse-traversal section of the report.
+pub fn reverse_block(runner: &BatchRunner, size: u64, rounds: u64) -> String {
+    let mut out = String::from("-- §5.4 reverse-traversal mitigation alternatives --\n");
     let mut t = TextTable::new(vec![
         "configuration".into(),
         "units".into(),
@@ -242,8 +253,12 @@ pub fn render_with(runner: &BatchRunner, size: u64, rounds: u64) -> String {
         "\nThe lower-bound cache removes the per-access underflow CI while keeping\n\
          anchored accuracy; dropping the anchor is cheap but reopens the bypass.\n",
     );
+    out
+}
 
-    out.push_str("\n-- quarantine capacity vs use-after-free detection --\n");
+/// The quarantine-capacity section of the report (leading blank line).
+pub fn quarantine_block(runner: &BatchRunner) -> String {
+    let mut out = String::from("\n-- quarantine capacity vs use-after-free detection --\n");
     let mut t = TextTable::new(vec![
         "quarantine cap".into(),
         "UAFs detected".into(),
@@ -261,8 +276,13 @@ pub fn render_with(runner: &BatchRunner, size: u64, rounds: u64) -> String {
         "\nDetection survives exactly as long as the quarantine outlives the churn\n\
          between free and dangling use (§5.4, quarantine bypassing).\n",
     );
+    out
+}
 
-    out.push_str("\n-- planner pass subsets on Figure 8 (full GiantSan minus one pass) --\n");
+/// The pass-subset section of the report (leading blank line).
+pub fn pass_block(runner: &BatchRunner) -> String {
+    let mut out =
+        String::from("\n-- planner pass subsets on Figure 8 (full GiantSan minus one pass) --\n");
     let mut t = TextTable::new(vec![
         "variant".into(),
         "promoted".into(),
@@ -288,6 +308,57 @@ pub fn render_with(runner: &BatchRunner, size: u64, rounds: u64) -> String {
          a per-iteration anchored check and shadow traffic grows accordingly.\n",
     );
     out
+}
+
+/// `repro ablation` as a [`Study`]: one cell per section. Each cell renders
+/// its whole (deterministic) section serially — the three studies are small;
+/// cross-section parallelism is what sharding buys.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationEntry;
+
+/// The fixed traversal size `repro ablation` has always used.
+const ABLATION_SIZE: u64 = 8192;
+/// The fixed traversal rounds `repro ablation` has always used.
+const ABLATION_ROUNDS: u64 = 2;
+
+impl Study for AblationEntry {
+    fn name(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn cells(&self, _opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(vec![
+            "reverse".to_string(),
+            "quarantine".to_string(),
+            "passes".to_string(),
+        ])
+    }
+
+    fn run_cell(&self, _opts: &StudyOpts, index: usize) -> Json {
+        let runner = BatchRunner::serial();
+        let (name, block) = match index {
+            0 => (
+                "reverse",
+                reverse_block(&runner, ABLATION_SIZE, ABLATION_ROUNDS),
+            ),
+            1 => ("quarantine", quarantine_block(&runner)),
+            2 => ("passes", pass_block(&runner)),
+            other => unreachable!("ablation has 3 cells, asked for {other}"),
+        };
+        Json::obj().field("name", name).field("block", block)
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let mut report = String::from("== Supporting ablations (DESIGN.md §5) ==\n\n");
+        for r in records {
+            report.push_str(study::req_str(&r.payload, "block"));
+        }
+        report.push('\n');
+        Ok(StudyOutput {
+            report,
+            ..StudyOutput::default()
+        })
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@ use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -111,6 +113,55 @@ impl DensityStudy {
             self.median_reduction()
         ));
         s
+    }
+}
+
+/// `repro density` as a [`Study`]: one cell per SPEC-like workload.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityEntry;
+
+impl Study for DensityEntry {
+    fn name(&self) -> &'static str {
+        "density"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(spec_suite(opts.scale)
+            .iter()
+            .map(|w| w.id.clone())
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let cfg = RuntimeConfig::default();
+        let suite = spec_suite(opts.scale);
+        let w = &suite[index];
+        let gs = run_tool(Tool::GiantSan, &w.program, &w.inputs, &cfg);
+        let asan = run_tool(Tool::Asan, &w.program, &w.inputs, &cfg);
+        Json::obj()
+            .field("id", w.id.as_str())
+            .field("traffic_bytes", gs.result.native_work * 8)
+            .field("giantsan_loads", gs.counters.shadow_loads)
+            .field("asan_loads", asan.counters.shadow_loads)
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let rows: Vec<DensityRow> = records
+            .iter()
+            .map(|r| DensityRow {
+                id: study::req_str(&r.payload, "id").to_string(),
+                traffic_bytes: study::req_u64(&r.payload, "traffic_bytes"),
+                giantsan_loads: study::req_u64(&r.payload, "giantsan_loads"),
+                asan_loads: study::req_u64(&r.payload, "asan_loads"),
+            })
+            .collect();
+        Ok(StudyOutput {
+            report: format!(
+                "== Supporting study: achieved protection density ==\n\n{}\n",
+                DensityStudy { rows }.render()
+            ),
+            ..StudyOutput::default()
+        })
     }
 }
 

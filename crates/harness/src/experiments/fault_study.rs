@@ -21,6 +21,7 @@ use crate::batch::BatchRunner;
 use crate::faults::{splitmix64, FaultKind, FaultPlan};
 use crate::json::Json;
 use crate::matrix::{Cell, CellWorkload};
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::Tool;
 
@@ -173,6 +174,18 @@ impl Verdict {
             Verdict::Recovered => "recovered",
             Verdict::Missed => "missed",
             Verdict::Crashed => "crashed",
+        }
+    }
+
+    /// Inverse of [`Verdict::name`] — used when campaign checkpoints are
+    /// read back from disk.
+    pub fn parse(name: &str) -> Option<Verdict> {
+        match name {
+            "detected" => Some(Verdict::Detected),
+            "recovered" => Some(Verdict::Recovered),
+            "missed" => Some(Verdict::Missed),
+            "crashed" => Some(Verdict::Crashed),
+            _ => None,
         }
     }
 }
@@ -374,14 +387,91 @@ impl FaultStudy {
     }
 }
 
-/// FNV-1a over raw bytes (label hashing for schedule derivation).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
+/// FNV-1a over raw bytes (label hashing for schedule derivation) — the
+/// canonical definition now lives in [`crate::matrix`].
+pub use crate::matrix::fnv1a;
+
+/// Matrix breadth `repro faults` has always used (5 seeds ⇒ 1050 cells).
+const FAULT_SEEDS: u64 = 5;
+
+/// `repro faults` as a [`Study`]: one cell per fault-matrix entry. The
+/// campaign seed is `--seed`; a panicking cell degrades to the same
+/// synthetic `crashed` outcome [`fault_study_with`] records, so sharded and
+/// monolithic digests agree even in the presence of harness panics.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultsEntry;
+
+impl Study for FaultsEntry {
+    fn name(&self) -> &'static str {
+        "faults"
     }
-    h
+
+    fn cells(&self, _opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(fault_matrix(FAULT_SEEDS)
+            .iter()
+            .map(FaultCell::label)
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let cells = fault_matrix(FAULT_SEEDS);
+        let o = cells[index].run(opts.seed);
+        Json::obj()
+            .field("verdict", o.verdict.name())
+            .field("result_digest", Json::hex(o.result_digest))
+            .field("errors_recovered", o.errors_recovered)
+            .field("errors_suppressed", o.errors_suppressed)
+    }
+
+    fn placeholder(&self, _opts: &StudyOpts, _index: usize) -> Option<Json> {
+        Some(
+            Json::obj()
+                .field("verdict", Verdict::Crashed.name())
+                .field("result_digest", Json::hex(0))
+                .field("errors_recovered", 0u64)
+                .field("errors_suppressed", 0u64)
+                .field("panicked", true),
+        )
+    }
+
+    fn render(&self, opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let mut harness_panics = 0usize;
+        let outcomes: Vec<FaultCellOutcome> = records
+            .iter()
+            .map(|r| {
+                if let Some(true) = r.payload.get("panicked").and_then(Json::as_bool) {
+                    harness_panics += 1;
+                }
+                let verdict = study::req_str(&r.payload, "verdict");
+                Ok(FaultCellOutcome {
+                    label: r.label.clone(),
+                    verdict: Verdict::parse(verdict)
+                        .ok_or_else(|| format!("unknown verdict `{verdict}`"))?,
+                    result_digest: study::req_hex(&r.payload, "result_digest"),
+                    errors_recovered: study::req_u64(&r.payload, "errors_recovered"),
+                    errors_suppressed: study::req_u64(&r.payload, "errors_suppressed"),
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let s = FaultStudy {
+            seed: opts.seed,
+            outcomes,
+            harness_panics,
+        };
+        Ok(StudyOutput {
+            report: format!(
+                "== Fault-injection campaign (recover mode, seed {:#x}) ==\n\n{}\n",
+                opts.seed,
+                s.render()
+            ),
+            json: Some(s.to_json()),
+            artifacts: vec![
+                ("faults.csv".to_string(), crate::csv::faults_csv(&s)),
+                ("faults_digest.txt".to_string(), s.digest_artifact()),
+            ],
+            ..StudyOutput::default()
+        })
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@ use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -117,6 +119,69 @@ fn render_bar(r: &Fig10Row, width: usize) -> String {
     push(r.fast_only, 'f', &mut bar);
     push(r.full_check, 'F', &mut bar);
     bar
+}
+
+/// `repro fig10` as a [`Study`]: one cell per SPEC-like workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Entry;
+
+impl Study for Fig10Entry {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(spec_suite(opts.scale)
+            .iter()
+            .map(|w| w.id.clone())
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let cfg = RuntimeConfig::default();
+        let suite = spec_suite(opts.scale);
+        let w = &suite[index];
+        let out = run_tool(Tool::GiantSan, &w.program, &w.inputs, &cfg);
+        let c = &out.counters;
+        let m = out.result.native_work.max(1) as f64;
+        let cached = (c.cache_hits + c.cache_updates) as f64;
+        let fast = c.fast_checks as f64;
+        let full = c.slow_checks as f64;
+        let eliminated = (m - cached - fast - full).max(0.0);
+        Json::obj()
+            .field("id", w.id.as_str())
+            .field("full_check", full / m)
+            .field("fast_only", fast / m)
+            .field("cached", cached / m)
+            .field("eliminated", eliminated / m)
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let rows: Vec<Fig10Row> = records
+            .iter()
+            .map(|r| Fig10Row {
+                id: study::req_str(&r.payload, "id").to_string(),
+                full_check: study::req_f64(&r.payload, "full_check"),
+                fast_only: study::req_f64(&r.payload, "fast_only"),
+                cached: study::req_f64(&r.payload, "cached"),
+                eliminated: study::req_f64(&r.payload, "eliminated"),
+            })
+            .collect();
+        let mean_optimised =
+            rows.iter().map(|r| r.cached + r.eliminated).sum::<f64>() / rows.len().max(1) as f64;
+        let f = Fig10 {
+            rows,
+            mean_optimised,
+        };
+        Ok(StudyOutput {
+            report: format!(
+                "== Figure 10: checks per optimisation category (GiantSan) ==\n\n{}\n",
+                f.render()
+            ),
+            artifacts: vec![("fig10.csv".to_string(), crate::csv::fig10_csv(&f))],
+            ..StudyOutput::default()
+        })
+    }
 }
 
 #[cfg(test)]

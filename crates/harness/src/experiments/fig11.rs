@@ -5,6 +5,8 @@ use giantsan_workloads::{figure11_sizes, traversal_program, Pattern};
 
 use crate::batch::BatchRunner;
 use crate::cost::CostModel;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -123,6 +125,81 @@ impl Fig11 {
             ));
         }
         out
+    }
+}
+
+/// `repro fig11` as a [`Study`]: one cell per (pattern, size) sample,
+/// pattern-major like the figure's panels.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Entry;
+
+impl Study for Fig11Entry {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn cells(&self, _opts: &StudyOpts) -> Result<Vec<String>, String> {
+        let sizes = figure11_sizes();
+        Ok(Pattern::ALL
+            .iter()
+            .flat_map(|p| sizes.iter().map(move |s| format!("{}/{s}", p.name())))
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let model = CostModel::default();
+        let cfg = RuntimeConfig::default();
+        let sizes = figure11_sizes();
+        let pattern = Pattern::ALL[index / sizes.len()];
+        let size = sizes[index % sizes.len()];
+        let (prog, inputs) = traversal_program(pattern, size, opts.rounds);
+        let mut units = Vec::new();
+        let mut wall_us = Vec::new();
+        for tool in SERIES {
+            let out = run_tool(tool, &prog, &inputs, &cfg);
+            assert!(
+                out.result.reports.is_empty(),
+                "{pattern:?}/{size}: {} raised reports",
+                tool.name()
+            );
+            units.push(model.native_units(&out) + model.extra_units(tool, &out.counters));
+            wall_us.push(out.wall.as_secs_f64() * 1e6);
+        }
+        Json::obj()
+            .field("pattern", pattern.name())
+            .field("size", size)
+            .field("units", study::f64s(&units))
+            .field("wall_us", study::f64s(&wall_us))
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let sizes = figure11_sizes();
+        let points: Vec<Fig11Point> = records
+            .iter()
+            .map(|r| Fig11Point {
+                size: study::req_u64(&r.payload, "size"),
+                units: study::req_f64s(&r.payload, "units"),
+                wall_us: study::req_f64s(&r.payload, "wall_us"),
+            })
+            .collect();
+        let series = Pattern::ALL
+            .iter()
+            .enumerate()
+            .map(|(pi, &pattern)| Fig11Series {
+                pattern,
+                points: points[pi * sizes.len()..(pi + 1) * sizes.len()].to_vec(),
+            })
+            .collect();
+        let f = Fig11 { series };
+        Ok(StudyOutput {
+            report: format!(
+                "== Figure 11: traversal patterns ==\n(paper: GiantSan 1.48x faster random, \
+                 1.07x faster forward, 1.39x slower reverse)\n{}\n",
+                f.render()
+            ),
+            artifacts: vec![("fig11.csv".to_string(), crate::csv::fig11_csv(&f))],
+            ..StudyOutput::default()
+        })
     }
 }
 

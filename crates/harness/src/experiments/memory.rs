@@ -11,6 +11,8 @@ use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::spec_suite;
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::Tool;
 
@@ -108,6 +110,77 @@ impl MemoryStudy {
              LFP's waste is size-class rounding instead of redzones.)\n",
         );
         s
+    }
+}
+
+/// `repro memory` as a [`Study`]: one cell per SPEC-like workload, each
+/// running every column tool and inspecting its world afterwards.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryEntry;
+
+impl Study for MemoryEntry {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(spec_suite(opts.scale)
+            .iter()
+            .map(|w| w.id.clone())
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let cfg = RuntimeConfig::default();
+        let suite = spec_suite(opts.scale);
+        let w = &suite[index];
+        let mut heap_high_water = Vec::new();
+        let mut quarantined = Vec::new();
+        for tool in COLUMNS {
+            let spec = tool.builder().config(cfg.clone()).spec();
+            let mut san = spec.session();
+            let plan = spec.plan(&w.program);
+            let exec = spec.exec_config();
+            let _ = giantsan_ir::run_dyn(&w.program, &w.inputs, san.as_mut(), &plan, &exec);
+            heap_high_water.push(san.world().heap().high_water());
+            quarantined.push(san.world().quarantined_bytes());
+        }
+        Json::obj()
+            .field("id", w.id.as_str())
+            .field("heap_high_water", study::u64s(&heap_high_water))
+            .field("quarantined", study::u64s(&quarantined))
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let rows: Vec<MemoryRow> = records
+            .iter()
+            .map(|r| MemoryRow {
+                id: study::req_str(&r.payload, "id").to_string(),
+                heap_high_water: study::req_u64s(&r.payload, "heap_high_water"),
+                quarantined: study::req_u64s(&r.payload, "quarantined"),
+            })
+            .collect();
+        let mean_heap_ratio = (0..COLUMNS.len())
+            .map(|i| {
+                let ratios: Vec<f64> = rows
+                    .iter()
+                    .filter(|r| r.heap_high_water[0] > 0)
+                    .map(|r| r.heap_high_water[i] as f64 / r.heap_high_water[0] as f64)
+                    .collect();
+                ratios.iter().sum::<f64>() / ratios.len().max(1) as f64
+            })
+            .collect();
+        let s = MemoryStudy {
+            rows,
+            mean_heap_ratio,
+        };
+        Ok(StudyOutput {
+            report: format!(
+                "== Supporting study: memory overhead ==\n\n{}\n",
+                s.render()
+            ),
+            ..StudyOutput::default()
+        })
     }
 }
 

@@ -7,14 +7,27 @@
 //! eliminated counters and wall time. `repro plan` renders the tables and
 //! exports both as CSV.
 
-use giantsan_analysis::{analyze, Analysis};
+use giantsan_analysis::{analyze, Analysis, SiteFate};
 use giantsan_ir::Program;
 use giantsan_workloads::{figure8_program, spec_workload};
 
 use crate::batch::BatchRunner;
 use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::Tool;
+
+/// Site fates in the summary table's column order.
+pub const FATES: [SiteFate; 8] = [
+    SiteFate::Direct,
+    SiteFate::Anchored,
+    SiteFate::MergeLeader,
+    SiteFate::MergedAway,
+    SiteFate::Promoted,
+    SiteFate::Cached,
+    SiteFate::MemIntrinsic,
+    SiteFate::StaticallySafe,
+];
 
 /// The workloads under study: the paper's worked example plus three
 /// SPEC-model programs with distinct planner behavior (stencil,
@@ -74,47 +87,99 @@ pub fn plan_study_with(runner: &BatchRunner, scale: u64) -> PlanStudy {
     PlanStudy { cells }
 }
 
+/// One cell's fate counts in [`FATES`] order.
+fn fate_counts_of(cell: &PlanCell) -> Vec<u64> {
+    let counts = cell.analysis.fate_counts();
+    FATES
+        .iter()
+        .map(|f| counts.get(f).copied().unwrap_or(0) as u64)
+        .collect()
+}
+
+/// One cell's detail section of the text report.
+fn cell_block(cell: &PlanCell) -> String {
+    format!(
+        "\n== {} under {} ==\n{}{}",
+        cell.workload,
+        cell.tool.name(),
+        cell.analysis.render_pass_stats(),
+        cell.analysis.render_provenance()
+    )
+}
+
+/// One cell's subtree of the JSON document (wall time excluded, so the
+/// subtree is deterministic and campaign-shardable).
+fn cell_json(cell: &PlanCell) -> Json {
+    let sites: Vec<Json> = cell
+        .analysis
+        .fates
+        .iter()
+        .enumerate()
+        .map(|(i, fate)| {
+            let mut site = Json::obj()
+                .field("site", i)
+                .field("fate", format!("{fate:?}"));
+            if let Some(p) = &cell.analysis.provenance[i] {
+                site = site
+                    .field("pass", p.pass.name())
+                    .field("reason", p.reason.as_str());
+            }
+            site
+        })
+        .collect();
+    let passes: Vec<Json> = cell
+        .analysis
+        .pass_stats
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .field("pass", p.pass.name())
+                .field("enabled", p.enabled)
+                .field("visited", p.visited)
+                .field("transformed", p.transformed)
+                .field("eliminated", p.eliminated)
+        })
+        .collect();
+    Json::obj()
+        .field("workload", cell.workload)
+        .field("tool", cell.tool.name())
+        .field("sites", sites)
+        .field("passes", passes)
+}
+
+/// The summary fate table over `(workload, tool, counts)` triples.
+fn fate_table(rows: &[(String, String, Vec<u64>)]) -> String {
+    let mut head = vec!["workload".to_string(), "tool".to_string()];
+    head.extend(FATES.iter().map(|f| format!("{f:?}")));
+    let mut t = TextTable::new(head);
+    for (workload, tool, counts) in rows {
+        let mut row = vec![workload.clone(), tool.clone()];
+        row.extend(counts.iter().map(|c| c.to_string()));
+        t.row(row);
+    }
+    t.render()
+}
+
 impl PlanStudy {
     /// Renders a fate-count summary across all cells, then per-cell pass
     /// statistics and the per-site provenance trace.
     pub fn render(&self) -> String {
-        use giantsan_analysis::SiteFate;
         let mut out = String::new();
-
         out.push_str("-- site fates per (workload, tool) --\n");
-        let fates = [
-            SiteFate::Direct,
-            SiteFate::Anchored,
-            SiteFate::MergeLeader,
-            SiteFate::MergedAway,
-            SiteFate::Promoted,
-            SiteFate::Cached,
-            SiteFate::MemIntrinsic,
-            SiteFate::StaticallySafe,
-        ];
-        let mut head = vec!["workload".to_string(), "tool".to_string()];
-        head.extend(fates.iter().map(|f| format!("{f:?}")));
-        let mut t = TextTable::new(head);
+        let rows: Vec<(String, String, Vec<u64>)> = self
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    c.workload.to_string(),
+                    c.tool.name().to_string(),
+                    fate_counts_of(c),
+                )
+            })
+            .collect();
+        out.push_str(&fate_table(&rows));
         for cell in &self.cells {
-            let counts = cell.analysis.fate_counts();
-            let mut row = vec![cell.workload.to_string(), cell.tool.name().to_string()];
-            row.extend(
-                fates
-                    .iter()
-                    .map(|f| counts.get(f).copied().unwrap_or(0).to_string()),
-            );
-            t.row(row);
-        }
-        out.push_str(&t.render());
-
-        for cell in &self.cells {
-            out.push_str(&format!(
-                "\n== {} under {} ==\n",
-                cell.workload,
-                cell.tool.name()
-            ));
-            out.push_str(&cell.analysis.render_pass_stats());
-            out.push_str(&cell.analysis.render_provenance());
+            out.push_str(&cell_block(cell));
         }
         out
     }
@@ -124,51 +189,93 @@ impl PlanStudy {
     /// Deterministic: per-pass wall time is deliberately excluded, so the
     /// document is byte-identical run to run and thread-count invariant.
     pub fn to_json(&self) -> String {
-        let cells: Vec<Json> = self
-            .cells
-            .iter()
-            .map(|cell| {
-                let sites: Vec<Json> = cell
-                    .analysis
-                    .fates
-                    .iter()
-                    .enumerate()
-                    .map(|(i, fate)| {
-                        let mut site = Json::obj()
-                            .field("site", i)
-                            .field("fate", format!("{fate:?}"));
-                        if let Some(p) = &cell.analysis.provenance[i] {
-                            site = site
-                                .field("pass", p.pass.name())
-                                .field("reason", p.reason.as_str());
-                        }
-                        site
-                    })
-                    .collect();
-                let passes: Vec<Json> = cell
-                    .analysis
-                    .pass_stats
-                    .iter()
-                    .map(|p| {
-                        Json::obj()
-                            .field("pass", p.pass.name())
-                            .field("enabled", p.enabled)
-                            .field("visited", p.visited)
-                            .field("transformed", p.transformed)
-                            .field("eliminated", p.eliminated)
-                    })
-                    .collect();
-                Json::obj()
-                    .field("workload", cell.workload)
-                    .field("tool", cell.tool.name())
-                    .field("sites", sites)
-                    .field("passes", passes)
-            })
-            .collect();
+        let cells: Vec<Json> = self.cells.iter().map(cell_json).collect();
         Json::obj()
             .field("study", "plan")
             .field("cells", cells)
             .render()
+    }
+}
+
+/// `repro plan` as a [`Study`]: one cell per (workload × tool), carrying the
+/// pre-rendered text block, JSON subtree, and CSV rows so a merged campaign
+/// reassembles every export byte-identically.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEntry;
+
+impl Study for PlanEntry {
+    fn name(&self) -> &'static str {
+        "plan"
+    }
+
+    fn cells(&self, _opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(WORKLOADS
+            .iter()
+            .flat_map(|w| Tool::ALL.iter().map(move |t| format!("{w}/{}", t.name())))
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let workload = WORKLOADS[index / Tool::ALL.len()];
+        let tool = Tool::ALL[index % Tool::ALL.len()];
+        let program = workload_program(workload, opts.scale);
+        let cell = PlanCell {
+            workload,
+            tool,
+            analysis: analyze(&program, &tool.profile()),
+        };
+        Json::obj()
+            .field("workload", workload)
+            .field("tool", tool.name())
+            .field("fates", study::u64s(&fate_counts_of(&cell)))
+            .field("block", cell_block(&cell))
+            .field("json", cell_json(&cell))
+            .field("prov", crate::csv::plan_provenance_rows(&cell))
+            .field("passes", crate::csv::plan_passes_rows(&cell))
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let mut report =
+            String::from("== Planner observability: per-pass statistics + site provenance ==\n\n");
+        report.push_str("-- site fates per (workload, tool) --\n");
+        let rows: Vec<(String, String, Vec<u64>)> = records
+            .iter()
+            .map(|r| {
+                (
+                    study::req_str(&r.payload, "workload").to_string(),
+                    study::req_str(&r.payload, "tool").to_string(),
+                    study::req_u64s(&r.payload, "fates"),
+                )
+            })
+            .collect();
+        report.push_str(&fate_table(&rows));
+        for r in records {
+            report.push_str(study::req_str(&r.payload, "block"));
+        }
+        report.push('\n');
+        let cells: Vec<Json> = records
+            .iter()
+            .map(|r| study::req(&r.payload, "json").clone())
+            .collect();
+        let json = Json::obj()
+            .field("study", "plan")
+            .field("cells", cells)
+            .render();
+        let mut prov = String::from(crate::csv::PLAN_PROVENANCE_HEADER);
+        let mut passes = String::from(crate::csv::PLAN_PASSES_HEADER);
+        for r in records {
+            prov.push_str(study::req_str(&r.payload, "prov"));
+            passes.push_str(study::req_str(&r.payload, "passes"));
+        }
+        Ok(StudyOutput {
+            report,
+            json: Some(json),
+            artifacts: vec![
+                ("plan_provenance.csv".to_string(), prov),
+                ("plan_passes.csv".to_string(), passes),
+            ],
+            ..StudyOutput::default()
+        })
     }
 }
 

@@ -5,6 +5,8 @@ use giantsan_workloads::spec_suite;
 
 use crate::batch::BatchRunner;
 use crate::cost::{geomean, CostModel};
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::{pct, TextTable};
 use crate::tool::{run_tool, RunOutcome, Tool};
 
@@ -149,6 +151,92 @@ impl Table2 {
         cells.extend(self.wall_geomeans.iter().map(|v| pct(*v)));
         t.row(cells);
         t.render()
+    }
+}
+
+/// `repro table2` as a [`Study`]: one cell per SPEC-like workload, each
+/// running the native baseline plus every column tool.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Entry;
+
+impl Study for Table2Entry {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(spec_suite(opts.scale)
+            .iter()
+            .map(|w| w.id.clone())
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let model = CostModel::default();
+        let cfg = RuntimeConfig::default();
+        let suite = spec_suite(opts.scale);
+        let w = &suite[index];
+        let native = run_tool(Tool::Native, &w.program, &w.inputs, &cfg);
+        let mut ratios = Vec::new();
+        let mut wall_ratios = Vec::new();
+        for tool in COLUMNS {
+            let out = run_tool(tool, &w.program, &w.inputs, &cfg);
+            debug_assert!(
+                out.result.reports.is_empty(),
+                "{}: {} raised reports",
+                w.id,
+                tool.name()
+            );
+            ratios.push(model.ratio_percent(tool, &native, &out));
+            wall_ratios.push(wall_ratio(&native, &out));
+        }
+        Json::obj()
+            .field("id", w.id.as_str())
+            .field("native_units", model.native_units(&native))
+            .field("native_wall_us", native.wall.as_secs_f64() * 1e6)
+            .field("ratios", study::f64s(&ratios))
+            .field("wall_ratios", study::f64s(&wall_ratios))
+    }
+
+    fn render(&self, opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let rows: Vec<Table2Row> = records
+            .iter()
+            .map(|r| Table2Row {
+                id: study::req_str(&r.payload, "id").to_string(),
+                native_units: study::req_f64(&r.payload, "native_units"),
+                native_wall_us: study::req_f64(&r.payload, "native_wall_us"),
+                ratios: study::req_f64s(&r.payload, "ratios"),
+                wall_ratios: study::req_f64s(&r.payload, "wall_ratios"),
+            })
+            .collect();
+        let geomeans = (0..COLUMNS.len())
+            .map(|i| geomean(&rows.iter().map(|r| r.ratios[i]).collect::<Vec<_>>()))
+            .collect();
+        let wall_geomeans = (0..COLUMNS.len())
+            .map(|i| geomean(&rows.iter().map(|r| r.wall_ratios[i]).collect::<Vec<_>>()))
+            .collect();
+        let t = Table2 {
+            rows,
+            geomeans,
+            wall_geomeans,
+        };
+        let mut report = format!(
+            "== Table 2: runtime overhead on the SPEC-like suite ==\n\
+             (paper geomeans: GiantSan 146.04%, ASan 212.58%, ASan-- 174.89%, LFP 161.76%,\n \
+             CacheOnly 175.63%, EliminationOnly 170.24%)\n\n{}\n",
+            t.render()
+        );
+        if opts.wall {
+            report.push_str(&format!(
+                "\n-- wall-clock variant --\n{}\n",
+                t.render_wall()
+            ));
+        }
+        Ok(StudyOutput {
+            report,
+            artifacts: vec![("table2.csv".to_string(), crate::csv::table2_csv(&t))],
+            ..StudyOutput::default()
+        })
     }
 }
 

@@ -7,6 +7,8 @@ use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::juliet::{juliet_suite_scaled, paper_totals, JulietSuite};
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::{run_planned, Tool};
 
@@ -165,6 +167,132 @@ impl Table3 {
 /// Access to the underlying suite for integration tests.
 pub fn suite(divisor: u32) -> JulietSuite {
     juliet_suite_scaled(divisor)
+}
+
+/// The payload of one Juliet case: its CWE plus per-tool verdicts on the
+/// buggy and safe twins.
+fn case_payload(cwe: u32, verdicts: &[(bool, bool)]) -> Json {
+    let buggy: Vec<bool> = verdicts.iter().map(|v| v.0).collect();
+    let safe: Vec<bool> = verdicts.iter().map(|v| v.1).collect();
+    Json::obj()
+        .field("cwe", cwe)
+        .field("buggy", study::bools(&buggy))
+        .field("safe", study::bools(&safe))
+}
+
+/// `repro table3` as a [`Study`]: one cell per Juliet case.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Entry;
+
+impl Study for Table3Entry {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(juliet_suite_scaled(opts.div)
+            .cases
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("cwe{}/case{i}", c.cwe))
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let suite = juliet_suite_scaled(opts.div);
+        let cfg = RuntimeConfig::small();
+        let case = &suite.cases[index];
+        let program = &suite.templates[case.template];
+        let verdicts: Vec<(bool, bool)> = COLUMNS
+            .iter()
+            .map(|tool| {
+                let plan = tool.plan(program);
+                let buggy = run_planned(*tool, program, &plan, &case.buggy_inputs, &cfg);
+                let safe = run_planned(*tool, program, &plan, &case.safe_inputs, &cfg);
+                (buggy.detected(), safe.detected())
+            })
+            .collect();
+        case_payload(case.cwe, &verdicts)
+    }
+
+    /// Hoists the suite and the per-(template, tool) plan cache once per
+    /// range — templates are shared across thousands of cases — while
+    /// producing exactly the payloads [`Study::run_cell`] would.
+    fn run_range(
+        &self,
+        opts: &StudyOpts,
+        range: std::ops::Range<usize>,
+        runner: &BatchRunner,
+    ) -> Vec<Json> {
+        let suite = juliet_suite_scaled(opts.div);
+        let cfg = RuntimeConfig::small();
+        let plans: Vec<HashMap<usize, CheckPlan>> = COLUMNS
+            .iter()
+            .map(|tool| {
+                suite
+                    .templates
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, tool.plan(p)))
+                    .collect()
+            })
+            .collect();
+        let indices: Vec<usize> = range.collect();
+        runner.map(&indices, |_, &i| {
+            let case = &suite.cases[i];
+            let program = &suite.templates[case.template];
+            let verdicts: Vec<(bool, bool)> = COLUMNS
+                .iter()
+                .enumerate()
+                .map(|(t, tool)| {
+                    let plan = &plans[t][&case.template];
+                    let buggy = run_planned(*tool, program, plan, &case.buggy_inputs, &cfg);
+                    let safe = run_planned(*tool, program, plan, &case.safe_inputs, &cfg);
+                    (buggy.detected(), safe.detected())
+                })
+                .collect();
+            case_payload(case.cwe, &verdicts)
+        })
+    }
+
+    fn render(&self, opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let mut rows: Vec<Table3Row> = paper_totals()
+            .iter()
+            .map(|&(cwe, _)| Table3Row {
+                cwe,
+                detected: vec![0; COLUMNS.len()],
+                false_positives: vec![0; COLUMNS.len()],
+                total: 0,
+            })
+            .collect();
+        for r in records {
+            let cwe = study::req_u64(&r.payload, "cwe") as u32;
+            let buggy = study::req_bools(&r.payload, "buggy");
+            let safe = study::req_bools(&r.payload, "safe");
+            let row = rows
+                .iter_mut()
+                .find(|row| row.cwe == cwe)
+                .ok_or_else(|| format!("unknown CWE family {cwe}"))?;
+            row.total += 1;
+            for (t, (&b, &s)) in buggy.iter().zip(&safe).enumerate() {
+                if b {
+                    row.detected[t] += 1;
+                }
+                if s {
+                    row.false_positives[t] += 1;
+                }
+            }
+        }
+        let t = Table3 {
+            rows,
+            divisor: opts.div,
+        };
+        Ok(StudyOutput {
+            report: format!("== Table 3: Juliet-like detection ==\n\n{}\n", t.render()),
+            artifacts: vec![("table3.csv".to_string(), crate::csv::table3_csv(&t))],
+            ..StudyOutput::default()
+        })
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@ use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::cve_scenarios;
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::{run_tool, Tool};
 
@@ -80,6 +82,61 @@ impl Table4 {
             .filter(|r| !r.detected[idx])
             .map(|r| r.cve)
             .collect()
+    }
+}
+
+/// `repro table4` as a [`Study`]: one cell per CVE scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4Entry;
+
+impl Study for Table4Entry {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn cells(&self, _opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(cve_scenarios().iter().map(|c| c.cve.to_string()).collect())
+    }
+
+    fn run_cell(&self, _opts: &StudyOpts, index: usize) -> Json {
+        let cfg = RuntimeConfig::small();
+        let scenarios = cve_scenarios();
+        let c = &scenarios[index];
+        let detected: Vec<bool> = COLUMNS
+            .iter()
+            .map(|tool| run_tool(*tool, &c.program, &c.inputs, &cfg).detected())
+            .collect();
+        Json::obj()
+            .field("project", c.project)
+            .field("cve", c.cve)
+            .field("detected", study::bools(&detected))
+    }
+
+    fn render(&self, _opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        // Rows carry `&'static str` labels: recover them from the scenario
+        // list (records arrive in scenario order) rather than the payload.
+        let scenarios = cve_scenarios();
+        let rows: Vec<Table4Row> = records
+            .iter()
+            .map(|r| {
+                let c = &scenarios[r.index];
+                debug_assert_eq!(c.cve, study::req_str(&r.payload, "cve"));
+                Table4Row {
+                    project: c.project,
+                    cve: c.cve,
+                    detected: study::req_bools(&r.payload, "detected"),
+                }
+            })
+            .collect();
+        let t = Table4 { rows };
+        Ok(StudyOutput {
+            report: format!(
+                "== Table 4: Linux-Flaw-Project-like CVE detection ==\n\n{}\n",
+                t.render()
+            ),
+            artifacts: vec![("table4.csv".to_string(), crate::csv::table4_csv(&t))],
+            ..StudyOutput::default()
+        })
     }
 }
 

@@ -4,7 +4,9 @@ use giantsan_runtime::RuntimeConfig;
 use giantsan_workloads::magma::{magma_cases, magma_templates, PROJECTS};
 
 use crate::batch::BatchRunner;
+use crate::json::Json;
 use crate::session::SessionSpec;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::TextTable;
 use crate::tool::Tool;
 
@@ -154,6 +156,130 @@ impl Table5 {
             ));
         }
         s
+    }
+}
+
+/// Builds the five per-configuration session specs.
+fn config_specs() -> Vec<SessionSpec> {
+    CONFIGS
+        .iter()
+        .map(|c| {
+            c.tool
+                .builder()
+                .config(RuntimeConfig::small())
+                .redzone(c.redzone)
+                .spec()
+        })
+        .collect()
+}
+
+/// `repro table5` as a [`Study`]: one cell per Magma case.
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Entry;
+
+impl Study for Table5Entry {
+    fn name(&self) -> &'static str {
+        "table5"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok(magma_cases(opts.div)
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{}/case{i}", c.project))
+            .collect())
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let templates = magma_templates();
+        let cases = magma_cases(opts.div);
+        let case = &cases[index];
+        let detected: Vec<bool> = config_specs()
+            .iter()
+            .map(|spec| {
+                let plan = spec.plan(&templates[case.template]);
+                spec.run_planned(&templates[case.template], &plan, &case.inputs)
+                    .detected()
+            })
+            .collect();
+        Json::obj()
+            .field("project", case.project)
+            .field("detected", study::bools(&detected))
+    }
+
+    /// Hoists the templates and the per-configuration plan sets once per
+    /// range, like [`table5_with`], while producing [`Study::run_cell`]'s
+    /// payloads.
+    fn run_range(
+        &self,
+        opts: &StudyOpts,
+        range: std::ops::Range<usize>,
+        runner: &BatchRunner,
+    ) -> Vec<Json> {
+        let templates = magma_templates();
+        let cases = magma_cases(opts.div);
+        let specs = config_specs();
+        let plans: Vec<Vec<giantsan_ir::CheckPlan>> = specs
+            .iter()
+            .map(|s| templates.iter().map(|p| s.plan(p)).collect())
+            .collect();
+        let indices: Vec<usize> = range.collect();
+        runner.map(&indices, |_, &i| {
+            let case = &cases[i];
+            let detected: Vec<bool> = specs
+                .iter()
+                .enumerate()
+                .map(|(c, spec)| {
+                    spec.run_planned(
+                        &templates[case.template],
+                        &plans[c][case.template],
+                        &case.inputs,
+                    )
+                    .detected()
+                })
+                .collect();
+            Json::obj()
+                .field("project", case.project)
+                .field("detected", study::bools(&detected))
+        })
+    }
+
+    fn render(&self, opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let mut rows: Vec<Table5Row> = PROJECTS
+            .iter()
+            .map(|&(project, loc, ..)| Table5Row {
+                project,
+                loc,
+                detected: vec![0; CONFIGS.len()],
+                total: 0,
+            })
+            .collect();
+        for r in records {
+            let project = study::req_str(&r.payload, "project");
+            let detected = study::req_bools(&r.payload, "detected");
+            let row = rows
+                .iter_mut()
+                .find(|row| row.project == project)
+                .ok_or_else(|| format!("unknown project `{project}`"))?;
+            row.total += 1;
+            for (i, &d) in detected.iter().enumerate() {
+                if d {
+                    row.detected[i] += 1;
+                }
+            }
+        }
+        let t = Table5 {
+            rows,
+            divisor: opts.div,
+        };
+        Ok(StudyOutput {
+            report: format!(
+                "== Table 5: Magma-like redzone study ==\n\n{}\n",
+                t.render()
+            ),
+            artifacts: vec![("table5.csv".to_string(), crate::csv::table5_csv(&t))],
+            ..StudyOutput::default()
+        })
     }
 }
 

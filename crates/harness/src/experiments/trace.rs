@@ -22,14 +22,18 @@
 
 use std::sync::Arc;
 
-use giantsan_analysis::analyze_recorded;
+use giantsan_analysis::{analyze, analyze_recorded};
 use giantsan_ir::{CheckPlan, Program};
 use giantsan_runtime::Counters;
-use giantsan_telemetry::export::{events_jsonl, jsonl_digest, prometheus, ChromeTrace};
-use giantsan_telemetry::{site_label, Event, Histograms, PathMix, TraceRecorder};
+use giantsan_telemetry::export::{
+    events_jsonl, jsonl_digest, prometheus, text_digest, ChromeTrace,
+};
+use giantsan_telemetry::{site_label, Event, Histograms, Log2Hist, PathMix, TraceRecorder};
 use giantsan_workloads::{figure8_program, spec_workload};
 
 use crate::batch::{BatchRunner, BatchTrace, TraceSink};
+use crate::json::Json;
+use crate::study::{self, Record, Study, StudyOpts, StudyOutput};
 use crate::table::{pct, TextTable};
 use crate::tool::Tool;
 
@@ -199,42 +203,16 @@ impl TraceStudy {
     /// The Chrome `trace_event` JSON: the batch engine's scheduling spans
     /// plus a final counter sample carrying the data-plane path totals.
     pub fn chrome_trace(&self) -> String {
-        let mut t = ChromeTrace::new();
-        self.schedule.render_chrome(
-            &mut t,
-            1,
+        chrome_with(
+            &self.schedule,
             &format!(
                 "repro trace: {} under {} [kernel={}]",
                 self.workload,
                 self.tool.name(),
                 self.kernel
             ),
-        );
-        let end = self
-            .schedule
-            .batches
-            .iter()
-            .map(|b| b.start_us + b.dur_us)
-            .fold(0.0, f64::max);
-        let mut mix = PathMix::default();
-        for m in self.hists.sites.values() {
-            mix.merge(m);
-        }
-        let series: Vec<(&str, String)> = [
-            ("fast", mix.fast),
-            ("slow", mix.slow),
-            ("cache_hit", mix.cache_hits),
-            ("cache_update", mix.cache_updates),
-            ("underflow", mix.underflow),
-            ("arith", mix.arith),
-            ("skipped", mix.skipped),
-        ]
-        .into_iter()
-        .map(|(k, v)| (k, v.to_string()))
-        .collect();
-        let series_refs: Vec<(&str, &str)> = series.iter().map(|(k, v)| (*k, v.as_str())).collect();
-        t.counter(1, "check paths", end, &series_refs);
-        t.finish()
+            &self.hists,
+        )
     }
 
     /// The Prometheus text exposition: summed sanitizer counters, the four
@@ -247,73 +225,398 @@ impl TraceStudy {
     /// The top `n` sites by slow-path share (ties broken by visit volume,
     /// then site id). Sentinel sites render via [`site_label`].
     pub fn hotspots(&self, n: usize) -> Vec<(u32, PathMix)> {
-        let mut v: Vec<(u32, PathMix)> = self.hists.sites.iter().map(|(s, m)| (*s, *m)).collect();
-        v.sort_by(|a, b| {
-            b.1.slow_share()
-                .total_cmp(&a.1.slow_share())
-                .then(b.1.total().cmp(&a.1.total()))
-                .then(a.0.cmp(&b.0))
-        });
-        v.truncate(n);
-        v
+        hotspots_of(&self.hists, n)
     }
 
     /// Renders the study: run summaries plus the hot-spot table.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{} under {} [kernel={}]: {} cells on {} worker(s), {} events ({} dropped), \
-             digest {:#018x}\n\n",
-            self.workload,
-            self.tool.name(),
+        render_report(
+            &self.workload,
+            self.tool,
             self.kernel,
-            self.runs.len(),
             self.threads,
+            &self.runs,
             self.events.len(),
             self.dropped,
-            self.digest()
-        ));
+            self.digest(),
+            &self.hists,
+        )
+    }
+}
 
-        let mut t = TextTable::new(
-            ["cell", "steps", "events", "reports", "result digest"]
-                .map(String::from)
-                .to_vec(),
-        );
-        for r in &self.runs {
-            t.row(vec![
-                r.cell.to_string(),
-                r.steps.to_string(),
-                r.events.to_string(),
-                r.reports.to_string(),
-                format!("{:#018x}", r.result_digest),
-            ]);
-        }
-        out.push_str(&t.render());
+/// [`TraceStudy::hotspots`] over bare histograms (the campaign path).
+pub fn hotspots_of(hists: &Histograms, n: usize) -> Vec<(u32, PathMix)> {
+    let mut v: Vec<(u32, PathMix)> = hists.sites.iter().map(|(s, m)| (*s, *m)).collect();
+    v.sort_by(|a, b| {
+        b.1.slow_share()
+            .total_cmp(&a.1.slow_share())
+            .then(b.1.total().cmp(&a.1.total()))
+            .then(a.0.cmp(&b.0))
+    });
+    v.truncate(n);
+    v
+}
 
-        out.push_str("\n-- hot spots by slow-path share --\n");
-        let mut t = TextTable::new(
-            [
-                "site", "total", "fast", "hit", "update", "slow", "under", "arith", "skip", "slow%",
-            ]
+/// [`TraceStudy::render`] over bare parts — the campaign path, which
+/// reassembles the summary from shard payloads without a full `TraceStudy`.
+#[allow(clippy::too_many_arguments)]
+pub fn render_report(
+    workload: &str,
+    tool: Tool,
+    kernel: &str,
+    threads: usize,
+    runs: &[TraceRun],
+    events: usize,
+    dropped: u64,
+    digest: u64,
+    hists: &Histograms,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} under {} [kernel={}]: {} cells on {} worker(s), {} events ({} dropped), \
+         digest {:#018x}\n\n",
+        workload,
+        tool.name(),
+        kernel,
+        runs.len(),
+        threads,
+        events,
+        dropped,
+        digest
+    ));
+
+    let mut t = TextTable::new(
+        ["cell", "steps", "events", "reports", "result digest"]
             .map(String::from)
             .to_vec(),
-        );
-        for (site, mix) in self.hotspots(10) {
-            t.row(vec![
-                site_label(site),
-                mix.total().to_string(),
-                mix.fast.to_string(),
-                mix.cache_hits.to_string(),
-                mix.cache_updates.to_string(),
-                mix.slow.to_string(),
-                mix.underflow.to_string(),
-                mix.arith.to_string(),
-                mix.skipped.to_string(),
-                pct(mix.slow_share() * 100.0),
-            ]);
+    );
+    for r in runs {
+        t.row(vec![
+            r.cell.to_string(),
+            r.steps.to_string(),
+            r.events.to_string(),
+            r.reports.to_string(),
+            format!("{:#018x}", r.result_digest),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n-- hot spots by slow-path share --\n");
+    let mut t = TextTable::new(
+        [
+            "site", "total", "fast", "hit", "update", "slow", "under", "arith", "skip", "slow%",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for (site, mix) in hotspots_of(hists, 10) {
+        t.row(vec![
+            site_label(site),
+            mix.total().to_string(),
+            mix.fast.to_string(),
+            mix.cache_hits.to_string(),
+            mix.cache_updates.to_string(),
+            mix.slow.to_string(),
+            mix.underflow.to_string(),
+            mix.arith.to_string(),
+            mix.skipped.to_string(),
+            pct(mix.slow_share() * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// [`TraceStudy::chrome_trace`] over bare parts (the `--telemetry` writer and
+/// the campaign presentation path share this).
+pub fn chrome_with(schedule: &BatchTrace, process: &str, hists: &Histograms) -> String {
+    let mut t = ChromeTrace::new();
+    schedule.render_chrome(&mut t, 1, process);
+    let end = schedule
+        .batches
+        .iter()
+        .map(|b| b.start_us + b.dur_us)
+        .fold(0.0, f64::max);
+    let mut mix = PathMix::default();
+    for m in hists.sites.values() {
+        mix.merge(m);
+    }
+    let series: Vec<(&str, String)> = [
+        ("fast", mix.fast),
+        ("slow", mix.slow),
+        ("cache_hit", mix.cache_hits),
+        ("cache_update", mix.cache_updates),
+        ("underflow", mix.underflow),
+        ("arith", mix.arith),
+        ("skipped", mix.skipped),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k, v.to_string()))
+    .collect();
+    let series_refs: Vec<(&str, &str)> = series.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    t.counter(1, "check paths", end, &series_refs);
+    t.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Histogram payload codec: campaign shards carry each cell's sampling
+// histograms through JSON. Encoding is sparse (non-empty buckets only) and
+// decoding is exact, so merged histograms equal the monolithic run's.
+// ---------------------------------------------------------------------------
+
+/// Encodes one log2 histogram as `{"b": [[bucket, count], ...], "count": n,
+/// "sum": s}` with empty buckets omitted.
+fn log2_json(h: &Log2Hist) -> Json {
+    let b: Vec<Json> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| Json::from(vec![Json::from(i as u64), Json::from(c)]))
+        .collect();
+    Json::obj()
+        .field("b", b)
+        .field("count", h.count)
+        .field("sum", h.sum)
+}
+
+fn log2_from(j: &Json) -> Log2Hist {
+    let mut h = Log2Hist::default();
+    for pair in study::req_array(j, "b") {
+        let pair = pair.as_array().expect("histogram bucket pair");
+        let i = pair[0].as_u64().expect("bucket index") as usize;
+        h.buckets[i] = pair[1].as_u64().expect("bucket count");
+    }
+    h.count = study::req_u64(j, "count");
+    h.sum = study::req_u64(j, "sum");
+    h
+}
+
+/// [`PathMix`] fields in payload array order.
+fn mix_values(m: &PathMix) -> [u64; 7] {
+    [
+        m.fast,
+        m.slow,
+        m.cache_hits,
+        m.cache_updates,
+        m.underflow,
+        m.arith,
+        m.skipped,
+    ]
+}
+
+fn mix_from(values: &[u64]) -> PathMix {
+    PathMix {
+        fast: values[0],
+        slow: values[1],
+        cache_hits: values[2],
+        cache_updates: values[3],
+        underflow: values[4],
+        arith: values[5],
+        skipped: values[6],
+    }
+}
+
+/// Encodes a full [`Histograms`] set (the four log2 histograms plus the
+/// per-site path mixes).
+pub fn hists_json(h: &Histograms) -> Json {
+    let sites: Vec<Json> = h
+        .sites
+        .iter()
+        .map(|(site, mix)| {
+            Json::obj()
+                .field("site", *site)
+                .field("mix", study::u64s(&mix_values(mix)))
+        })
+        .collect();
+    Json::obj()
+        .field("region_sizes", log2_json(&h.region_sizes))
+        .field("fold_depths", log2_json(&h.fold_depths))
+        .field("convergence", log2_json(&h.convergence))
+        .field("alloc_sizes", log2_json(&h.alloc_sizes))
+        .field("sites", sites)
+}
+
+/// Inverse of [`hists_json`].
+pub fn hists_from(j: &Json) -> Histograms {
+    let mut h = Histograms {
+        region_sizes: log2_from(study::req(j, "region_sizes")),
+        fold_depths: log2_from(study::req(j, "fold_depths")),
+        convergence: log2_from(study::req(j, "convergence")),
+        alloc_sizes: log2_from(study::req(j, "alloc_sizes")),
+        sites: Default::default(),
+    };
+    for site in study::req_array(j, "sites") {
+        let mix = study::req_u64s(site, "mix");
+        h.sites
+            .insert(study::req_u64(site, "site") as u32, mix_from(&mix));
+    }
+    h
+}
+
+/// `repro trace` as a [`Study`]: cell 0 is the planner (its per-pass
+/// events), cells 1..=[`DEFAULT_CELLS`] are the executed batch cells. Each
+/// payload carries the cell's rendered JSONL slice, so a merged campaign
+/// concatenates them in index order into the exact monolithic event stream
+/// (events are already `(cell, seq)`-sorted within a cell).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEntry;
+
+impl TraceEntry {
+    /// The deterministic plan every cell runs under (identical to the one
+    /// [`trace_study_with`] records: `analyze` and [`analyze_recorded`] run
+    /// the same pipeline).
+    fn plan_for(opts: &StudyOpts, program: &Program) -> CheckPlan {
+        match opts.tool {
+            Tool::Native => CheckPlan::none(program),
+            _ => analyze(program, &opts.tool.builder().spec().profile()).plan,
         }
-        out.push_str(&t.render());
-        out
+    }
+}
+
+impl Study for TraceEntry {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn cells(&self, opts: &StudyOpts) -> Result<Vec<String>, String> {
+        workload_program(&opts.workload, opts.scale).ok_or_else(|| {
+            format!(
+                "unknown workload `{}` (figure8 or a SPEC row id like 519.lbm_r)",
+                opts.workload
+            )
+        })?;
+        let mut labels = vec!["plan".to_string()];
+        labels.extend((1..=DEFAULT_CELLS).map(|c| format!("cell-{c}")));
+        Ok(labels)
+    }
+
+    fn run_cell(&self, opts: &StudyOpts, index: usize) -> Json {
+        let (program, base_inputs) =
+            workload_program(&opts.workload, opts.scale).expect("validated by cells()");
+        if index == 0 {
+            // The planning cell: per-pass events (none under Native).
+            let mut rec = TraceRecorder::for_cell(0);
+            let spec = opts.tool.builder().spec();
+            if opts.tool != Tool::Native {
+                analyze_recorded(&program, &spec.profile(), &mut rec);
+            }
+            let (ev, h, d) = rec.finish();
+            return Json::obj()
+                .field("kind", "plan")
+                .field("jsonl", events_jsonl(&ev))
+                .field("events", ev.len() as u64)
+                .field("dropped", d)
+                .field("hists", hists_json(&h));
+        }
+        let cell = index as u32;
+        let spec = opts.tool.builder().spec();
+        let plan = Self::plan_for(opts, &program);
+        let inputs = cell_inputs(&opts.workload, opts.scale, cell, &base_inputs);
+        let mut rec = TraceRecorder::for_cell(cell);
+        let out = spec.run_planned_recorded(&program, &plan, &inputs, &mut rec);
+        let (ev, h, d) = rec.finish();
+        Json::obj()
+            .field("kind", "run")
+            .field("cell", cell)
+            .field("jsonl", events_jsonl(&ev))
+            .field("steps", out.result.steps)
+            .field("reports", out.result.reports.len() as u64)
+            .field("result_digest", Json::hex(out.result.digest()))
+            .field("events", ev.len() as u64)
+            .field("counters", study::u64s(&out.counters.field_values()))
+            .field("dropped", d)
+            .field("hists", hists_json(&h))
+    }
+
+    fn render(&self, opts: &StudyOpts, records: &[Record]) -> Result<StudyOutput, String> {
+        let kernel = giantsan_shadow::kernel::active().name();
+        let mut jsonl = String::new();
+        let mut hists = Histograms::default();
+        let mut dropped = 0u64;
+        let mut events = 0usize;
+        let mut counters = Counters::default();
+        let mut runs = Vec::new();
+        for r in records {
+            jsonl.push_str(study::req_str(&r.payload, "jsonl"));
+            hists.merge(&hists_from(study::req(&r.payload, "hists")));
+            dropped += study::req_u64(&r.payload, "dropped");
+            events += study::req_u64(&r.payload, "events") as usize;
+            if study::req_str(&r.payload, "kind") == "run" {
+                let run_counters = Counters::from_field_values(
+                    study::req_u64s(&r.payload, "counters")
+                        .try_into()
+                        .expect("counters payload carries every field"),
+                );
+                counters += &run_counters;
+                runs.push(TraceRun {
+                    cell: study::req_u64(&r.payload, "cell") as u32,
+                    result_digest: study::req_hex(&r.payload, "result_digest"),
+                    steps: study::req_u64(&r.payload, "steps"),
+                    reports: study::req_u64(&r.payload, "reports") as usize,
+                    events: study::req_u64(&r.payload, "events") as usize,
+                    counters: run_counters,
+                });
+            }
+        }
+        let digest = text_digest(&jsonl);
+        let report = format!(
+            "== End-to-end telemetry trace: {} under {} ==\n\n{}\n",
+            opts.workload,
+            opts.tool.name(),
+            render_report(
+                &opts.workload,
+                opts.tool,
+                kernel,
+                opts.threads,
+                &runs,
+                events,
+                dropped,
+                digest,
+                &hists,
+            )
+        );
+        let counter_fields: Vec<(&str, u64)> = counters.fields().collect();
+        Ok(StudyOutput {
+            report,
+            main_artifacts: vec![
+                ("trace_events.jsonl".to_string(), jsonl),
+                (
+                    "trace_metrics.prom".to_string(),
+                    prometheus(kernel, &counter_fields, &hists, dropped),
+                ),
+                ("trace_digest.txt".to_string(), format!("{digest:#018x}\n")),
+            ],
+            artifacts: vec![(
+                "trace_counters.csv".to_string(),
+                crate::csv::trace_counters_csv_runs(&runs),
+            )],
+            ..StudyOutput::default()
+        })
+    }
+
+    /// The Chrome trace needs the live scheduling spans — presentation
+    /// plane, never checkpointed.
+    fn presentation(
+        &self,
+        opts: &StudyOpts,
+        records: &[Record],
+        schedule: &BatchTrace,
+    ) -> Vec<(String, String)> {
+        let mut hists = Histograms::default();
+        for r in records {
+            hists.merge(&hists_from(study::req(&r.payload, "hists")));
+        }
+        let process = format!(
+            "repro trace: {} under {} [kernel={}]",
+            opts.workload,
+            opts.tool.name(),
+            giantsan_shadow::kernel::active().name()
+        );
+        vec![(
+            "trace_chrome.json".to_string(),
+            chrome_with(schedule, &process, &hists),
+        )]
     }
 }
 

@@ -31,6 +31,8 @@ pub mod bench_pr2;
 pub mod bench_pr4;
 pub mod bench_pr5;
 pub mod bench_pr6;
+pub mod campaign;
+pub mod cli;
 pub mod cost;
 pub mod csv;
 pub mod experiments;
@@ -38,6 +40,7 @@ pub mod faults;
 pub mod json;
 pub mod matrix;
 pub mod session;
+pub mod study;
 mod table;
 mod tool;
 
@@ -45,8 +48,11 @@ pub use batch::{
     BatchOutcome, BatchRunner, BatchSpan, BatchTrace, CellFailure, CellSpan, FailureSummary,
     TraceSink,
 };
+pub use campaign::{Campaign, CampaignError, ResumeStats, ShardSpec};
+pub use cli::CliOpts;
 pub use cost::{geomean, CostModel};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultySanitizer};
 pub use session::{SessionSpec, ToolBuilder};
+pub use study::{Record, Study, StudyOpts, StudyOutput, StudyRegistry};
 pub use table::{pct, TextTable};
 pub use tool::{run_planned, run_tool, RunOutcome, Tool};

@@ -171,21 +171,54 @@ pub fn run_matrix(
 /// result, and counter of every cell — the batch engine's end-to-end
 /// determinism check.
 pub fn digest(outcomes: &[CellOutcome]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
+    let mut h = Fnv1a::new();
     for o in outcomes {
-        eat(o.label.as_bytes());
-        eat(&[o.detected as u8]);
-        eat(&o.result_digest.to_le_bytes());
+        h.eat(o.label.as_bytes());
+        h.eat(&[o.detected as u8]);
+        h.eat(&o.result_digest.to_le_bytes());
         // Counters is plain data with a stable Debug form within a build.
-        eat(format!("{:?}", o.counters).as_bytes());
+        h.eat(format!("{:?}", o.counters).as_bytes());
     }
-    h
+    h.finish()
+}
+
+/// Incremental FNV-1a hasher — the repo's single digest discipline, shared
+/// by the matrix digest above, the fault campaign, the telemetry JSONL
+/// export, and the campaign layer's spec hashes and shard blobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over raw bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.eat(bytes);
+    h.finish()
 }
 
 #[cfg(test)]

@@ -46,6 +46,16 @@ impl Tool {
         Tool::EliminationOnly,
     ];
 
+    /// Parses a tool by its display name, case-insensitively.
+    ///
+    /// This is the single CLI-facing lookup every `repro` subcommand shares
+    /// (`--tool asan--`, `--tool GiantSan`, …).
+    pub fn parse(name: &str) -> Option<Tool> {
+        Tool::ALL
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(name))
+    }
+
     /// Display name matching the paper's column headers.
     pub fn name(self) -> &'static str {
         match self {

@@ -114,6 +114,31 @@ impl Counters {
         Self::FIELD_NAMES.into_iter().zip(self.field_values())
     }
 
+    /// Rebuilds a `Counters` from values in [`Counters::FIELD_NAMES`] order —
+    /// the inverse of [`Counters::field_values`], used when campaign
+    /// checkpoints are read back from disk.
+    pub fn from_field_values(values: [u64; 15]) -> Self {
+        let [shadow_loads, fast_checks, slow_checks, cache_hits, cache_updates, underflow_checks, arith_checks, shadow_stores, allocs, frees, stack_allocs, stack_sim_ops, reports, errors_recovered, errors_suppressed] =
+            values;
+        Counters {
+            shadow_loads,
+            fast_checks,
+            slow_checks,
+            cache_hits,
+            cache_updates,
+            underflow_checks,
+            arith_checks,
+            shadow_stores,
+            allocs,
+            frees,
+            stack_allocs,
+            stack_sim_ops,
+            reports,
+            errors_recovered,
+            errors_suppressed,
+        }
+    }
+
     /// Total number of checks executed on any path.
     pub fn total_checks(&self) -> u64 {
         self.fast_checks

@@ -117,6 +117,16 @@ pub fn jsonl_digest(events: &[Event]) -> u64 {
     fnv1a(events_jsonl(events).as_bytes())
 }
 
+/// FNV-1a digest of an already-rendered JSONL document.
+///
+/// Campaign shards store each cell's event stream as rendered JSONL text;
+/// merging concatenates the per-cell texts in `(cell, seq)` order, so
+/// digesting the concatenation with this function equals [`jsonl_digest`]
+/// of the merged event list without re-parsing a single event.
+pub fn text_digest(text: &str) -> u64 {
+    fnv1a(text.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@ mod jsonl;
 mod prom;
 
 pub use chrome::ChromeTrace;
-pub use jsonl::{events_jsonl, jsonl_digest};
+pub use jsonl::{events_jsonl, jsonl_digest, text_digest};
 pub use prom::prometheus;
 
 /// Escapes `s` for embedding in a JSON string literal.

@@ -1,0 +1,302 @@
+//! Campaign engine contracts: any shard partition merges back to the
+//! monolithic records, a killed campaign resumes to the identical result,
+//! spec drift fails loudly instead of mixing incompatible checkpoints, and
+//! tampered blobs are rejected at the digest check.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use giantsan::harness::campaign::{self, Campaign, CampaignError, ShardSpec};
+use giantsan::harness::{BatchRunner, Record, Study, StudyOpts, StudyRegistry};
+
+/// A scratch campaign directory under the system temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "giantsan-campaign-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn study() -> &'static dyn Study {
+    static REGISTRY: std::sync::OnceLock<StudyRegistry> = std::sync::OnceLock::new();
+    REGISTRY
+        .get_or_init(StudyRegistry::builtin)
+        .get("table4")
+        .expect("table4 is a builtin study")
+}
+
+fn monolithic(opts: &StudyOpts) -> Vec<Record> {
+    Campaign::new(study(), opts.clone())
+        .unwrap()
+        .run_all(&BatchRunner::serial())
+}
+
+#[test]
+fn every_partition_merges_to_the_monolithic_records() {
+    let opts = StudyOpts::default();
+    let baseline = monolithic(&opts);
+    let cells = baseline.len();
+    assert!(cells >= 2, "table4 must have a real matrix to shard");
+
+    // Shard counts below, at, and above the cell count (trailing shards are
+    // then empty and must still commit and merge cleanly).
+    for count in [1usize, 2, 3, cells, cells + 2] {
+        let dir = TempDir::new("partition");
+        let campaign = Campaign::new(study(), opts.clone()).unwrap();
+        for index in 0..count {
+            let ran = campaign
+                .run_shard(
+                    dir.path(),
+                    ShardSpec { index, count },
+                    &BatchRunner::serial(),
+                )
+                .unwrap();
+            assert!(ran, "shard {index}/{count} should not pre-exist");
+        }
+        let merged = campaign.load_records(dir.path()).unwrap();
+        assert_eq!(merged, baseline, "{count} shards");
+
+        // The rendered report — what `repro merge` prints — must match the
+        // monolithic render byte for byte.
+        let a = study().render(&opts, &baseline).unwrap();
+        let b = study().render(&opts, &merged).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.json, b.json);
+        assert_eq!(a.artifacts, b.artifacts);
+    }
+}
+
+#[test]
+fn kill_and_resume_matches_the_uninterrupted_run() {
+    let opts = StudyOpts::default();
+    let baseline = monolithic(&opts);
+
+    for workers in [1usize, 2, 4] {
+        let dir = TempDir::new("resume");
+        let campaign = Campaign::new(study(), opts.clone()).unwrap();
+
+        // "Kill" after the first of four shards: only shard 0 is committed.
+        campaign
+            .run_shard(
+                dir.path(),
+                ShardSpec { index: 0, count: 4 },
+                &BatchRunner::serial(),
+            )
+            .unwrap();
+
+        let runner = if workers == 1 {
+            BatchRunner::serial()
+        } else {
+            BatchRunner::new(workers)
+        };
+        let (records, stats) = campaign.resume(dir.path(), &runner).unwrap();
+        assert_eq!(records, baseline, "{workers} workers");
+        assert_eq!(stats.reused, vec![0]);
+        assert_eq!(stats.ran, vec![1, 2, 3]);
+
+        // A second resume reuses everything and runs nothing.
+        let (records, stats) = campaign.resume(dir.path(), &runner).unwrap();
+        assert_eq!(records, baseline);
+        assert_eq!(stats.reused, vec![0, 1, 2, 3]);
+        assert!(stats.ran.is_empty());
+    }
+}
+
+#[test]
+fn rerunning_a_committed_shard_is_a_no_op() {
+    let opts = StudyOpts::default();
+    let dir = TempDir::new("noop");
+    let campaign = Campaign::new(study(), opts).unwrap();
+    let spec = ShardSpec { index: 0, count: 2 };
+    assert!(campaign
+        .run_shard(dir.path(), spec, &BatchRunner::serial())
+        .unwrap());
+    assert!(!campaign
+        .run_shard(dir.path(), spec, &BatchRunner::serial())
+        .unwrap());
+}
+
+#[test]
+fn resume_against_a_changed_spec_fails_loudly() {
+    let opts = StudyOpts::default();
+    let dir = TempDir::new("drift");
+    Campaign::new(study(), opts.clone())
+        .unwrap()
+        .run_shard(
+            dir.path(),
+            ShardSpec { index: 0, count: 2 },
+            &BatchRunner::serial(),
+        )
+        .unwrap();
+
+    let mut drifted = opts;
+    drifted.seed = 0x99;
+    let campaign = Campaign::new(study(), drifted).unwrap();
+    let err = campaign
+        .resume(dir.path(), &BatchRunner::serial())
+        .unwrap_err();
+    match err {
+        CampaignError::SpecMismatch(msg) => {
+            assert!(msg.contains("spec"), "{msg}");
+            assert!(
+                msg.contains("fresh"),
+                "should tell the user what to do: {msg}"
+            );
+        }
+        other => panic!("expected SpecMismatch, got: {other}"),
+    }
+}
+
+#[test]
+fn shard_denominator_drift_fails_loudly() {
+    let opts = StudyOpts::default();
+    let dir = TempDir::new("denominator");
+    let campaign = Campaign::new(study(), opts).unwrap();
+    campaign
+        .run_shard(
+            dir.path(),
+            ShardSpec { index: 0, count: 2 },
+            &BatchRunner::serial(),
+        )
+        .unwrap();
+    let err = campaign
+        .run_shard(
+            dir.path(),
+            ShardSpec { index: 0, count: 3 },
+            &BatchRunner::serial(),
+        )
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("denominator"),
+        "mixed --shard /n values must be rejected: {err}"
+    );
+}
+
+#[test]
+fn merging_an_incomplete_campaign_names_the_missing_shards() {
+    let opts = StudyOpts::default();
+    let dir = TempDir::new("incomplete");
+    let campaign = Campaign::new(study(), opts).unwrap();
+    campaign
+        .run_shard(
+            dir.path(),
+            ShardSpec { index: 1, count: 3 },
+            &BatchRunner::serial(),
+        )
+        .unwrap();
+    let err = campaign.load_records(dir.path()).unwrap_err();
+    match err {
+        CampaignError::Incomplete { missing } => assert_eq!(missing, vec![0, 2]),
+        other => panic!("expected Incomplete, got: {other}"),
+    }
+}
+
+#[test]
+fn tampered_blobs_are_rejected_at_the_digest_check() {
+    let opts = StudyOpts::default();
+    let dir = TempDir::new("tamper");
+    let campaign = Campaign::new(study(), opts).unwrap();
+    campaign
+        .run_shard(
+            dir.path(),
+            ShardSpec { index: 0, count: 1 },
+            &BatchRunner::serial(),
+        )
+        .unwrap();
+
+    let blob = dir.path().join("shard-0000.jsonl");
+    let mut text = std::fs::read_to_string(&blob).unwrap();
+    text.push('\n');
+    std::fs::write(&blob, text).unwrap();
+
+    let err = campaign.load_records(dir.path()).unwrap_err();
+    assert!(err.to_string().contains("digest"), "{err}");
+}
+
+#[test]
+fn open_for_merge_rebuilds_the_study_from_the_header() {
+    let opts = StudyOpts {
+        seed: 0xfeed,
+        div: 7,
+        ..StudyOpts::default()
+    };
+    let dir = TempDir::new("merge");
+    let campaign = Campaign::new(study(), opts.clone()).unwrap();
+    for index in 0..2 {
+        campaign
+            .run_shard(
+                dir.path(),
+                ShardSpec { index, count: 2 },
+                &BatchRunner::serial(),
+            )
+            .unwrap();
+    }
+
+    let registry = StudyRegistry::builtin();
+    let reopened = campaign::open_for_merge(&registry, dir.path()).unwrap();
+    assert_eq!(reopened.study().name(), "table4");
+    assert_eq!(reopened.opts().seed, 0xfeed);
+    assert_eq!(reopened.opts().div, 7);
+    assert_eq!(reopened.spec_hash(), campaign.spec_hash());
+    assert_eq!(
+        reopened.load_records(dir.path()).unwrap(),
+        monolithic(&opts)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant, fuzzed: for an arbitrary shard count and an
+    /// arbitrary order of shard execution, the merged records equal the
+    /// monolithic run's — the partition is never observable in the result.
+    #[test]
+    fn any_shard_partition_merges_to_the_monolithic_digest(
+        count in 1usize..9,
+        order_seed in 0u64..1024,
+    ) {
+        let opts = StudyOpts::default();
+        let baseline = monolithic(&opts);
+        let dir = TempDir::new("prop");
+        let campaign = Campaign::new(study(), opts).unwrap();
+
+        // Commit the shards in a pseudo-random order derived from the seed:
+        // the manifest is append-only and order-independent.
+        let mut order: Vec<usize> = (0..count).collect();
+        let mut s = order_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        for index in order {
+            campaign
+                .run_shard(dir.path(), ShardSpec { index, count }, &BatchRunner::serial())
+                .unwrap();
+        }
+        let merged = campaign.load_records(dir.path()).unwrap();
+        prop_assert_eq!(merged, baseline);
+    }
+}
