@@ -294,26 +294,12 @@ fn end_to_end_digests() -> (u64, u64) {
     (digest, fnv1a(&counter_bytes))
 }
 
-/// Runs the kernel backend sweep.
-///
-/// Forces each backend in turn for the digest-parity half, then restores the
-/// backend that was active on entry (the forced windows are benign: every
-/// backend returns identical results by contract).
-pub fn run_bench() -> BenchPr6Report {
-    let mut cases = Vec::new();
-    for op in ["first_ne", "first_ge", "fill", "write_folded_run"] {
-        for region in REGION_SIZES {
-            let segs = (region / 8) as usize;
-            cases.push(KernelCase {
-                kernel: op.to_string(),
-                region_bytes: region,
-                scalar_ns: time_backend(op, Backend::Scalar, segs),
-                swar_ns: time_backend(op, Backend::Swar, segs),
-                simd_ns: time_backend(op, Backend::Simd, segs),
-            });
-        }
-    }
-
+/// Runs only the digest-parity half of the sweep: the clean mix end-to-end
+/// under each forced backend, restoring the backend that was active on entry
+/// (the forced windows are benign: every backend returns identical results
+/// by contract). The alloc study backfills these rows into `BENCH_PR8.json`
+/// without paying for the timing half.
+pub fn digest_parity() -> Vec<BackendDigest> {
     let restore = kernel::active().backend();
     let mut digests = Vec::new();
     for backend in Backend::ALL {
@@ -327,11 +313,34 @@ pub fn run_bench() -> BenchPr6Report {
         });
     }
     kernel::force(restore);
+    digests
+}
 
+/// Runs the timing half of the sweep: every kernel on every backend over the
+/// region-size ladder.
+pub fn timing_sweep() -> Vec<KernelCase> {
+    let mut cases = Vec::new();
+    for op in ["first_ne", "first_ge", "fill", "write_folded_run"] {
+        for region in REGION_SIZES {
+            let segs = (region / 8) as usize;
+            cases.push(KernelCase {
+                kernel: op.to_string(),
+                region_bytes: region,
+                scalar_ns: time_backend(op, Backend::Scalar, segs),
+                swar_ns: time_backend(op, Backend::Swar, segs),
+                simd_ns: time_backend(op, Backend::Simd, segs),
+            });
+        }
+    }
+    cases
+}
+
+/// Runs the kernel backend sweep (timing + digest parity).
+pub fn run_bench() -> BenchPr6Report {
     BenchPr6Report {
         simd_kernel: kernel::select(Backend::Simd).name(),
-        cases,
-        digests,
+        cases: timing_sweep(),
+        digests: digest_parity(),
     }
 }
 

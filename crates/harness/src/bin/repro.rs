@@ -88,7 +88,7 @@ const ALL: [&str; 10] = [
 fn usage() -> String {
     format!(
         "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density\
-         |bench|faults|trace|all> {}\n       repro merge DIR [--format text|json] [--out-dir DIR]",
+         |alloc|bench|faults|trace|all> {}\n       repro merge DIR [--format text|json] [--out-dir DIR]",
         cli::FLAG_USAGE
     )
 }

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod alloc;
 pub mod density;
 pub mod fault_study;
 pub mod fig10;

@@ -229,6 +229,7 @@ impl StudyRegistry {
                 Box::new(plan::PlanEntry),
                 Box::new(memory::MemoryEntry),
                 Box::new(density::DensityEntry),
+                Box::new(alloc::AllocEntry),
                 Box::new(BenchEntry),
                 Box::new(fault_study::FaultsEntry),
                 Box::new(trace::TraceEntry),

@@ -501,6 +501,13 @@ impl<S: Sanitizer + ?Sized, R: Recorder> Interp<'_, S, R> {
                                     .counters()
                                     .shadow_stores
                                     .saturating_sub(stores_before),
+                                placement: a.placement.map(|p| {
+                                    giantsan_telemetry::AllocPlacement {
+                                        block: p.block,
+                                        line: p.line,
+                                        class: p.class,
+                                    }
+                                }),
                             });
                         }
                     }

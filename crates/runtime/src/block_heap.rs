@@ -1,0 +1,670 @@
+//! Immix-style block/line heap: the allocation layer behind ROADMAP item 2.
+//!
+//! The free-list [`crate::SimHeap`] serves million-object workloads one
+//! `BTreeMap` probe at a time and hands the sanitizer one object per call to
+//! poison. This allocator restructures the arena the way Immix structures a
+//! GC heap — and the way "Beyond Tag Collision"-style cluster allocators
+//! structure a hardened malloc:
+//!
+//! * the arena is carved into **32 KiB blocks** of **128-byte lines**;
+//! * small and medium requests are rounded to a **size class** (a whole
+//!   number of lines) and bump-allocated into a block dedicated to that
+//!   class — allocation is a pop-or-increment, not a tree search;
+//! * freed slots become **holes**; hole-finding recycles the lowest hole of
+//!   the lowest partial block first, so address reuse stays deterministic;
+//! * requests larger than [`MEDIUM_MAX`] take **whole-block spans**;
+//! * blocks are partitioned into **per-thread arenas** so parallel batch
+//!   cells allocate without contending on one shared cursor.
+//!
+//! The block structure is what makes *poisoning* block-granular: when a
+//! block is dedicated to a class, every slot has the same shadow image, so
+//! the sanitizer can write the whole block's folded codes with one bulk
+//! kernel call; when a block's last object leaves, one `fill` resets 32 KiB
+//! of shadow. The heap reports those two moments as [`BlockEvent`]s.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use giantsan_shadow::{align_up, Addr, SEGMENT_SIZE};
+
+use crate::HeapError;
+
+/// Bytes per block: the Immix default, 256 lines.
+pub const BLOCK_SIZE: u64 = 32 * 1024;
+
+/// Bytes per line: the granule of hole-finding and slot rounding.
+pub const LINE_SIZE: u64 = 128;
+
+/// Lines per block.
+pub const LINES_PER_BLOCK: u64 = BLOCK_SIZE / LINE_SIZE;
+
+/// Size classes, in lines per slot. Small classes (1–8 lines, ≤ 1 KiB)
+/// advance line by line; medium classes (16/32/64 lines, ≤ 8 KiB) advance by
+/// powers of two. Anything larger is a whole-block span.
+pub const CLASS_LINES: [u64; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 16, 32, 64];
+
+/// Largest request (bytes, redzones included) served from class blocks.
+pub const MEDIUM_MAX: u64 = 64 * LINE_SIZE;
+
+/// Class index reported for whole-block spans in [`Placement::class`].
+pub const LARGE_CLASS: u8 = u8::MAX;
+
+/// Smallest class whose slot holds `len` bytes, or `None` for large spans.
+pub fn class_of(len: u64) -> Option<u8> {
+    if len > MEDIUM_MAX {
+        return None;
+    }
+    let lines = len.div_ceil(LINE_SIZE).max(1);
+    CLASS_LINES
+        .iter()
+        .position(|&c| c >= lines)
+        .map(|i| i as u8)
+}
+
+/// Where an allocation landed in the block/line structure. Sanitizers use
+/// `pristine` for the bulk-poison fast path; telemetry exports the block /
+/// line / class triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Arena the allocation came from.
+    pub arena: u32,
+    /// Block index within the heap (start-relative, not an address).
+    pub block: u64,
+    /// First line of the slot within its block.
+    pub line: u32,
+    /// Size-class index into [`CLASS_LINES`], or [`LARGE_CLASS`] for spans.
+    pub class: u8,
+    /// Bytes actually reserved (the slot or span length; ≥ the request).
+    pub slot_len: u64,
+    /// `true` when the slot has never been used since its block was mapped:
+    /// its shadow still holds the block's bulk-written class pattern.
+    pub pristine: bool,
+}
+
+/// A moment where shadow poisoning can act on a whole block at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockEvent {
+    /// A free block was dedicated to a size class: all `slots` slots of
+    /// `slot_len` bytes can be pattern-poisoned in one bulk write.
+    Mapped {
+        /// First byte of the block.
+        start: Addr,
+        /// Bytes per slot.
+        slot_len: u64,
+        /// Number of slots carved from the block.
+        slots: u32,
+    },
+    /// `len` bytes of whole blocks returned to the free pool (a drained
+    /// class block or a released span): one fill resets their shadow.
+    Freed {
+        /// First byte of the run.
+        start: Addr,
+        /// Length of the run in bytes (a multiple of [`BLOCK_SIZE`]).
+        len: u64,
+    },
+}
+
+/// Aggregate statistics of a [`BlockHeap`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockHeapStats {
+    /// Free blocks dedicated to a size class.
+    pub blocks_mapped: u64,
+    /// Whole blocks returned to the free pool (drained classes + spans).
+    pub blocks_freed: u64,
+    /// Slot holes reused by hole-finding (line recycling).
+    pub holes_recycled: u64,
+    /// Whole-block spans served.
+    pub large_spans: u64,
+}
+
+/// One block currently dedicated to a size class.
+#[derive(Debug, Clone)]
+struct ClassBlock {
+    /// Recycled slot indices available for reuse (lowest first).
+    holes: BTreeSet<u32>,
+    /// Next never-used slot index (the bump cursor).
+    bump: u32,
+    /// Outstanding slots.
+    live: u32,
+}
+
+/// One arena: a contiguous run of blocks with its own free pool and
+/// per-class block lists.
+#[derive(Debug, Clone)]
+struct Arena {
+    /// Free blocks of this arena, by start address.
+    free_blocks: BTreeSet<u64>,
+    /// Per class: blocks with at least one free slot, by start address.
+    partial: Vec<BTreeMap<u64, ClassBlock>>,
+    /// Per class: blocks with no free slot, by start address.
+    full: Vec<HashMap<u64, ClassBlock>>,
+}
+
+impl Arena {
+    fn new(blocks: impl Iterator<Item = u64>) -> Self {
+        Arena {
+            free_blocks: blocks.collect(),
+            partial: (0..CLASS_LINES.len()).map(|_| BTreeMap::new()).collect(),
+            full: (0..CLASS_LINES.len()).map(|_| HashMap::new()).collect(),
+        }
+    }
+}
+
+/// The Immix-style block/line allocator over `[lo, hi)`.
+///
+/// Mirrors [`crate::SimHeap`]'s `acquire`/`release` surface (so [`crate::World`]
+/// treats both as interchangeable backends) and adds `acquire_in` for
+/// arena-directed allocation plus [`BlockHeap::take_events`] for
+/// block-granular poisoning.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::block_heap::{BlockHeap, BLOCK_SIZE};
+/// use giantsan_shadow::Addr;
+///
+/// let lo = Addr::new(0x1_0000);
+/// let mut heap = BlockHeap::new(lo, lo + 4 * BLOCK_SIZE, 1);
+/// let (a, p) = heap.acquire_in(0, 100)?;
+/// assert_eq!(a, lo, "first slot of the first mapped block");
+/// assert!(p.pristine);
+/// heap.release(a, 100)?;
+/// # Ok::<(), giantsan_runtime::HeapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockHeap {
+    lo: Addr,
+    hi: Addr,
+    arenas: Vec<Arena>,
+    /// Block start → (arena, class) for blocks dedicated to a class.
+    class_blocks: HashMap<u64, (u32, u8)>,
+    /// Span start → block count for outstanding large spans.
+    spans: HashMap<u64, u64>,
+    /// Outstanding allocations: start → reserved bytes (slot or span).
+    live: HashMap<u64, u64>,
+    bytes_in_use: u64,
+    high_water: u64,
+    stats: BlockHeapStats,
+    events: Vec<BlockEvent>,
+}
+
+impl BlockHeap {
+    /// Creates a heap over `[lo, hi)` split into `arenas` contiguous arenas.
+    ///
+    /// Only whole blocks are managed: a non-multiple tail of the range is
+    /// left unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or misaligned, if `arenas` is zero, or
+    /// if there are fewer blocks than arenas.
+    pub fn new(lo: Addr, hi: Addr, arenas: u32) -> Self {
+        assert!(lo < hi, "empty heap range");
+        assert!(lo.is_segment_aligned() && hi.is_segment_aligned());
+        assert!(arenas > 0, "need at least one arena");
+        let n_blocks = (hi - lo) / BLOCK_SIZE;
+        assert!(
+            n_blocks >= arenas as u64,
+            "{n_blocks} blocks cannot back {arenas} arenas"
+        );
+        let per = n_blocks / arenas as u64;
+        let arena_list = (0..arenas as u64)
+            .map(|i| {
+                let first = i * per;
+                // The last arena absorbs the remainder blocks.
+                let last = if i + 1 == arenas as u64 {
+                    n_blocks
+                } else {
+                    first + per
+                };
+                Arena::new((first..last).map(|b| lo.raw() + b * BLOCK_SIZE))
+            })
+            .collect();
+        BlockHeap {
+            lo,
+            hi,
+            arenas: arena_list,
+            class_blocks: HashMap::new(),
+            spans: HashMap::new(),
+            live: HashMap::new(),
+            bytes_in_use: 0,
+            high_water: 0,
+            stats: BlockHeapStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Lowest address managed by the heap.
+    pub fn lo(&self) -> Addr {
+        self.lo
+    }
+
+    /// One past the highest address managed by the heap.
+    pub fn hi(&self) -> Addr {
+        self.hi
+    }
+
+    /// Number of arenas.
+    pub fn arena_count(&self) -> u32 {
+        self.arenas.len() as u32
+    }
+
+    /// Bytes currently reserved (slot and span lengths, which include the
+    /// callers' redzones and any class rounding).
+    pub fn bytes_in_use(&self) -> u64 {
+        self.bytes_in_use
+    }
+
+    /// Peak of [`BlockHeap::bytes_in_use`] over the heap's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> BlockHeapStats {
+        self.stats
+    }
+
+    /// Free blocks across all arenas (fragmentation tests).
+    pub fn free_blocks(&self) -> usize {
+        self.arenas.iter().map(|a| a.free_blocks.len()).sum()
+    }
+
+    /// Drains the block events accumulated since the last call. The caller
+    /// (a sanitizer) turns each into one bulk shadow write.
+    pub fn take_events(&mut self) -> Vec<BlockEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Discards pending events (callers that poison per object).
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
+    /// Start of the block (or span) containing `addr` — the cluster key the
+    /// cluster quarantine groups by.
+    pub fn cluster_of(&self, addr: Addr) -> u64 {
+        let rel = addr - self.lo;
+        self.lo.raw() + (rel / BLOCK_SIZE) * BLOCK_SIZE
+    }
+
+    fn arena_of(&self, addr: u64) -> u32 {
+        let block = (addr - self.lo.raw()) / BLOCK_SIZE;
+        let n_blocks = (self.hi - self.lo) / BLOCK_SIZE;
+        let per = n_blocks / self.arenas.len() as u64;
+        ((block / per.max(1)) as u32).min(self.arenas.len() as u32 - 1)
+    }
+
+    /// Acquires from arena 0 — the [`crate::SimHeap`]-shaped entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the arena is exhausted.
+    pub fn acquire(&mut self, len: u64) -> Result<Addr, HeapError> {
+        self.acquire_in(0, len).map(|(a, _)| a)
+    }
+
+    /// Acquires at least `len` bytes from `arena`, returning the address and
+    /// its [`Placement`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the arena cannot serve the
+    /// request (arenas do not steal from each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena` is out of range.
+    pub fn acquire_in(&mut self, arena: u32, len: u64) -> Result<(Addr, Placement), HeapError> {
+        let rounded = align_up(len.max(1), SEGMENT_SIZE);
+        let (addr, placement) = match class_of(rounded) {
+            Some(class) => self.acquire_class(arena, class)?,
+            None => self.acquire_span(arena, rounded)?,
+        };
+        self.live.insert(addr.raw(), placement.slot_len);
+        self.bytes_in_use += placement.slot_len;
+        self.high_water = self.high_water.max(self.bytes_in_use);
+        Ok((addr, placement))
+    }
+
+    fn acquire_class(&mut self, arena: u32, class: u8) -> Result<(Addr, Placement), HeapError> {
+        let slot_len = CLASS_LINES[class as usize] * LINE_SIZE;
+        let slots = (BLOCK_SIZE / slot_len) as u32;
+        let a = &mut self.arenas[arena as usize];
+        let c = class as usize;
+        if a.partial[c].is_empty() {
+            // Map the lowest free block for this class.
+            let start = *a.free_blocks.iter().next().ok_or(HeapError::OutOfMemory {
+                requested: slot_len,
+            })?;
+            a.free_blocks.remove(&start);
+            a.partial[c].insert(
+                start,
+                ClassBlock {
+                    holes: BTreeSet::new(),
+                    bump: 0,
+                    live: 0,
+                },
+            );
+            self.class_blocks.insert(start, (arena, class));
+            self.stats.blocks_mapped += 1;
+            self.events.push(BlockEvent::Mapped {
+                start: Addr::new(start),
+                slot_len,
+                slots,
+            });
+        }
+        let (&start, block) = a.partial[c].iter_mut().next().expect("nonempty partial");
+        // Hole-finding first (line recycling), then the bump cursor.
+        let (slot, pristine) = match block.holes.pop_first() {
+            Some(h) => {
+                self.stats.holes_recycled += 1;
+                (h, false)
+            }
+            None => {
+                let s = block.bump;
+                block.bump += 1;
+                (s, true)
+            }
+        };
+        block.live += 1;
+        if block.holes.is_empty() && block.bump == slots {
+            let full = a.partial[c].remove(&start).expect("block just used");
+            a.full[c].insert(start, full);
+        }
+        let addr = Addr::new(start + slot as u64 * slot_len);
+        let placement = Placement {
+            arena,
+            block: (start - self.lo.raw()) / BLOCK_SIZE,
+            line: (slot as u64 * slot_len / LINE_SIZE) as u32,
+            class,
+            slot_len,
+            pristine,
+        };
+        Ok((addr, placement))
+    }
+
+    fn acquire_span(&mut self, arena: u32, rounded: u64) -> Result<(Addr, Placement), HeapError> {
+        let blocks = rounded.div_ceil(BLOCK_SIZE);
+        let a = &mut self.arenas[arena as usize];
+        // Lowest run of `blocks` consecutive free blocks.
+        let mut run_start = None;
+        let mut run_len = 0u64;
+        let mut found = None;
+        for &b in &a.free_blocks {
+            match run_start {
+                Some(s) if b == s + run_len * BLOCK_SIZE => run_len += 1,
+                _ => {
+                    run_start = Some(b);
+                    run_len = 1;
+                }
+            }
+            if run_len == blocks {
+                found = Some(run_start.expect("run tracked"));
+                break;
+            }
+        }
+        let start = found.ok_or(HeapError::OutOfMemory { requested: rounded })?;
+        for i in 0..blocks {
+            a.free_blocks.remove(&(start + i * BLOCK_SIZE));
+        }
+        self.spans.insert(start, blocks);
+        self.stats.large_spans += 1;
+        let placement = Placement {
+            arena,
+            block: (start - self.lo.raw()) / BLOCK_SIZE,
+            line: 0,
+            class: LARGE_CLASS,
+            slot_len: blocks * BLOCK_SIZE,
+            pristine: false,
+        };
+        Ok((Addr::new(start), placement))
+    }
+
+    /// Returns an allocation previously handed out by
+    /// [`BlockHeap::acquire_in`]. Draining a class block's last slot (or
+    /// releasing a span) returns whole blocks to the free pool and emits
+    /// [`BlockEvent::Freed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::UnknownBlock`] if `start` is not an outstanding
+    /// allocation whose reservation matches `len`.
+    pub fn release(&mut self, start: Addr, len: u64) -> Result<(), HeapError> {
+        let rounded = align_up(len.max(1), SEGMENT_SIZE);
+        let reserved = match self.live.get(&start.raw()) {
+            Some(&r) => r,
+            None => return Err(HeapError::UnknownBlock { addr: start }),
+        };
+        // The caller's length must round to the recorded reservation, the
+        // same wrong-length defence SimHeap::release has.
+        let expected = match class_of(rounded) {
+            Some(c) => CLASS_LINES[c as usize] * LINE_SIZE,
+            None => rounded.div_ceil(BLOCK_SIZE) * BLOCK_SIZE,
+        };
+        if expected != reserved {
+            return Err(HeapError::UnknownBlock { addr: start });
+        }
+        self.live.remove(&start.raw());
+        self.bytes_in_use -= reserved;
+        if let Some(blocks) = self.spans.remove(&start.raw()) {
+            let arena = self.arena_of(start.raw());
+            let a = &mut self.arenas[arena as usize];
+            for i in 0..blocks {
+                a.free_blocks.insert(start.raw() + i * BLOCK_SIZE);
+            }
+            self.stats.blocks_freed += blocks;
+            self.events.push(BlockEvent::Freed {
+                start,
+                len: blocks * BLOCK_SIZE,
+            });
+            return Ok(());
+        }
+        let block_start = self.cluster_of(start);
+        let (arena, class) = self.class_blocks[&block_start];
+        let slot_len = CLASS_LINES[class as usize] * LINE_SIZE;
+        let slots = (BLOCK_SIZE / slot_len) as u32;
+        let slot = ((start.raw() - block_start) / slot_len) as u32;
+        let a = &mut self.arenas[arena as usize];
+        let c = class as usize;
+        let in_partial = a.partial[c].contains_key(&block_start);
+        let block = if in_partial {
+            a.partial[c].get_mut(&block_start).expect("partial block")
+        } else {
+            a.full[c].get_mut(&block_start).expect("tracked block")
+        };
+        block.holes.insert(slot);
+        block.live -= 1;
+        if block.live == 0 {
+            // Drained: the whole block returns to the free pool.
+            if in_partial {
+                a.partial[c].remove(&block_start);
+            } else {
+                a.full[c].remove(&block_start);
+            }
+            self.class_blocks.remove(&block_start);
+            a.free_blocks.insert(block_start);
+            self.stats.blocks_freed += 1;
+            self.events.push(BlockEvent::Freed {
+                start: Addr::new(block_start),
+                len: BLOCK_SIZE,
+            });
+        } else if !in_partial {
+            let b = a.full[c].remove(&block_start).expect("tracked block");
+            a.partial[c].insert(block_start, b);
+        }
+        let _ = slots;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap(blocks: u64, arenas: u32) -> BlockHeap {
+        let lo = Addr::new(0x1_0000);
+        BlockHeap::new(lo, lo + blocks * BLOCK_SIZE, arenas)
+    }
+
+    #[test]
+    fn classes_cover_the_line_spectrum() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(128), Some(0));
+        assert_eq!(class_of(129), Some(1));
+        assert_eq!(class_of(1024), Some(7));
+        assert_eq!(class_of(1025), Some(8));
+        assert_eq!(class_of(8192), Some(10));
+        assert_eq!(class_of(8193), None);
+    }
+
+    #[test]
+    fn bump_allocation_is_sequential_within_a_block() {
+        let mut h = heap(4, 1);
+        let (a, pa) = h.acquire_in(0, 100).unwrap();
+        let (b, pb) = h.acquire_in(0, 100).unwrap();
+        assert_eq!(b - a, LINE_SIZE, "1-line slots bump line by line");
+        assert!(pa.pristine && pb.pristine);
+        assert_eq!((pa.line, pb.line), (0, 1));
+        assert_eq!(pa.block, pb.block);
+    }
+
+    #[test]
+    fn classes_segregate_into_distinct_blocks() {
+        let mut h = heap(4, 1);
+        let (a, pa) = h.acquire_in(0, 100).unwrap();
+        let (b, pb) = h.acquire_in(0, 300).unwrap();
+        assert_ne!(pa.block, pb.block);
+        assert_ne!(h.cluster_of(a), h.cluster_of(b));
+        assert_eq!(pb.slot_len, 3 * LINE_SIZE);
+    }
+
+    #[test]
+    fn hole_finding_reuses_the_lowest_freed_slot() {
+        let mut h = heap(4, 1);
+        let slots: Vec<_> = (0..4).map(|_| h.acquire_in(0, 128).unwrap().0).collect();
+        h.release(slots[1], 128).unwrap();
+        h.release(slots[2], 128).unwrap();
+        let (r, p) = h.acquire_in(0, 128).unwrap();
+        assert_eq!(r, slots[1], "lowest hole first");
+        assert!(!p.pristine, "a recycled hole is not pristine");
+        assert_eq!(h.stats().holes_recycled, 1);
+    }
+
+    #[test]
+    fn draining_a_block_frees_it_and_emits_events() {
+        let mut h = heap(2, 1);
+        let (a, _) = h.acquire_in(0, 128).unwrap();
+        let (b, _) = h.acquire_in(0, 128).unwrap();
+        let ev = h.take_events();
+        assert_eq!(ev.len(), 1, "one Mapped event: {ev:?}");
+        assert!(matches!(ev[0], BlockEvent::Mapped { slot_len: 128, .. }));
+        h.release(a, 128).unwrap();
+        assert!(h.take_events().is_empty(), "block still has a live slot");
+        h.release(b, 128).unwrap();
+        let ev = h.take_events();
+        assert!(
+            matches!(
+                ev[..],
+                [BlockEvent::Freed {
+                    len: BLOCK_SIZE,
+                    ..
+                }]
+            ),
+            "{ev:?}"
+        );
+        assert_eq!(h.free_blocks(), 2);
+        assert_eq!(h.bytes_in_use(), 0);
+    }
+
+    #[test]
+    fn large_spans_take_consecutive_blocks() {
+        let mut h = heap(8, 1);
+        let (a, p) = h.acquire_in(0, 3 * BLOCK_SIZE - 10).unwrap();
+        assert_eq!(p.class, LARGE_CLASS);
+        assert_eq!(p.slot_len, 3 * BLOCK_SIZE);
+        assert_eq!(h.free_blocks(), 5);
+        h.release(a, 3 * BLOCK_SIZE - 10).unwrap();
+        assert_eq!(h.free_blocks(), 8);
+        assert_eq!(h.bytes_in_use(), 0);
+        // The span run starts at the lowest free block again.
+        let (b, _) = h.acquire_in(0, 2 * BLOCK_SIZE).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn span_skips_a_fragmented_run() {
+        let mut h = heap(6, 1);
+        // Pin blocks 0–2 with single-block spans, then free the middle one.
+        let pins: Vec<_> = (0..3)
+            .map(|_| h.acquire_in(0, BLOCK_SIZE).unwrap().0)
+            .collect();
+        h.release(pins[1], BLOCK_SIZE).unwrap();
+        // Free blocks are 1 (isolated) and 3–5: a 2-block span cannot use
+        // the fragmented hole and must start at block 3.
+        let (span, _) = h.acquire_in(0, 2 * BLOCK_SIZE).unwrap();
+        assert_eq!((span - h.lo()) / BLOCK_SIZE, 3);
+    }
+
+    #[test]
+    fn arenas_are_disjoint_and_independent() {
+        let mut h = heap(8, 2);
+        let (a, pa) = h.acquire_in(0, 64).unwrap();
+        let (b, pb) = h.acquire_in(1, 64).unwrap();
+        assert_eq!(pa.arena, 0);
+        assert_eq!(pb.arena, 1);
+        assert!(pb.block >= 4, "arena 1 starts in the second half");
+        assert_ne!(h.cluster_of(a), h.cluster_of(b));
+        // Exhausting arena 0 does not touch arena 1.
+        while h.acquire_in(0, BLOCK_SIZE).is_ok() {}
+        assert!(h.acquire_in(1, 64).is_ok());
+    }
+
+    #[test]
+    fn out_of_memory_and_unknown_release() {
+        let mut h = heap(2, 1);
+        assert!(matches!(
+            h.acquire_in(0, 4 * BLOCK_SIZE),
+            Err(HeapError::OutOfMemory { .. })
+        ));
+        let (a, _) = h.acquire_in(0, 64).unwrap();
+        assert!(h.release(a + 64, 64).is_err(), "not an allocation start");
+        assert!(h.release(a, 4096).is_err(), "wrong length rejected");
+        h.release(a, 64).unwrap();
+        assert!(h.release(a, 64).is_err(), "double release rejected");
+    }
+
+    #[test]
+    fn accounting_recovers_after_churn() {
+        let mut h = heap(16, 1);
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for round in 0..2000u64 {
+            let len = 8 + (round * 56) % 9000;
+            if let Ok((a, _)) = h.acquire_in(0, len) {
+                live.push((a, len));
+            }
+            if live.len() > 40 {
+                let (a, l) = live.remove(live.len() / 2);
+                h.release(a, l).unwrap();
+            }
+        }
+        assert!(h.high_water() > 0);
+        for (a, l) in live {
+            h.release(a, l).unwrap();
+        }
+        assert_eq!(h.bytes_in_use(), 0);
+        assert_eq!(h.free_blocks(), 16, "every block must return to the pool");
+        assert!(h.acquire_in(0, 16 * BLOCK_SIZE).is_ok());
+    }
+
+    #[test]
+    fn high_water_tracks_reserved_bytes() {
+        let mut h = heap(4, 1);
+        let (a, _) = h.acquire_in(0, 100).unwrap(); // 1 line reserved
+        let (b, _) = h.acquire_in(0, 200).unwrap(); // 2 lines reserved
+        assert_eq!(h.bytes_in_use(), 3 * LINE_SIZE);
+        h.release(a, 100).unwrap();
+        h.release(b, 200).unwrap();
+        assert_eq!(h.high_water(), 3 * LINE_SIZE);
+        assert_eq!(h.bytes_in_use(), 0);
+    }
+}

@@ -61,6 +61,10 @@ pub struct Counters {
     /// Reports dropped by recover-mode dedup/rate limits (still counted in
     /// `reports` by the raising tool, but not recorded by the interpreter).
     pub errors_suppressed: u64,
+    /// Bulk shadow writes performed at block granularity (whole-block
+    /// pattern poisoning on block map, whole-block fills on block free) —
+    /// each run replaces what would otherwise be many per-object writes.
+    pub bulk_poison_runs: u64,
 }
 
 impl Counters {
@@ -70,7 +74,7 @@ impl Counters {
     /// headers, Prometheus series): [`Counters::field_values`] yields values
     /// in the same order, and a unit test pins the list against the struct
     /// so a new field cannot be added without updating both.
-    pub const FIELD_NAMES: [&'static str; 15] = [
+    pub const FIELD_NAMES: [&'static str; 16] = [
         "shadow_loads",
         "fast_checks",
         "slow_checks",
@@ -86,10 +90,11 @@ impl Counters {
         "reports",
         "errors_recovered",
         "errors_suppressed",
+        "bulk_poison_runs",
     ];
 
     /// Counter values in [`Counters::FIELD_NAMES`] order.
-    pub fn field_values(&self) -> [u64; 15] {
+    pub fn field_values(&self) -> [u64; 16] {
         [
             self.shadow_loads,
             self.fast_checks,
@@ -106,6 +111,7 @@ impl Counters {
             self.reports,
             self.errors_recovered,
             self.errors_suppressed,
+            self.bulk_poison_runs,
         ]
     }
 
@@ -117,8 +123,8 @@ impl Counters {
     /// Rebuilds a `Counters` from values in [`Counters::FIELD_NAMES`] order —
     /// the inverse of [`Counters::field_values`], used when campaign
     /// checkpoints are read back from disk.
-    pub fn from_field_values(values: [u64; 15]) -> Self {
-        let [shadow_loads, fast_checks, slow_checks, cache_hits, cache_updates, underflow_checks, arith_checks, shadow_stores, allocs, frees, stack_allocs, stack_sim_ops, reports, errors_recovered, errors_suppressed] =
+    pub fn from_field_values(values: [u64; 16]) -> Self {
+        let [shadow_loads, fast_checks, slow_checks, cache_hits, cache_updates, underflow_checks, arith_checks, shadow_stores, allocs, frees, stack_allocs, stack_sim_ops, reports, errors_recovered, errors_suppressed, bulk_poison_runs] =
             values;
         Counters {
             shadow_loads,
@@ -136,6 +142,7 @@ impl Counters {
             reports,
             errors_recovered,
             errors_suppressed,
+            bulk_poison_runs,
         }
     }
 
@@ -193,6 +200,7 @@ impl AddAssign<&Counters> for Counters {
         self.reports += rhs.reports;
         self.errors_recovered += rhs.errors_recovered;
         self.errors_suppressed += rhs.errors_suppressed;
+        self.bulk_poison_runs += rhs.bulk_poison_runs;
     }
 }
 
@@ -202,7 +210,7 @@ impl fmt::Display for Counters {
             f,
             "loads={} fast={} slow={} cached={} updates={} under={} arith={} \
              stores={} allocs={} frees={} stacks={} stacksim={} reports={} \
-             recovered={} suppressed={}",
+             recovered={} suppressed={} bulkruns={}",
             self.shadow_loads,
             self.fast_checks,
             self.slow_checks,
@@ -217,7 +225,8 @@ impl fmt::Display for Counters {
             self.stack_sim_ops,
             self.reports,
             self.errors_recovered,
-            self.errors_suppressed
+            self.errors_suppressed,
+            self.bulk_poison_runs
         )
     }
 }
@@ -293,6 +302,7 @@ mod tests {
             &mut c.reports,
             &mut c.errors_recovered,
             &mut c.errors_suppressed,
+            &mut c.bulk_poison_runs,
         ]
         .into_iter()
         .enumerate()
@@ -316,6 +326,7 @@ mod tests {
             reports,
             errors_recovered,
             errors_suppressed,
+            bulk_poison_runs,
         } = c;
         let by_decl = [
             shadow_loads,
@@ -333,17 +344,19 @@ mod tests {
             reports,
             errors_recovered,
             errors_suppressed,
+            bulk_poison_runs,
         ];
         assert_eq!(c.field_values(), by_decl, "field_values order drifted");
         assert_eq!(Counters::FIELD_NAMES.len(), by_decl.len());
         let expected: Vec<(&str, u64)> = Counters::FIELD_NAMES
             .into_iter()
-            .zip((1..=15).map(|v| v as u64))
+            .zip((1..=16).map(|v| v as u64))
             .collect();
         assert_eq!(c.fields().collect::<Vec<_>>(), expected);
-        // The PR4 recovery counters are present and last.
+        // The PR4 recovery counters and the PR8 bulk counter keep their slots.
         assert_eq!(Counters::FIELD_NAMES[13], "errors_recovered");
         assert_eq!(Counters::FIELD_NAMES[14], "errors_suppressed");
+        assert_eq!(Counters::FIELD_NAMES[15], "bulk_poison_runs");
         // Merging doubles every field — AddAssign covers the full list.
         let snapshot = c;
         c += &snapshot;

@@ -1,12 +1,19 @@
-//! FIFO quarantine for freed heap blocks.
+//! Quarantines for freed heap blocks: flat FIFO and block-clustered.
 //!
 //! Location-based sanitizers delay the reuse of freed memory so that dangling
-//! pointers keep landing on poisoned shadow (paper §2.2). The quarantine is a
-//! byte-capped FIFO: pushing a block may evict the oldest blocks, which then
-//! become available for reallocation — the "quarantine bypassing" limitation
-//! the paper acknowledges in §5.4.
+//! pointers keep landing on poisoned shadow (paper §2.2). Both layouts here
+//! are byte-capped; they differ in *what* an eviction returns to the
+//! allocator:
+//!
+//! * [`Quarantine`] — the classic flat FIFO: blocks leave one at a time in
+//!   arrival order ("quarantine bypassing" is the limitation the paper
+//!   acknowledges in §5.4);
+//! * [`ClusterQuarantine`] — objects are grouped by the 32 KiB heap block
+//!   that contains them (Beyond Tag Collision's cluster layout) and the
+//!   *oldest whole cluster* is evicted at once, so the block/line heap gets
+//!   its blocks back drained and can reset their shadow with a single fill.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::ObjectId;
 
@@ -19,9 +26,9 @@ use crate::ObjectId;
 /// use giantsan_runtime::ObjectId;
 ///
 /// let mut q = Quarantine::new(100);
-/// assert!(q.push(ObjectId(1), 60).is_empty());
+/// assert_eq!(q.push(ObjectId(1), 60).count(), 0);
 /// // Pushing 60 more exceeds the 100-byte cap: the first block is evicted.
-/// let evicted = q.push(ObjectId(2), 60);
+/// let evicted: Vec<_> = q.push(ObjectId(2), 60).collect();
 /// assert_eq!(evicted, vec![ObjectId(1)]);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -57,29 +64,169 @@ impl Quarantine {
         self.queue.is_empty()
     }
 
-    /// Quarantines a block of `len` bytes, returning the ids of blocks
-    /// evicted to stay within the cap (oldest first). The pushed block itself
-    /// is evicted immediately when `len` alone exceeds the cap.
-    pub fn push(&mut self, id: ObjectId, len: u64) -> Vec<ObjectId> {
+    /// Quarantines a block of `len` bytes, returning an iterator over the
+    /// ids evicted to stay within the cap (oldest first). The pushed block
+    /// itself is evicted immediately when `len` alone exceeds the cap.
+    ///
+    /// The iterator borrows the quarantine and evicts lazily; dropping it
+    /// early still completes the evictions, so the cap invariant holds
+    /// whether or not the caller consumes every item. No allocation happens
+    /// when nothing is evicted — the reason this replaced the old
+    /// `Vec<ObjectId>` return.
+    pub fn push(&mut self, id: ObjectId, len: u64) -> Evictions<'_> {
         self.queue.push_back((id, len));
         self.used += len;
-        let mut evicted = Vec::new();
-        while self.used > self.cap {
-            let (old, olen) = self
-                .queue
-                .pop_front()
-                .expect("used > cap implies nonempty queue");
-            self.used -= olen;
-            evicted.push(old);
-        }
-        evicted
+        Evictions { q: self }
     }
 
     /// Drains every block from the quarantine (oldest first), e.g. at world
-    /// teardown.
-    pub fn drain(&mut self) -> Vec<ObjectId> {
+    /// teardown. The iterator borrows the quarantine; dropping it early
+    /// still leaves the quarantine empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = ObjectId> + '_ {
         self.used = 0;
-        self.queue.drain(..).map(|(id, _)| id).collect()
+        self.queue.drain(..).map(|(id, _)| id)
+    }
+}
+
+/// Lazy eviction iterator returned by [`Quarantine::push`].
+///
+/// Yields the oldest blocks while the quarantine is over its cap. Dropping
+/// the iterator finishes any remaining evictions.
+#[derive(Debug)]
+pub struct Evictions<'a> {
+    q: &'a mut Quarantine,
+}
+
+impl Iterator for Evictions<'_> {
+    type Item = ObjectId;
+
+    fn next(&mut self) -> Option<ObjectId> {
+        if self.q.used <= self.q.cap {
+            return None;
+        }
+        let (old, olen) = self
+            .q
+            .queue
+            .pop_front()
+            .expect("used > cap implies nonempty queue");
+        self.q.used -= olen;
+        Some(old)
+    }
+}
+
+impl Drop for Evictions<'_> {
+    fn drop(&mut self) {
+        // Restore the cap invariant even if the caller stopped iterating.
+        while self.next().is_some() {}
+    }
+}
+
+/// A byte-capped quarantine that groups objects by their containing heap
+/// block and evicts whole clusters at once.
+///
+/// Pairing this with [`crate::block_heap::BlockHeap`] means every eviction
+/// hands back all quarantined objects of one 32 KiB block together: once the
+/// block's remaining live objects leave too, the heap frees the whole block
+/// and its shadow resets with one bulk fill instead of per-object writes.
+///
+/// # Example
+///
+/// ```
+/// use giantsan_runtime::{ClusterQuarantine, ObjectId};
+///
+/// let mut q = ClusterQuarantine::new(100);
+/// assert!(q.push(0x8000, ObjectId(1), 40).is_empty());
+/// assert!(q.push(0x8000, ObjectId(2), 40).is_empty());
+/// // Over the cap: the oldest *cluster* (both objects of block 0x8000)
+/// // leaves at once.
+/// let evicted = q.push(0x10000, ObjectId(3), 40).to_vec();
+/// assert_eq!(evicted, vec![ObjectId(1), ObjectId(2)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterQuarantine {
+    cap: u64,
+    used: u64,
+    /// Cluster keys in arrival order of their *first* object.
+    order: VecDeque<u64>,
+    /// Cluster key → (member ids in arrival order, quarantined bytes).
+    clusters: HashMap<u64, (Vec<ObjectId>, u64)>,
+    /// Reused eviction buffer: [`ClusterQuarantine::push`] returns a slice
+    /// of this instead of allocating per call.
+    scratch: Vec<ObjectId>,
+}
+
+impl ClusterQuarantine {
+    /// Creates a cluster quarantine holding at most `cap` bytes. A zero cap
+    /// disables quarantining: every push evicts its cluster immediately.
+    pub fn new(cap: u64) -> Self {
+        ClusterQuarantine {
+            cap,
+            used: 0,
+            order: VecDeque::new(),
+            clusters: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Bytes currently quarantined.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of objects currently quarantined.
+    pub fn len(&self) -> usize {
+        self.clusters.values().map(|(ids, _)| ids.len()).sum()
+    }
+
+    /// Number of clusters (blocks with at least one quarantined object).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Returns `true` if no objects are quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Quarantines `id` (`len` bytes) under `cluster` — the start address of
+    /// its containing heap block. While the cap is exceeded, the oldest
+    /// clusters are evicted whole (a cluster's age is its first object's
+    /// arrival). Returns the evicted ids, oldest cluster first, as a slice
+    /// of an internal scratch buffer valid until the next push.
+    pub fn push(&mut self, cluster: u64, id: ObjectId, len: u64) -> &[ObjectId] {
+        self.scratch.clear();
+        let entry = self.clusters.entry(cluster).or_insert_with(|| {
+            self.order.push_back(cluster);
+            (Vec::new(), 0)
+        });
+        entry.0.push(id);
+        entry.1 += len;
+        self.used += len;
+        while self.used > self.cap {
+            let key = self
+                .order
+                .pop_front()
+                .expect("used > cap implies a nonempty cluster queue");
+            let (ids, bytes) = self
+                .clusters
+                .remove(&key)
+                .expect("ordered key has a cluster");
+            self.used -= bytes;
+            self.scratch.extend_from_slice(&ids);
+        }
+        &self.scratch
+    }
+
+    /// Drains every object (oldest cluster first), e.g. at world teardown.
+    pub fn drain(&mut self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.used = 0;
+        let clusters = &mut self.clusters;
+        self.order.drain(..).flat_map(move |key| {
+            clusters
+                .remove(&key)
+                .map(|(ids, _)| ids)
+                .unwrap_or_default()
+        })
     }
 }
 
@@ -90,9 +237,9 @@ mod tests {
     #[test]
     fn fifo_eviction_order() {
         let mut q = Quarantine::new(100);
-        assert!(q.push(ObjectId(1), 40).is_empty());
-        assert!(q.push(ObjectId(2), 40).is_empty());
-        let ev = q.push(ObjectId(3), 40);
+        assert_eq!(q.push(ObjectId(1), 40).count(), 0);
+        assert_eq!(q.push(ObjectId(2), 40).count(), 0);
+        let ev: Vec<_> = q.push(ObjectId(3), 40).collect();
         assert_eq!(ev, vec![ObjectId(1)]);
         assert_eq!(q.used_bytes(), 80);
         assert_eq!(q.len(), 2);
@@ -101,8 +248,8 @@ mod tests {
     #[test]
     fn oversized_block_evicts_through_itself() {
         let mut q = Quarantine::new(50);
-        assert!(q.push(ObjectId(1), 10).is_empty());
-        let ev = q.push(ObjectId(2), 100);
+        assert_eq!(q.push(ObjectId(1), 10).count(), 0);
+        let ev: Vec<_> = q.push(ObjectId(2), 100).collect();
         assert_eq!(ev, vec![ObjectId(1), ObjectId(2)]);
         assert!(q.is_empty());
         assert_eq!(q.used_bytes(), 0);
@@ -111,18 +258,78 @@ mod tests {
     #[test]
     fn zero_cap_disables_quarantine() {
         let mut q = Quarantine::new(0);
-        let ev = q.push(ObjectId(7), 8);
+        let ev: Vec<_> = q.push(ObjectId(7), 8).collect();
         assert_eq!(ev, vec![ObjectId(7)]);
         assert!(q.is_empty());
     }
 
     #[test]
+    fn dropping_the_iterator_still_evicts() {
+        let mut q = Quarantine::new(50);
+        q.push(ObjectId(1), 40).count();
+        drop(q.push(ObjectId(2), 40));
+        assert_eq!(q.used_bytes(), 40, "cap invariant restored by Drop");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
     fn drain_returns_all_in_order() {
         let mut q = Quarantine::new(1000);
-        q.push(ObjectId(1), 10);
-        q.push(ObjectId(2), 10);
-        q.push(ObjectId(3), 10);
-        assert_eq!(q.drain(), vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+        q.push(ObjectId(1), 10).count();
+        q.push(ObjectId(2), 10).count();
+        q.push(ObjectId(3), 10).count();
+        let all: Vec<_> = q.drain().collect();
+        assert_eq!(all, vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert!(q.is_empty());
+        assert_eq!(q.used_bytes(), 0);
+    }
+
+    #[test]
+    fn clusters_group_by_block_and_evict_whole() {
+        let mut q = ClusterQuarantine::new(100);
+        assert!(q.push(0x8000, ObjectId(1), 30).is_empty());
+        assert!(q.push(0x10000, ObjectId(2), 30).is_empty());
+        assert!(q.push(0x8000, ObjectId(3), 30).is_empty());
+        assert_eq!(q.cluster_count(), 2);
+        // Over the cap: the oldest cluster (0x8000, objects 1 and 3) leaves
+        // whole even though evicting one object would have sufficed.
+        let ev = q.push(0x18000, ObjectId(4), 30).to_vec();
+        assert_eq!(ev, vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(q.used_bytes(), 60);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn cluster_zero_cap_evicts_immediately() {
+        let mut q = ClusterQuarantine::new(0);
+        let ev = q.push(0x8000, ObjectId(1), 8).to_vec();
+        assert_eq!(ev, vec![ObjectId(1)]);
+        assert!(q.is_empty());
+        assert_eq!(q.used_bytes(), 0);
+    }
+
+    #[test]
+    fn cluster_eviction_cascades_over_multiple_clusters() {
+        let mut q = ClusterQuarantine::new(50);
+        q.push(0x8000, ObjectId(1), 20);
+        q.push(0x10000, ObjectId(2), 20);
+        let ev = q.push(0x18000, ObjectId(3), 60).to_vec();
+        assert_eq!(
+            ev,
+            vec![ObjectId(1), ObjectId(2), ObjectId(3)],
+            "cascade drains oldest-first until under cap"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cluster_drain_returns_oldest_cluster_first() {
+        let mut q = ClusterQuarantine::new(1000);
+        q.push(0x10000, ObjectId(1), 10);
+        q.push(0x8000, ObjectId(2), 10);
+        q.push(0x10000, ObjectId(3), 10);
+        let all: Vec<_> = q.drain().collect();
+        assert_eq!(all, vec![ObjectId(1), ObjectId(3), ObjectId(2)]);
         assert!(q.is_empty());
         assert_eq!(q.used_bytes(), 0);
     }

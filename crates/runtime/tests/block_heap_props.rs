@@ -1,0 +1,212 @@
+//! Property tests for the Immix-style block/line heap: over random op
+//! streams interleaving acquires and releases across several arenas, live
+//! slots never overlap, every placement stays inside its arena's block
+//! range, and `bytes_in_use` / `high_water` track a byte-wise model
+//! exactly. A threaded smoke test drives the same heap through a mutex
+//! from real concurrent arenas.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use giantsan_runtime::block_heap::{BLOCK_SIZE, MEDIUM_MAX};
+use giantsan_runtime::{BlockHeap, HeapError};
+use giantsan_shadow::Addr;
+
+const HEAP_LO: u64 = 0x1_0000;
+
+/// Ops per generated stream (the strategy vectors share this length).
+const STREAM: usize = 96;
+
+fn heap(blocks: u64, arenas: u32) -> BlockHeap {
+    let lo = Addr::new(HEAP_LO);
+    BlockHeap::new(lo, Addr::new(HEAP_LO + blocks * BLOCK_SIZE), arenas)
+}
+
+/// Block range `[start, end)` owned by `arena`, mirroring the partition in
+/// `BlockHeap::new`: equal shares, the last arena absorbing the remainder.
+fn arena_bounds(blocks: u64, arenas: u32, arena: u32) -> (u64, u64) {
+    let per = blocks / arenas as u64;
+    let first = arena as u64 * per;
+    let last = if arena + 1 == arenas {
+        blocks
+    } else {
+        first + per
+    };
+    (HEAP_LO + first * BLOCK_SIZE, HEAP_LO + last * BLOCK_SIZE)
+}
+
+/// One live allocation as the model sees it.
+#[derive(Debug, Clone, Copy)]
+struct Live {
+    addr: u64,
+    /// The caller's request length — `release` must be called with it.
+    request: u64,
+    /// Bytes the heap reserved (`Placement::slot_len`).
+    reserved: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random acquire/release streams across arenas: placements stay in
+    /// their arena, live ranges never overlap, accounting matches a
+    /// byte-wise model, and draining everything returns the heap to empty
+    /// with every block back in a free pool.
+    #[test]
+    fn op_streams_keep_slots_disjoint_and_accounting_exact(
+        arenas in 1u32..=4,
+        // Parallel streams decoded per op: kind < 3 acquires, else releases;
+        // band < 3 picks a class-sized request, else a span.
+        kinds in prop::collection::vec(0u32..5, STREAM),
+        bands in prop::collection::vec(0u32..4, STREAM),
+        class_lens in prop::collection::vec(1u64..=MEDIUM_MAX, STREAM),
+        span_lens in prop::collection::vec(MEDIUM_MAX + 1..=3 * BLOCK_SIZE, STREAM),
+        arena_picks in prop::collection::vec(0u32..4, STREAM),
+        victims in prop::collection::vec(0usize..usize::MAX, STREAM),
+    ) {
+        let blocks = 512u64;
+        let mut h = heap(blocks, arenas);
+        let total_free = h.free_blocks();
+        let mut live: Vec<Live> = Vec::new();
+        let mut model_in_use = 0u64;
+        let mut model_high = 0u64;
+
+        for i in 0..STREAM {
+            if kinds[i] < 3 {
+                let arena = arena_picks[i] % arenas;
+                let len = if bands[i] < 3 { class_lens[i] } else { span_lens[i] };
+                let (addr, p) = match h.acquire_in(arena, len) {
+                    Ok(got) => got,
+                    Err(HeapError::OutOfMemory { .. }) => continue,
+                    Err(e) => panic!("acquire_in({arena}, {len}): {e}"),
+                };
+                prop_assert_eq!(p.arena, arena, "placement reports the requested arena");
+                prop_assert!(p.slot_len >= len, "reservation covers the request");
+                let (lo, hi) = arena_bounds(blocks, arenas, arena);
+                prop_assert!(
+                    addr.raw() >= lo && addr.raw() + p.slot_len <= hi,
+                    "slot [{:#x}, {:#x}) escapes arena {} [{:#x}, {:#x})",
+                    addr.raw(), addr.raw() + p.slot_len, arena, lo, hi
+                );
+                for l in &live {
+                    let disjoint = addr.raw() + p.slot_len <= l.addr
+                        || l.addr + l.reserved <= addr.raw();
+                    prop_assert!(
+                        disjoint,
+                        "slot [{:#x}, {:#x}) overlaps live [{:#x}, {:#x})",
+                        addr.raw(), addr.raw() + p.slot_len, l.addr, l.addr + l.reserved
+                    );
+                }
+                live.push(Live { addr: addr.raw(), request: len, reserved: p.slot_len });
+                model_in_use += p.slot_len;
+                model_high = model_high.max(model_in_use);
+            } else {
+                if live.is_empty() {
+                    continue;
+                }
+                let l = live.swap_remove(victims[i] % live.len());
+                h.release(Addr::new(l.addr), l.request).unwrap();
+                model_in_use -= l.reserved;
+            }
+            prop_assert_eq!(h.bytes_in_use(), model_in_use, "bytes_in_use tracks the model");
+            prop_assert_eq!(h.high_water(), model_high, "high_water is the running peak");
+        }
+
+        // Drain everything: accounting returns to zero and every block is
+        // back in a free pool (drained class blocks and spans both recycle).
+        for l in live.drain(..) {
+            h.release(Addr::new(l.addr), l.request).unwrap();
+        }
+        prop_assert_eq!(h.bytes_in_use(), 0u64);
+        prop_assert_eq!(h.high_water(), model_high, "draining does not lower the peak");
+        prop_assert_eq!(h.free_blocks(), total_free, "all blocks return to the free pools");
+
+        // Released capacity is reusable: the next acquire of any class from
+        // any arena succeeds on the fully drained heap.
+        for arena in 0..arenas {
+            prop_assert!(h.acquire_in(arena, 64).is_ok());
+        }
+    }
+
+    /// Releasing with a length that rounds to a different reservation than
+    /// the original request is rejected and leaves accounting untouched.
+    #[test]
+    fn mismatched_release_is_rejected_without_side_effects(
+        len in 1u64..=2 * BLOCK_SIZE,
+    ) {
+        let mut h = heap(64, 1);
+        let (addr, p) = h.acquire_in(0, len).unwrap();
+        let before = h.bytes_in_use();
+        // Adding three whole blocks always changes the derived reservation:
+        // a class request becomes a span, a span grows by three blocks.
+        let wrong = len + 3 * BLOCK_SIZE;
+        prop_assert!(matches!(
+            h.release(addr, wrong),
+            Err(HeapError::UnknownBlock { .. })
+        ));
+        prop_assert_eq!(h.bytes_in_use(), before);
+        // The slot is still live and releasable with the true length.
+        h.release(addr, len).unwrap();
+        prop_assert_eq!(h.bytes_in_use(), before - p.slot_len);
+    }
+}
+
+/// Real threads hammering distinct arenas through a mutex: every placement
+/// lands in the caller's arena and no two user ranges overlap — the same
+/// guarantee the `mt-arenas` study cell checks, at unit-test scale.
+#[test]
+fn concurrent_arenas_never_hand_out_overlapping_slots() {
+    const THREADS: u32 = 4;
+    const PER_THREAD: usize = 2_000;
+    // Roughly a third of the allocations stay live and a fifth of those are
+    // whole-block spans, so give each arena a comfortable 1024 blocks.
+    let blocks = 4_096;
+    let h = Mutex::new(heap(blocks, THREADS));
+    let mut ranges: Vec<(u64, u64, u32)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|arena| {
+                let h = &h;
+                s.spawn(move || {
+                    let sizes = [16u64, 96, 160, 1_000, 9_000];
+                    // (addr, reserved, original request) per live slot.
+                    let mut mine: Vec<(u64, u64, u64)> = Vec::with_capacity(PER_THREAD);
+                    for i in 0..PER_THREAD {
+                        let len = sizes[i % sizes.len()];
+                        let (addr, p) = h.lock().unwrap().acquire_in(arena, len).unwrap();
+                        assert_eq!(p.arena, arena);
+                        mine.push((addr.raw(), p.slot_len, len));
+                        // Churn every third slot so holes interleave with
+                        // bump allocation under contention.
+                        if i % 3 == 2 {
+                            let (a, _, request) = mine.swap_remove(mine.len() / 2);
+                            h.lock().unwrap().release(Addr::new(a), request).unwrap();
+                        }
+                    }
+                    mine.into_iter()
+                        .map(|(a, r, _)| (a, r, arena))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect()
+    });
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        let (a, len, _) = w[0];
+        let (b, _, _) = w[1];
+        assert!(
+            a + len <= b,
+            "live slots [{a:#x}+{len}) and [{b:#x}) overlap"
+        );
+    }
+    let blocks_per_arena = blocks / THREADS as u64;
+    for &(addr, len, arena) in &ranges {
+        let lo = HEAP_LO + arena as u64 * blocks_per_arena * BLOCK_SIZE;
+        let hi = lo + blocks_per_arena * BLOCK_SIZE;
+        assert!(addr >= lo && addr + len <= hi, "slot escaped arena {arena}");
+    }
+}

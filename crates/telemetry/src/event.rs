@@ -69,6 +69,19 @@ impl CheckPathKind {
     }
 }
 
+/// Where the block/line heap placed an allocation — a dependency-free mirror
+/// of the runtime's `Placement`, carried on [`EventKind::Alloc`] only when
+/// the block/line backend served the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocPlacement {
+    /// Block index within the heap (start-relative, not an address).
+    pub block: u64,
+    /// First line of the slot within its block.
+    pub line: u32,
+    /// Size-class index, or `u8::MAX` for whole-block spans.
+    pub class: u8,
+}
+
 /// One structured telemetry event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
@@ -107,6 +120,10 @@ pub enum EventKind {
         stack: bool,
         /// Shadow bytes written while poisoning (0 for shadow-less tools).
         poison: u64,
+        /// Block/line placement when the block/line backend served the
+        /// request; `None` for the free-list backend and stack slots, so
+        /// free-list traces serialize byte-identically to before.
+        placement: Option<AllocPlacement>,
     },
     /// A free was served (metadata re-poisoned, block quarantined).
     Free {

@@ -248,6 +248,7 @@ mod tests {
             size: 100,
             stack: false,
             poison: 16,
+            placement: None,
         });
         h.observe(&EventKind::Run {
             steps: 1,
@@ -273,12 +274,14 @@ mod tests {
                 size: v,
                 stack: false,
                 poison: 0,
+                placement: None,
             });
         }
         b.observe(&EventKind::Alloc {
             size: 3,
             stack: true,
             poison: 0,
+            placement: None,
         });
         let mut merged = a.clone();
         merged.merge(&b);

@@ -64,7 +64,8 @@ pub mod hist;
 pub mod recorder;
 
 pub use event::{
-    fnv1a, site_label, CheckPathKind, Event, EventKind, LOOP_FINAL_SITE, PRE_CHECK_SITE,
+    fnv1a, site_label, AllocPlacement, CheckPathKind, Event, EventKind, LOOP_FINAL_SITE,
+    PRE_CHECK_SITE,
 };
 pub use hist::{Histograms, Log2Hist, PathMix};
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};

@@ -147,6 +147,7 @@ mod tests {
                 size: i,
                 stack: false,
                 poison: 0,
+                placement: None,
             });
         }
         const { assert!(TraceRecorder::ENABLED) };
