@@ -35,7 +35,7 @@ use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use giantsan_telemetry::export::ChromeTrace;
 
@@ -197,10 +197,18 @@ pub struct CellFailure {
     pub attempts: u32,
     /// The panic message of the final attempt.
     pub message: String,
+    /// `true` when the cell was cancelled by the per-cell watchdog (see
+    /// [`BatchRunner::with_cell_deadline`]) rather than crashing. Timed-out
+    /// cells are never retried: re-running a runaway cell would only burn
+    /// another full deadline.
+    pub timed_out: bool,
 }
 
 impl fmt::Display for CellFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.timed_out {
+            return write!(f, "cell {} exceeded its deadline", self.index);
+        }
         write!(
             f,
             "cell {} failed after {} attempts: {}",
@@ -228,6 +236,11 @@ impl FailureSummary {
     /// Number of quarantined cells.
     pub fn quarantined(&self) -> usize {
         self.failures.len()
+    }
+
+    /// Number of quarantined cells that were watchdog timeouts.
+    pub fn timed_out(&self) -> usize {
+        self.failures.iter().filter(|f| f.timed_out).count()
     }
 }
 
@@ -267,6 +280,7 @@ pub struct BatchOutcome<R> {
 pub struct BatchRunner {
     threads: usize,
     sink: Option<Arc<TraceSink>>,
+    cell_deadline: Option<Duration>,
 }
 
 impl PartialEq for BatchRunner {
@@ -289,7 +303,30 @@ impl BatchRunner {
         BatchRunner {
             threads: threads.max(1),
             sink: None,
+            cell_deadline: None,
         }
+    }
+
+    /// Arms the per-cell watchdog: every cell gets at most `budget` of wall
+    /// clock. A cell that overruns is cancelled at its next cooperative poll
+    /// point (`giantsan_ir::watchdog::poll` — the interpreter polls every
+    /// [`giantsan_ir::watchdog::POLL_INTERVAL`] steps) and quarantined as a
+    /// timed-out [`CellFailure`] **without retry**, so a runaway cell costs
+    /// one deadline, not `MAX_ATTEMPTS` of them, and never wedges the pool.
+    ///
+    /// Cancellation is cooperative: a cell that never reaches a poll point
+    /// (a tight loop outside the interpreter) is not interruptible. Service
+    /// submissions always execute through the interpreter, which is the
+    /// runaway surface this protects.
+    #[must_use]
+    pub fn with_cell_deadline(mut self, budget: Duration) -> Self {
+        self.cell_deadline = Some(budget);
+        self
+    }
+
+    /// The armed per-cell deadline, if any.
+    pub fn cell_deadline(&self) -> Option<Duration> {
+        self.cell_deadline
     }
 
     /// Attaches a [`TraceSink`]: every subsequent `map`/`try_map` call
@@ -375,13 +412,34 @@ impl BatchRunner {
         let n = items.len();
         let sink = self.sink.as_deref();
         let batch = sink.map(|s| (s.claim_batch(), s.now_us()));
+        let deadline = self.cell_deadline;
         let run_cell = |i: usize, worker: usize, item: &T| -> (u32, Result<R, CellFailure>) {
             let start_us = sink.map(|s| s.now_us());
             let mut attempts = 0u32;
             let out = loop {
                 attempts += 1;
-                match std::panic::catch_unwind(AssertUnwindSafe(|| job(i, item))) {
+                let attempt = || {
+                    // Arm the watchdog for this attempt only; the guard
+                    // disarms on every exit path, timeout panic included.
+                    let _watch = deadline.map(giantsan_ir::watchdog::arm);
+                    job(i, item)
+                };
+                match std::panic::catch_unwind(AssertUnwindSafe(attempt)) {
                     Ok(r) => break (attempts, Ok(r)),
+                    Err(payload) if giantsan_ir::watchdog::is_timeout_payload(payload.as_ref()) => {
+                        // A timed-out cell is quarantined immediately:
+                        // retrying a runaway cell cannot succeed, it only
+                        // stalls the worker for another full deadline.
+                        break (
+                            attempts,
+                            Err(CellFailure {
+                                index: i,
+                                attempts,
+                                message: giantsan_ir::watchdog::TIMEOUT_PAYLOAD.to_string(),
+                                timed_out: true,
+                            }),
+                        );
+                    }
                     Err(payload) if attempts >= Self::MAX_ATTEMPTS => {
                         break (
                             attempts,
@@ -389,6 +447,7 @@ impl BatchRunner {
                                 index: i,
                                 attempts,
                                 message: panic_message(payload.as_ref()),
+                                timed_out: false,
                             }),
                         );
                     }
@@ -602,6 +661,50 @@ mod tests {
         assert_eq!(outcome.summary.retries, 1);
         let got: Vec<u64> = outcome.results.into_iter().map(Option::unwrap).collect();
         assert_eq!(got, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn timed_out_cells_are_quarantined_without_retry() {
+        let items: Vec<u64> = (0..6).collect();
+        let attempts = AtomicUsize::new(0);
+        let outcome = BatchRunner::new(2)
+            .with_cell_deadline(Duration::from_millis(20))
+            .try_map(&items, |i, x| {
+                if i == 2 {
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    // Unbounded cooperative loop: spins until the watchdog
+                    // cancels it at a poll point.
+                    loop {
+                        giantsan_ir::watchdog::poll();
+                        std::hint::spin_loop();
+                    }
+                }
+                x * 3
+            });
+        assert_eq!(outcome.summary.quarantined(), 1);
+        assert_eq!(outcome.summary.timed_out(), 1);
+        let fail = &outcome.summary.failures[0];
+        assert!(fail.timed_out);
+        assert_eq!(fail.index, 2);
+        // One attempt only: timeouts are not retried.
+        assert_eq!(fail.attempts, 1);
+        assert_eq!(attempts.load(Ordering::Relaxed), 1);
+        assert!(fail.to_string().contains("deadline"));
+        for (i, r) in outcome.results.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(*r, Some(i as u64 * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_leaves_fast_cells_untouched() {
+        let items: Vec<u64> = (0..32).collect();
+        let plain = BatchRunner::new(4).map(&items, |_, x| x + 1);
+        let timed = BatchRunner::new(4)
+            .with_cell_deadline(Duration::from_secs(60))
+            .map(&items, |_, x| x + 1);
+        assert_eq!(plain, timed);
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //! repro plan   [--scale N] [--format json]  planner provenance + per-pass statistics
 //! repro memory [--scale N]          memory-overhead study
 //! repro density [--scale N]         achieved protection-density study
-//! repro bench  [--out-dir DIR]      hot-path + batch + recover + telemetry + kernels -> BENCH_PR{1,2,4,5,6}.json
+//! repro bench  [--out-dir DIR]      hot-path + batch + recover + telemetry + kernels + service -> BENCH_PR{1,2,4,5,6,9}.json
 //! repro faults [--seed S] [--format json]   fault-injection campaign (detected/recovered/missed/crashed)
 //! repro trace  [--workload W] [--tool T] end-to-end telemetry trace -> JSONL + Chrome + Prometheus
+//! repro echo   [--scale N] [--rounds N]  many tiny sessions (the service load-test study)
 //! repro all    [--div N] [--scale N] everything
 //! repro merge DIR                   merge a sharded campaign's blobs into the full report
+//! repro serve  [--addr HOST:PORT] [--data-dir DIR] ...   the sanitizer-as-a-service front-end
 //! ```
 //!
 //! Every subcommand is a [`Study`] resolved from [`StudyRegistry::builtin`]
@@ -73,11 +75,51 @@ use std::env;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use giantsan_harness::campaign::{self, Campaign, ShardSpec};
+use giantsan_harness::campaign::{self, Campaign, CampaignError, ShardSpec};
 use giantsan_harness::cli::{self, CliOpts};
 use giantsan_harness::study::records_json;
-use giantsan_harness::{BatchTrace, Study, StudyOutput, StudyRegistry, TraceSink};
+use giantsan_harness::{serve, BatchTrace, Study, StudyOutput, StudyRegistry, TraceSink};
 use giantsan_telemetry::export::ChromeTrace;
+
+/// Exit codes, pinned by `tests/exit_codes.rs`:
+///
+/// * `0` — the invocation succeeded.
+/// * `1` — runtime failure: cells failed or were quarantined, a campaign is
+///   incomplete, I/O failed mid-run.
+/// * `2` — the *invocation* is wrong: unknown command/flags, malformed
+///   values, or spec drift (resuming/merging a campaign whose flags, binary,
+///   or cell matrix no longer match).
+#[derive(Debug)]
+enum CliError {
+    /// Exit 2: bad usage or spec drift — rerunning unchanged cannot help.
+    Usage(String),
+    /// Exit 1: the run itself failed — a retry or resume may succeed.
+    Runtime(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Runtime(_) => ExitCode::from(1),
+            CliError::Usage(_) => ExitCode::from(2),
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        }
+    }
+}
+
+/// Classifies a campaign error: spec drift is a usage error (the flags or
+/// binary no longer match the stored campaign), everything else is runtime.
+fn classify(e: CampaignError) -> CliError {
+    match e {
+        CampaignError::SpecMismatch(_) => CliError::Usage(e.to_string()),
+        _ => CliError::Runtime(e.to_string()),
+    }
+}
 
 /// The studies `repro all` runs, in output order.
 const ALL: [&str; 10] = [
@@ -88,8 +130,10 @@ const ALL: [&str; 10] = [
 fn usage() -> String {
     format!(
         "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density\
-         |alloc|bench|faults|trace|all> {}\n       repro merge DIR [--format text|json] [--out-dir DIR]",
-        cli::FLAG_USAGE
+         |alloc|echo|bench|faults|trace|all> {}\n       repro merge DIR [--format text|json] \
+         [--out-dir DIR]\n       repro serve {}",
+        cli::FLAG_USAGE,
+        serve::FLAG_USAGE
     )
 }
 
@@ -142,10 +186,12 @@ fn emit(
 
 /// Runs one study monolithically (no campaign directory involvement beyond
 /// artifact writes).
-fn run_plain(study: &dyn Study, opts: &CliOpts, schedule_of: &TakeOnce) -> Result<(), String> {
-    let campaign = Campaign::new(study, opts.study.clone()).map_err(|e| e.to_string())?;
+fn run_plain(study: &dyn Study, opts: &CliOpts, schedule_of: &TakeOnce) -> Result<(), CliError> {
+    let campaign = Campaign::new(study, opts.study.clone()).map_err(classify)?;
     let records = campaign.run_all(&opts.runner());
-    let out = study.render(&opts.study, &records)?;
+    let out = study
+        .render(&opts.study, &records)
+        .map_err(CliError::Runtime)?;
     emit(
         study,
         opts,
@@ -159,16 +205,16 @@ fn run_plain(study: &dyn Study, opts: &CliOpts, schedule_of: &TakeOnce) -> Resul
 
 /// Runs one shard of a campaign into `--out-dir` and stops — rendering
 /// happens at `--resume` / `repro merge` time.
-fn run_shard(study: &dyn Study, opts: &CliOpts, shard: ShardSpec) -> Result<(), String> {
+fn run_shard(study: &dyn Study, opts: &CliOpts, shard: ShardSpec) -> Result<(), CliError> {
     let dir = opts
         .out_dir
         .as_deref()
         .expect("validated by cli::parse_opts");
-    let campaign = Campaign::new(study, opts.study.clone()).map_err(|e| e.to_string())?;
+    let campaign = Campaign::new(study, opts.study.clone()).map_err(classify)?;
     let range = campaign::shard_range(campaign.labels().len(), shard.index, shard.count);
     let ran = campaign
         .run_shard(dir, shard, &opts.runner())
-        .map_err(|e| e.to_string())?;
+        .map_err(classify)?;
     if ran {
         println!(
             "campaign `{}` at {}: committed shard {}/{} (cells {}..{})",
@@ -202,11 +248,9 @@ fn run_resume(
     opts: &CliOpts,
     dir: &Path,
     schedule_of: &TakeOnce,
-) -> Result<(), String> {
-    let campaign = Campaign::new(study, opts.study.clone()).map_err(|e| e.to_string())?;
-    let (records, stats) = campaign
-        .resume(dir, &opts.runner())
-        .map_err(|e| e.to_string())?;
+) -> Result<(), CliError> {
+    let campaign = Campaign::new(study, opts.study.clone()).map_err(classify)?;
+    let (records, stats) = campaign.resume(dir, &opts.runner()).map_err(classify)?;
     eprintln!(
         "(resume: reused {} shard(s) {:?}, ran {} {:?})",
         stats.reused.len(),
@@ -214,7 +258,9 @@ fn run_resume(
         stats.ran.len(),
         stats.ran
     );
-    let out = study.render(&opts.study, &records)?;
+    let out = study
+        .render(&opts.study, &records)
+        .map_err(CliError::Runtime)?;
     // Artifacts default into the campaign directory so a resumed run leaves
     // its digests next to its shards.
     let out_dir = opts.out_dir.as_deref().unwrap_or(dir);
@@ -230,19 +276,23 @@ fn run_resume(
 }
 
 /// `repro merge DIR`: recombine a completed campaign without running cells.
-fn run_merge(registry: &StudyRegistry, args: &[String]) -> Result<(), String> {
+fn run_merge(registry: &StudyRegistry, args: &[String]) -> Result<(), CliError> {
     let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err("merge needs a campaign directory: repro merge DIR".to_string());
+        return Err(CliError::Usage(
+            "merge needs a campaign directory: repro merge DIR".to_string(),
+        ));
     };
     let dir = PathBuf::from(dir);
-    let opts = cli::parse_opts(&args[1..])?;
-    let campaign = campaign::open_for_merge(registry, &dir).map_err(|e| e.to_string())?;
-    let records = campaign.load_records(&dir).map_err(|e| e.to_string())?;
+    let opts = cli::parse_opts(&args[1..]).map_err(CliError::Usage)?;
+    let campaign = campaign::open_for_merge(registry, &dir).map_err(classify)?;
+    let records = campaign.load_records(&dir).map_err(classify)?;
     let study = campaign.study();
     // Merge renders under the stored campaign parameters, not the CLI's.
     let mut merged_opts = opts;
     merged_opts.study = campaign.opts().clone();
-    let out = study.render(&merged_opts.study, &records)?;
+    let out = study
+        .render(&merged_opts.study, &records)
+        .map_err(CliError::Runtime)?;
     let out_dir = merged_opts.out_dir.clone().unwrap_or_else(|| dir.clone());
     let schedule = BatchTrace::default();
     emit(
@@ -273,16 +323,34 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let registry = StudyRegistry::builtin();
+
+    if cmd == "serve" {
+        let config = match serve::ServeConfig::parse(&args[1..]) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: repro serve {}", serve::FLAG_USAGE);
+                return ExitCode::from(2);
+            }
+        };
+        return match serve::run(config) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
 
     if cmd == "merge" {
         return match run_merge(&registry, &args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+                eprintln!("error: {}", e.message());
+                e.exit_code()
             }
         };
     }
@@ -291,7 +359,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     // One scheduling sink for the whole invocation: the trace study's Chrome
@@ -306,7 +374,9 @@ fn main() -> ExitCode {
 
     let result = if cmd == "all" {
         if opts.shard.is_some() || opts.resume.is_some() {
-            Err("--shard/--resume apply to a single study, not `all`".to_string())
+            Err(CliError::Usage(
+                "--shard/--resume apply to a single study, not `all`".to_string(),
+            ))
         } else {
             ALL.iter().enumerate().try_for_each(|(i, name)| {
                 if i > 0 {
@@ -320,7 +390,7 @@ fn main() -> ExitCode {
         match registry.get(cmd) {
             None => {
                 eprintln!("unknown experiment: {cmd}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
             Some(study) => match (opts.shard, opts.resume.clone()) {
                 (Some(shard), _) => run_shard(study, &opts, shard),
@@ -330,8 +400,8 @@ fn main() -> ExitCode {
         }
     };
     if let Err(e) = result {
-        eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        eprintln!("error: {}", e.message());
+        return e.exit_code();
     }
 
     // `--telemetry PATH`: dump the whole invocation's batch-scheduling spans
@@ -346,7 +416,7 @@ fn main() -> ExitCode {
             Ok(()) => println!("(wrote {})", path.display()),
             Err(e) => {
                 eprintln!("error: failed to write {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(1);
             }
         }
     }

@@ -100,6 +100,13 @@ pub enum CampaignError {
         /// The missing shard indices.
         missing: Vec<usize>,
     },
+    /// One or more shards failed to commit during a resume (for example a
+    /// full disk while writing a blob). Every *other* shard still ran and
+    /// checkpointed; only the listed shards need a retry.
+    ShardsQuarantined {
+        /// `(shard index, error)` for every shard whose commit failed.
+        failed: Vec<(usize, String)>,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -113,6 +120,16 @@ impl fmt::Display for CampaignError {
                 "campaign is incomplete: shard(s) {missing:?} have not been run (run them with \
                  --shard i/n or finish the campaign with --resume)"
             ),
+            CampaignError::ShardsQuarantined { failed } => {
+                let indices: Vec<usize> = failed.iter().map(|(s, _)| *s).collect();
+                write!(
+                    f,
+                    "shard(s) {indices:?} failed to commit and were quarantined (first: shard \
+                     {}: {}); every other shard checkpointed — re-run --resume to retry only \
+                     the quarantined shard(s)",
+                    failed[0].0, failed[0].1
+                )
+            }
         }
     }
 }
@@ -311,16 +328,17 @@ impl<'a> Campaign<'a> {
         let records = self.records_from(range.start, payloads);
         let mut blob = String::new();
         for r in &records {
-            let line = Json::obj()
-                .field("cell", r.index)
-                .field("label", r.label.as_str())
-                .field("payload", r.payload.clone())
-                .render_compact();
-            blob.push_str(&line);
+            blob.push_str(&record_line(r));
             blob.push('\n');
         }
         let blob_path = dir.join(blob_name(shard.index));
-        std::fs::write(&blob_path, &blob).map_err(|e| io_err(e, &blob_path))?;
+        if let Err(e) = write_blob(&blob_path, &blob) {
+            // Never leave a partial blob behind a failed write: it was not
+            // committed (no manifest line), but a half-written file sitting
+            // at the committed name would shadow the next attempt's state.
+            let _ = std::fs::remove_file(&blob_path);
+            return Err(io_err(e, &blob_path));
+        }
         let digest = crate::matrix::fnv1a(blob.as_bytes());
         let line = Json::obj()
             .field("shard", shard.index)
@@ -329,6 +347,10 @@ impl<'a> Campaign<'a> {
             .field("digest", Json::hex(digest))
             .render_compact();
         let manifest_path = dir.join("manifest.jsonl");
+        // A torn final line (crash mid-append) was never a commit; truncate
+        // it before appending, or the new commit line would fuse with the
+        // half-written one and corrupt both.
+        repair_torn_tail(&manifest_path).map_err(|e| io_err(e, &manifest_path))?;
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -351,21 +373,33 @@ impl<'a> Campaign<'a> {
         let shards = header.shards;
         let manifest = read_manifest(dir)?;
         let mut stats = ResumeStats::default();
+        let mut quarantined: Vec<(usize, String)> = Vec::new();
         let mut records = Vec::with_capacity(self.labels.len());
         for shard in 0..shards {
             if manifest.iter().any(|m| m.shard == shard) {
                 stats.reused.push(shard);
             } else {
-                self.run_shard(
-                    dir,
-                    ShardSpec {
-                        index: shard,
-                        count: shards,
-                    },
-                    runner,
-                )?;
-                stats.ran.push(shard);
+                let spec = ShardSpec {
+                    index: shard,
+                    count: shards,
+                };
+                match self.run_shard(dir, spec, runner) {
+                    Ok(_) => stats.ran.push(shard),
+                    // An I/O failure committing one shard (disk full, torn
+                    // write) quarantines that shard but does not abort the
+                    // resume: the remaining shards still run and checkpoint,
+                    // so the retry only has the quarantined work left.
+                    Err(CampaignError::Io(e, p)) => {
+                        quarantined.push((shard, format!("{}: {e}", p.display())));
+                    }
+                    Err(e) => return Err(e),
+                }
             }
+        }
+        if !quarantined.is_empty() {
+            return Err(CampaignError::ShardsQuarantined {
+                failed: quarantined,
+            });
         }
         let manifest = read_manifest(dir)?;
         for shard in 0..shards {
@@ -479,6 +513,72 @@ fn blob_name(shard: usize) -> String {
     format!("shard-{shard:04}.jsonl")
 }
 
+/// The canonical FNV-1a digest of a record list: the hash of the records
+/// rendered exactly as shard-blob lines, in cell order. This is the digest
+/// the service reports per job and `loadgen` verifies against a serial run —
+/// equality proves zero lost, duplicated, or altered cells.
+pub fn records_digest(records: &[Record]) -> u64 {
+    let mut h = Fnv1a::new();
+    for r in records {
+        h.eat(record_line(r).as_bytes());
+        h.eat(b"\n");
+    }
+    h.finish()
+}
+
+/// One record rendered as its shard-blob / event-stream line.
+pub fn record_line(r: &Record) -> String {
+    Json::obj()
+        .field("cell", r.index)
+        .field("label", r.label.as_str())
+        .field("payload", r.payload.clone())
+        .render_compact()
+}
+
+/// Deterministic write-fault injection for the campaign writer (the
+/// disk-full drill). Tests and the chaos harness arm a number of failures;
+/// each armed failure makes the next shard-blob write fail after writing a
+/// partial prefix — exactly what a full disk does — so the recovery
+/// contract can be exercised: a failed write must surface as a quarantined
+/// shard, never as a silently committed partial blob.
+pub mod faultpoint {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static BLOB_WRITE_FAULTS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Arms `n` blob-write failures (each consumed by one failing write).
+    pub fn arm_blob_write_errors(n: usize) {
+        BLOB_WRITE_FAULTS.store(n, Ordering::SeqCst);
+    }
+
+    /// Consumes one armed failure; `true` means the caller must fail.
+    pub(super) fn take_blob_write_error() -> bool {
+        BLOB_WRITE_FAULTS
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Disarms any remaining failures (test hygiene).
+    pub fn disarm() {
+        BLOB_WRITE_FAULTS.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Writes a shard blob, honouring the [`faultpoint`] injection: an armed
+/// fault writes a truncated prefix and then reports `ENOSPC`-style failure,
+/// modelling a disk that filled up mid-write.
+fn write_blob(path: &Path, blob: &str) -> std::io::Result<()> {
+    if faultpoint::take_blob_write_error() {
+        let half = blob.len() / 2;
+        let _ = std::fs::write(path, &blob.as_bytes()[..half]);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            "injected disk-full while writing shard blob",
+        ));
+    }
+    std::fs::write(path, blob)
+}
+
 /// Parsed `campaign.json`.
 #[derive(Debug, Clone)]
 pub struct Header {
@@ -581,8 +681,34 @@ struct ManifestEntry {
     digest: u64,
 }
 
+/// Truncates a torn (newline-less) final line off a manifest file. The
+/// half-written line was never a commit — [`read_manifest`] already ignores
+/// it — but it must not stay on disk once another commit is appended, or
+/// the two would fuse into one unparseable line.
+fn repair_torn_tail(path: &Path) -> std::io::Result<()> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if text.is_empty() || text.ends_with('\n') {
+        return Ok(());
+    }
+    let keep = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep as u64)?;
+    Ok(())
+}
+
 /// Reads `manifest.jsonl`, deduplicating repeated shard lines (a shard
 /// re-run after a crash-before-commit) and rejecting conflicting ones.
+///
+/// A **torn final line** — the file does not end in a newline and its last
+/// line does not parse, the signature of a crash mid-append — is tolerated:
+/// the half-written commit simply never happened, the shard reads as
+/// incomplete, and the next `--resume` re-runs it. A malformed line anywhere
+/// else (or a complete, newline-terminated final line that does not parse)
+/// is still corruption and fails loudly.
 fn read_manifest(dir: &Path) -> Result<Vec<ManifestEntry>, CampaignError> {
     let path = dir.join("manifest.jsonl");
     let text = match std::fs::read_to_string(&path) {
@@ -591,26 +717,45 @@ fn read_manifest(dir: &Path) -> Result<Vec<ManifestEntry>, CampaignError> {
         Err(e) => return Err(io_err(e, &path)),
     };
     let header = read_header(dir)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let torn_tail_at = if text.ends_with('\n') {
+        None
+    } else {
+        Some(lines.len().saturating_sub(1))
+    };
     let mut entries: Vec<ManifestEntry> = Vec::new();
-    for (i, line) in text.lines().enumerate() {
+    for (i, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let v = Json::parse(line)
-            .map_err(|e| CampaignError::Invalid(format!("{}:{}: {e}", path.display(), i + 1)))?;
-        let get = |k: &str| -> Result<u64, CampaignError> {
-            v.get(k).and_then(Json::as_u64).ok_or_else(|| {
-                CampaignError::Invalid(format!("{}:{}: missing `{k}`", path.display(), i + 1))
+        let tolerate_torn = torn_tail_at == Some(i);
+        let parsed = (|| -> Result<ManifestEntry, CampaignError> {
+            let v = Json::parse(line).map_err(|e| {
+                CampaignError::Invalid(format!("{}:{}: {e}", path.display(), i + 1))
+            })?;
+            let get = |k: &str| -> Result<u64, CampaignError> {
+                v.get(k).and_then(Json::as_u64).ok_or_else(|| {
+                    CampaignError::Invalid(format!("{}:{}: missing `{k}`", path.display(), i + 1))
+                })
+            };
+            Ok(ManifestEntry {
+                shard: get("shard")? as usize,
+                start: get("start")? as usize,
+                len: get("len")? as usize,
+                count: header.shards,
+                digest: v.get("digest").and_then(Json::as_hex).ok_or_else(|| {
+                    CampaignError::Invalid(format!(
+                        "{}:{}: missing `digest`",
+                        path.display(),
+                        i + 1
+                    ))
+                })?,
             })
-        };
-        let entry = ManifestEntry {
-            shard: get("shard")? as usize,
-            start: get("start")? as usize,
-            len: get("len")? as usize,
-            count: header.shards,
-            digest: v.get("digest").and_then(Json::as_hex).ok_or_else(|| {
-                CampaignError::Invalid(format!("{}:{}: missing `digest`", path.display(), i + 1))
-            })?,
+        })();
+        let entry = match parsed {
+            Ok(e) => e,
+            Err(_) if tolerate_torn => continue,
+            Err(e) => return Err(e),
         };
         match entries.iter().find(|e| e.shard == entry.shard) {
             None => entries.push(entry),

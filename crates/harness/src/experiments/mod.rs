@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod alloc;
 pub mod density;
+pub mod echo;
 pub mod fault_study;
 pub mod fig10;
 pub mod fig11;

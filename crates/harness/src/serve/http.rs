@@ -1,0 +1,352 @@
+//! Minimal HTTP/1.1 over `std::net`: request parsing, response writing.
+//!
+//! The repo vendors no HTTP stack, so the service speaks a deliberately
+//! small, strict subset of HTTP/1.1: one request per connection
+//! (`Connection: close` on every response), `Content-Length`-framed bodies
+//! both ways, and hard limits on header and body sizes so a hostile client
+//! cannot balloon memory. Anything outside the subset gets a clean 4xx, not
+//! a hang — reads run under a socket timeout, so a slow-loris connection
+//! costs one handler slot for at most the read timeout.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on the request-line + headers section.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on request bodies (submissions are small JSON documents).
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+/// Socket read timeout: a client that stops sending mid-request is cut off.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Socket write timeout: a client that stops reading cannot pin a handler.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Query string (without `?`), empty when absent.
+    pub query: String,
+    /// Headers, keys lowercased.
+    pub headers: HashMap<String, String>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// The first value of a `k=v` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// What went wrong reading a request — each maps to one 4xx response.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Network-level failure or timeout mid-request.
+    Io(std::io::Error),
+    /// Malformed request line or headers.
+    Malformed(&'static str),
+    /// Head or body over the hard limits.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o: {e}"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ParseError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+/// Reads one request from `stream` (which must already have its timeouts
+/// set; see [`configure_stream`]).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    // Request line.
+    read_line_capped(&mut reader, &mut head)?;
+    let line = head.trim_end().to_string();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    // Headers.
+    let mut headers = HashMap::new();
+    let mut head_bytes = line.len();
+    loop {
+        let mut hline = String::new();
+        read_line_capped(&mut reader, &mut hline)?;
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("headers"));
+        }
+        let (k, v) = hline
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without colon"))?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+
+    // Body: Content-Length framing only (no chunked uploads).
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError::Malformed("bad content-length"))?,
+    };
+    if headers
+        .get("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ParseError::Malformed("chunked uploads not supported"));
+    }
+    if len > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(ParseError::Io)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn read_line_capped(
+    reader: &mut BufReader<&mut TcpStream>,
+    out: &mut String,
+) -> Result<(), ParseError> {
+    let mut taken = reader.take(MAX_HEAD_BYTES as u64 + 1);
+    let n = taken.read_line(out).map_err(ParseError::Io)?;
+    if n == 0 {
+        return Err(ParseError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a full request",
+        )));
+    }
+    if n > MAX_HEAD_BYTES {
+        return Err(ParseError::TooLarge("request line"));
+    }
+    Ok(())
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the defaults.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the given status, content type, and body.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), content_type.into())],
+            body: body.into(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(
+            status,
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status, "application/json", body.into().into_bytes())
+    }
+
+    /// A JSONL event stream (`application/x-ndjson`).
+    pub fn ndjson(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "application/x-ndjson", body)
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl ToString) -> Response {
+        self.headers.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// The standard error shape: `{"error": ...}` with the given status.
+    pub fn error(status: u16, message: &str) -> Response {
+        let doc = crate::json::Json::obj()
+            .field("error", message)
+            .render_compact();
+        Response::json(status, doc)
+    }
+
+    /// Serialises onto `stream`. Write errors are returned (the caller just
+    /// logs them — the client hung up, nothing to recover).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            reason_phrase(self.status)
+        );
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.body.len()
+        ));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Applies the service's socket discipline to an accepted connection.
+pub fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    stream.set_nodelay(true)
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Keep the socket open until the server is done parsing.
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        configure_stream(&stream).unwrap();
+        let req = read_request(&mut stream);
+        drop(stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(
+            b"POST /v1/jobs?x=1&y=2 HTTP/1.1\r\nHost: h\r\nX-Client: alice\r\n\
+              Content-Length: 4\r\n\r\n{\"a\"",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query_param("y"), Some("2"));
+        assert_eq!(req.header("x-client"), Some("alice"));
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_bad_requests() {
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            round_trip(big.as_bytes()),
+            Err(ParseError::TooLarge(_))
+        ));
+        assert!(matches!(
+            round_trip(b"NONSENSE\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"GET / SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_wire_format_is_well_formed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            Response::json(429, "{\"error\":\"slow down\"}")
+                .header("Retry-After", 2)
+                .write_to(&mut stream)
+                .unwrap();
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        server.join().unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{out}"
+        );
+        assert!(out.contains("Retry-After: 2\r\n"));
+        assert!(out.contains("Connection: close\r\n"));
+        assert!(out.ends_with("{\"error\":\"slow down\"}"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Service counters and histograms behind `/metrics`.
+//!
+//! All counters are relaxed atomics — a scrape sees a consistent-enough
+//! snapshot, and the hot path (one `fetch_add` per event) never contends.
+//! Latency histograms reuse the telemetry crate's deterministic
+//! [`Log2Hist`] under a mutex taken once per completed request/job; the
+//! exposition itself reuses `giantsan_telemetry::export::service_exposition`
+//! so the service and the sanitizer speak one scrape format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use giantsan_telemetry::export::service_exposition;
+use giantsan_telemetry::Log2Hist;
+
+/// Every counter, gauge, and histogram the service exports.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Completed HTTP responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses that were not admission sheds (bad requests, 404s).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (a healthy service emits none; CI asserts zero).
+    pub responses_5xx: AtomicU64,
+    /// Submissions shed by the per-client rate limiter (429).
+    pub shed_rate_limited: AtomicU64,
+    /// Submissions shed because the admission queue was full (429).
+    pub shed_queue_full: AtomicU64,
+    /// Submissions refused because the server was draining (503).
+    pub shed_draining: AtomicU64,
+    /// Jobs accepted into the queue.
+    pub jobs_admitted: AtomicU64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed (spec errors, quarantined shards).
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled by the per-request deadline.
+    pub jobs_timed_out: AtomicU64,
+    /// Cells executed across all jobs.
+    pub cells_run: AtomicU64,
+    /// Cells quarantined mid-job (panic or watchdog `Timeout` verdict).
+    pub cells_quarantined: AtomicU64,
+    /// Shards committed through the campaign checkpoint path.
+    pub shards_committed: AtomicU64,
+    /// Jobs resumed from a checkpoint at startup.
+    pub jobs_resumed: AtomicU64,
+    /// HTTP request service time, admission decision included (µs).
+    pub request_latency_us: Mutex<Log2Hist>,
+    /// Whole-job latency from admission to terminal state (µs).
+    pub job_latency_us: Mutex<Log2Hist>,
+}
+
+impl ServiceMetrics {
+    /// Bumps the status-class counter for a response code.
+    pub fn count_response(&self, status: u16) {
+        let c = match status {
+            200..=299 => &self.responses_2xx,
+            500..=599 => &self.responses_5xx,
+            _ => &self.responses_4xx,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's service time.
+    pub fn observe_request(&self, started: Instant) {
+        let us = started.elapsed().as_micros() as u64;
+        self.request_latency_us
+            .lock()
+            .expect("metrics poisoned")
+            .record(us);
+    }
+
+    /// Records one job's admission-to-terminal latency.
+    pub fn observe_job(&self, started: Instant) {
+        let us = started.elapsed().as_micros() as u64;
+        self.job_latency_us
+            .lock()
+            .expect("metrics poisoned")
+            .record(us);
+    }
+
+    /// Renders the Prometheus text exposition, with live gauges supplied by
+    /// the caller (queue depth and readiness are scheduler state).
+    pub fn exposition(&self, queue_depth: usize, queue_capacity: usize, ready: bool) -> String {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let counters: Vec<(&str, &str, u64)> = vec![
+            (
+                "giantsan_serve_responses_total_2xx",
+                "HTTP responses with a 2xx status.",
+                c(&self.responses_2xx),
+            ),
+            (
+                "giantsan_serve_responses_total_4xx",
+                "HTTP responses with a non-shed 4xx status.",
+                c(&self.responses_4xx),
+            ),
+            (
+                "giantsan_serve_responses_total_5xx",
+                "HTTP responses with a 5xx status.",
+                c(&self.responses_5xx),
+            ),
+            (
+                "giantsan_serve_shed_rate_limited_total",
+                "Submissions shed by the per-client token bucket (429).",
+                c(&self.shed_rate_limited),
+            ),
+            (
+                "giantsan_serve_shed_queue_full_total",
+                "Submissions shed because the admission queue was full (429).",
+                c(&self.shed_queue_full),
+            ),
+            (
+                "giantsan_serve_shed_draining_total",
+                "Submissions refused during graceful drain (503).",
+                c(&self.shed_draining),
+            ),
+            (
+                "giantsan_serve_jobs_admitted_total",
+                "Jobs accepted into the admission queue.",
+                c(&self.jobs_admitted),
+            ),
+            (
+                "giantsan_serve_jobs_completed_total",
+                "Jobs that ran to completion.",
+                c(&self.jobs_completed),
+            ),
+            (
+                "giantsan_serve_jobs_failed_total",
+                "Jobs that ended in an error state.",
+                c(&self.jobs_failed),
+            ),
+            (
+                "giantsan_serve_jobs_timed_out_total",
+                "Jobs cancelled by their deadline.",
+                c(&self.jobs_timed_out),
+            ),
+            (
+                "giantsan_serve_cells_run_total",
+                "Study cells executed across all jobs.",
+                c(&self.cells_run),
+            ),
+            (
+                "giantsan_serve_cells_quarantined_total",
+                "Cells quarantined mid-job (panic or watchdog Timeout verdict).",
+                c(&self.cells_quarantined),
+            ),
+            (
+                "giantsan_serve_shards_committed_total",
+                "Campaign shards committed through the checkpoint path.",
+                c(&self.shards_committed),
+            ),
+            (
+                "giantsan_serve_jobs_resumed_total",
+                "Durable jobs resumed from checkpoints at startup.",
+                c(&self.jobs_resumed),
+            ),
+        ];
+        let gauges: Vec<(&str, &str, u64)> = vec![
+            (
+                "giantsan_serve_queue_depth",
+                "Jobs waiting in the admission queue.",
+                queue_depth as u64,
+            ),
+            (
+                "giantsan_serve_queue_capacity",
+                "Admission queue capacity.",
+                queue_capacity as u64,
+            ),
+            (
+                "giantsan_serve_ready",
+                "1 while admitting, 0 while draining.",
+                u64::from(ready),
+            ),
+        ];
+        let req = self
+            .request_latency_us
+            .lock()
+            .expect("metrics poisoned")
+            .clone();
+        let job = self
+            .job_latency_us
+            .lock()
+            .expect("metrics poisoned")
+            .clone();
+        service_exposition(
+            &counters,
+            &gauges,
+            &[
+                (
+                    "giantsan_serve_request_latency_us",
+                    "HTTP request service time in microseconds.",
+                    &req,
+                ),
+                (
+                    "giantsan_serve_job_latency_us",
+                    "Job latency from admission to terminal state in microseconds.",
+                    &job,
+                ),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_every_family() {
+        let m = ServiceMetrics::default();
+        m.count_response(200);
+        m.count_response(404);
+        m.count_response(503);
+        m.shed_queue_full.fetch_add(3, Ordering::Relaxed);
+        m.observe_request(Instant::now());
+        let s = m.exposition(5, 64, true);
+        assert!(s.contains("giantsan_serve_responses_total_2xx 1"));
+        assert!(s.contains("giantsan_serve_responses_total_4xx 1"));
+        assert!(s.contains("giantsan_serve_responses_total_5xx 1"));
+        assert!(s.contains("giantsan_serve_shed_queue_full_total 3"));
+        assert!(s.contains("giantsan_serve_queue_depth 5"));
+        assert!(s.contains("giantsan_serve_queue_capacity 64"));
+        assert!(s.contains("giantsan_serve_ready 1"));
+        assert!(s.contains("giantsan_serve_request_latency_us_count 1"));
+    }
+}

@@ -1,0 +1,395 @@
+//! The worker pool that turns queued jobs into committed campaign shards.
+//!
+//! Each worker pops one job at a time off the bounded admission queue and
+//! drives it shard-by-shard through [`Campaign::run_shard`] — the PR 7
+//! checkpoint path. Between shards the worker polls two conditions:
+//!
+//! * **Shutdown** — if the server is draining, the job is *parked*: its
+//!   current shard finishes and commits, its descriptor goes back to
+//!   `queued`, and the worker moves on. A restart re-queues the job and the
+//!   resume path skips every committed shard, so graceful shutdown loses no
+//!   work and repeats none.
+//! * **Deadline** — a job past its deadline transitions to `timed-out` and
+//!   stops scheduling further shards. Already-committed shards stay on
+//!   disk; the client can resubmit with a longer deadline and resume them.
+//!
+//! Inside a shard, runaway cells are bounded by the per-cell watchdog
+//! ([`BatchRunner::with_cell_deadline`]): they get a quarantined placeholder
+//! payload instead of hanging the pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::batch::BatchRunner;
+use crate::campaign::{records_digest, Campaign, ShardSpec};
+use crate::json::Json;
+use crate::serve::admission::BoundedQueue;
+use crate::serve::jobs::{JobEntry, JobPhase, JobRegistry};
+use crate::serve::metrics::ServiceMetrics;
+use crate::study::StudyRegistry;
+
+/// Worker-pool tunables, fixed at server start.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Concurrent jobs (worker threads popping the queue).
+    pub workers: usize,
+    /// `BatchRunner` threads given to each job.
+    pub threads_per_job: usize,
+    /// Per-cell watchdog budget.
+    pub cell_deadline: Duration,
+    /// Job deadline applied when a submission names none.
+    pub default_job_deadline: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            threads_per_job: 2,
+            cell_deadline: Duration::from_secs(10),
+            default_job_deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Everything a worker thread shares with the front-end.
+#[derive(Debug)]
+pub struct SchedulerShared {
+    /// The admission queue.
+    pub queue: BoundedQueue<Arc<JobEntry>>,
+    /// Service counters and histograms.
+    pub metrics: ServiceMetrics,
+    /// Study lookup (shared with request validation).
+    pub studies: StudyRegistry,
+    /// Durable job index.
+    pub jobs: JobRegistry,
+    /// Set once when draining begins; workers park instead of running.
+    pub draining: AtomicBool,
+    /// Pool tunables.
+    pub config: SchedulerConfig,
+}
+
+impl SchedulerShared {
+    /// `true` while the server should admit new work.
+    pub fn accepting(&self) -> bool {
+        !self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// The running worker pool.
+#[derive(Debug)]
+pub struct Scheduler {
+    shared: Arc<SchedulerShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawns `config.workers` worker threads over `shared`.
+    pub fn start(shared: Arc<SchedulerShared>) -> Scheduler {
+        let mut handles = Vec::new();
+        for w in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Scheduler { shared, handles }
+    }
+
+    /// Begins the drain: stop admitting, close the queue, let the workers
+    /// park their in-flight jobs at the next shard boundary.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    /// Waits for every worker to exit (drain must have been requested).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &SchedulerShared) {
+    while let Some(job) = shared.queue.pop() {
+        if shared.draining.load(Ordering::SeqCst) {
+            // Draining: everything still queued stays `queued` on disk and
+            // is re-queued by the next process; do not start new work.
+            job.push_event("parked", Json::obj().field("reason", "drain"));
+            continue;
+        }
+        run_job(shared, &job);
+    }
+}
+
+/// Runs (or resumes) one job to a terminal or parked state.
+pub fn run_job(shared: &SchedulerShared, job: &Arc<JobEntry>) {
+    job.update(|st| st.phase = JobPhase::Running);
+    job.push_event(
+        "started",
+        Json::obj().field("shards", job.spec.shards as u64),
+    );
+    let study = match shared.studies.get(&job.spec.study) {
+        Some(s) => s,
+        None => return fail(shared, job, format!("study `{}` vanished", job.spec.study)),
+    };
+    let mut opts = job.spec.opts.clone();
+    opts.threads = shared.config.threads_per_job;
+    let campaign = match Campaign::new(study, opts) {
+        Ok(c) => c,
+        Err(e) => return fail(shared, job, e.to_string()),
+    };
+    let dir = job.campaign_dir();
+    let runner = BatchRunner::new(shared.config.threads_per_job)
+        .with_cell_deadline(shared.config.cell_deadline);
+    let deadline = job
+        .spec
+        .deadline
+        .unwrap_or(shared.config.default_job_deadline);
+    let cells = campaign.labels().len();
+    let shards = job.spec.shards;
+    for shard in 0..shards {
+        if shared.draining.load(Ordering::SeqCst) {
+            // Park: committed shards are checkpointed; the descriptor goes
+            // back to `queued` so the next process resumes right here.
+            job.update(|st| st.phase = JobPhase::Queued);
+            job.push_event(
+                "parked",
+                Json::obj()
+                    .field("reason", "drain")
+                    .field("next_shard", shard as u64),
+            );
+            return;
+        }
+        if job.admitted.elapsed() > deadline {
+            shared
+                .metrics
+                .jobs_timed_out
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.observe_job(job.admitted);
+            job.update(|st| {
+                st.phase = JobPhase::TimedOut;
+                st.error = Some(format!(
+                    "deadline of {}ms exceeded after {} of {shards} shard(s)",
+                    deadline.as_millis(),
+                    shard
+                ));
+            });
+            job.push_event("timed_out", Json::obj().field("after_shards", shard as u64));
+            return;
+        }
+        let spec = ShardSpec {
+            index: shard,
+            count: shards,
+        };
+        match campaign.run_shard(&dir, spec, &runner) {
+            Ok(ran) => {
+                if ran {
+                    shared
+                        .metrics
+                        .shards_committed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let len = crate::campaign::shard_range(cells, shard, shards).len();
+                shared
+                    .metrics
+                    .cells_run
+                    .fetch_add(len as u64, Ordering::Relaxed);
+                job.update(|st| {
+                    st.shards_done += 1;
+                    st.cells_done += len;
+                });
+                job.push_event(
+                    "shard",
+                    Json::obj()
+                        .field("shard", shard as u64)
+                        .field("cells", len as u64)
+                        .field("ran", ran),
+                );
+            }
+            Err(e) => return fail(shared, job, e.to_string()),
+        }
+    }
+    let records = match campaign.load_records(&dir) {
+        Ok(r) => r,
+        Err(e) => return fail(shared, job, e.to_string()),
+    };
+    let quarantined = records
+        .iter()
+        .filter(|r| {
+            r.payload
+                .get("quarantined")
+                .and_then(Json::as_bool)
+                .unwrap_or(false)
+        })
+        .count();
+    shared
+        .metrics
+        .cells_quarantined
+        .fetch_add(quarantined as u64, Ordering::Relaxed);
+    let digest = records_digest(&records);
+    shared
+        .metrics
+        .jobs_completed
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.observe_job(job.admitted);
+    job.update(|st| {
+        st.phase = JobPhase::Completed;
+        st.digest = Some(digest);
+    });
+    job.push_event(
+        "completed",
+        Json::obj()
+            .field("digest", Json::hex(digest))
+            .field("cells", records.len() as u64)
+            .field("quarantined", quarantined as u64),
+    );
+}
+
+fn fail(shared: &SchedulerShared, job: &Arc<JobEntry>, error: String) {
+    shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.observe_job(job.admitted);
+    job.update(|st| {
+        st.phase = JobPhase::Failed;
+        st.error = Some(error.clone());
+    });
+    job.push_event("failed", Json::obj().field("error", error));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::jobs::JobSpec;
+    use std::path::{Path, PathBuf};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "giantsan-sched-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn shared(dir: &Path) -> Arc<SchedulerShared> {
+        Arc::new(SchedulerShared {
+            queue: BoundedQueue::new(16),
+            metrics: ServiceMetrics::default(),
+            studies: StudyRegistry::builtin(),
+            jobs: JobRegistry::open(dir).unwrap(),
+            draining: AtomicBool::new(false),
+            config: SchedulerConfig {
+                workers: 1,
+                threads_per_job: 2,
+                cell_deadline: Duration::from_secs(10),
+                default_job_deadline: Duration::from_secs(60),
+            },
+        })
+    }
+
+    fn echo_spec(shared: &SchedulerShared, body: &str) -> JobSpec {
+        JobSpec::from_json(&Json::parse(body).unwrap(), &shared.studies).unwrap()
+    }
+
+    #[test]
+    fn job_runs_to_completion_with_digest() {
+        let dir = tmpdir("complete");
+        let sh = shared(&dir);
+        let spec = echo_spec(
+            &sh,
+            r#"{"study":"echo","params":{"scale":4,"rounds":1},"shards":2}"#,
+        );
+        let job = sh.jobs.create(spec).unwrap();
+        run_job(&sh, &job);
+        let st = job.status();
+        assert_eq!(st.phase, JobPhase::Completed);
+        assert!(st.digest.is_some());
+        assert_eq!(st.shards_done, 2);
+        assert_eq!(st.cells_done, 4);
+        assert_eq!(sh.metrics.jobs_completed.load(Ordering::Relaxed), 1);
+        assert_eq!(sh.metrics.shards_committed.load(Ordering::Relaxed), 2);
+        // Digest matches a monolithic serial run of the same spec.
+        let study = sh.studies.get("echo").unwrap();
+        let mut opts = job.spec.opts.clone();
+        opts.threads = 1;
+        let serial = Campaign::new(study, opts)
+            .unwrap()
+            .run_all(&BatchRunner::serial());
+        assert_eq!(st.digest.unwrap(), records_digest(&serial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_deadline_times_out_before_any_shard() {
+        let dir = tmpdir("deadline");
+        let sh = shared(&dir);
+        let spec = echo_spec(
+            &sh,
+            r#"{"study":"echo","params":{"scale":2,"rounds":1},"deadline_ms":0}"#,
+        );
+        let job = sh.jobs.create(spec).unwrap();
+        run_job(&sh, &job);
+        assert_eq!(job.status().phase, JobPhase::TimedOut);
+        assert_eq!(sh.metrics.jobs_timed_out.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_parks_job_and_resume_completes_it() {
+        let dir = tmpdir("park");
+        let sh = shared(&dir);
+        let spec = echo_spec(
+            &sh,
+            r#"{"study":"echo","params":{"scale":4,"rounds":1},"shards":4}"#,
+        );
+        let job = sh.jobs.create(spec).unwrap();
+        // Drain before the job starts a single shard: it must park, leaving
+        // a queued descriptor and an (at most partially) committed campaign.
+        sh.draining.store(true, Ordering::SeqCst);
+        run_job(&sh, &job);
+        assert_eq!(job.status().phase, JobPhase::Queued);
+        // "Restart": clear the drain flag and run again — resume completes
+        // the remaining shards and the digest matches a serial run.
+        sh.draining.store(false, Ordering::SeqCst);
+        run_job(&sh, &job);
+        let st = job.status();
+        assert_eq!(st.phase, JobPhase::Completed);
+        let study = sh.studies.get("echo").unwrap();
+        let serial = Campaign::new(study, job.spec.opts.clone())
+            .unwrap()
+            .run_all(&BatchRunner::serial());
+        assert_eq!(st.digest.unwrap(), records_digest(&serial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_pool_drains_queue_on_close() {
+        let dir = tmpdir("pool");
+        let sh = shared(&dir);
+        let spec = echo_spec(&sh, r#"{"study":"echo","params":{"scale":2,"rounds":1}}"#);
+        let a = sh.jobs.create(spec.clone()).unwrap();
+        let b = sh.jobs.create(spec).unwrap();
+        sh.queue.push(Arc::clone(&a)).unwrap();
+        sh.queue.push(Arc::clone(&b)).unwrap();
+        let sched = Scheduler::start(Arc::clone(&sh));
+        let t0 = std::time::Instant::now();
+        while (a.status().phase != JobPhase::Completed || b.status().phase != JobPhase::Completed)
+            && t0.elapsed() < Duration::from_secs(30)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        sh.queue.close();
+        sched.join();
+        assert_eq!(a.status().phase, JobPhase::Completed);
+        assert_eq!(b.status().phase, JobPhase::Completed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,73 @@
+//! SIGTERM/SIGINT-triggered graceful shutdown, without a libc crate.
+//!
+//! `std` already links the platform C library, so on Unix the `signal(2)`
+//! entry point can be declared directly. The handler does the only thing an
+//! async-signal-safe handler may: set a flag (a `static AtomicBool` store is
+//! signal-safe). The accept loop polls [`shutdown_requested`] between
+//! accepts and starts the drain when it flips.
+//!
+//! On non-Unix targets the hooks compile to no-ops — the server then only
+//! stops via `/admin/drain` or process kill, which is acceptable for a
+//! reproduction harness whose CI runs on Linux.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGTERM/SIGINT was delivered (or [`request_shutdown`] ran).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Flags shutdown from ordinary code (the `/admin/drain` endpoint, tests).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    // Values from the Linux/POSIX ABI; stable across the platforms CI runs.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Installs signal handlers where the platform supports them.
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handlers_install_without_touching_the_flag() {
+        // The flag is process-global, so this test must NOT set it — other
+        // tests in the same binary run live servers that watch it. Setting
+        // and observing the flag is covered by the `serve` integration
+        // test, which owns its whole process.
+        install_handlers();
+        assert!(!shutdown_requested());
+    }
+}

@@ -230,6 +230,7 @@ impl StudyRegistry {
                 Box::new(memory::MemoryEntry),
                 Box::new(density::DensityEntry),
                 Box::new(alloc::AllocEntry),
+                Box::new(echo::EchoEntry),
                 Box::new(BenchEntry),
                 Box::new(fault_study::FaultsEntry),
                 Box::new(trace::TraceEntry),
@@ -368,7 +369,7 @@ pub fn req_bools(payload: &Json, key: &str) -> Vec<bool> {
 #[derive(Debug, Clone, Copy)]
 pub struct BenchEntry;
 
-const BENCH_CELLS: [(&str, &str, &str); 5] = [
+const BENCH_CELLS: [(&str, &str, &str); 6] = [
     (
         "pr1",
         "== Hot-path before/after (word-wide scanning + monomorphized dispatch) ==",
@@ -393,6 +394,11 @@ const BENCH_CELLS: [(&str, &str, &str); 5] = [
         "pr6",
         "== Shadow-kernel backends (scalar vs swar vs simd) ==",
         "BENCH_PR6.json",
+    ),
+    (
+        "pr9",
+        "== Sanitizer service at and past saturation (throughput + shed) ==",
+        "BENCH_PR9.json",
     ),
 ];
 
@@ -426,6 +432,10 @@ impl Study for BenchEntry {
             }
             "pr6" => {
                 let r = crate::bench_pr6::run_bench();
+                (r.render(), r.to_json())
+            }
+            "pr9" => {
+                let r = crate::bench_pr9::run_bench();
                 (r.render(), r.to_json())
             }
             other => unreachable!("unknown bench cell {other}"),

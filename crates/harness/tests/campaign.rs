@@ -1,0 +1,247 @@
+//! Durability drills for the campaign checkpoint format.
+//!
+//! Three failure modes a long-lived sanitizer service must survive:
+//!
+//! 1. **Torn manifest tail** — the process died mid-append, leaving a final
+//!    manifest line without its newline. `--resume` must treat that shard as
+//!    uncommitted and re-run it, producing the same records as a clean run.
+//! 2. **Disk full mid-blob** — a shard-blob write fails partway. The failed
+//!    shard must surface as *quarantined* (and its partial blob removed),
+//!    never as a silently committed half-file; a clean retry must finish.
+//! 3. **Runaway cells** — a deliberately unbounded cell is cancelled by the
+//!    per-cell watchdog and degrades to the study's placeholder payload,
+//!    identically at every worker count, without wedging the pool.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use giantsan_harness::batch::BatchRunner;
+use giantsan_harness::campaign::{faultpoint, records_digest, Campaign, CampaignError, ShardSpec};
+use giantsan_harness::json::Json;
+use giantsan_harness::study::{Record, Study, StudyOpts, StudyOutput, StudyRegistry};
+
+/// The campaign writer's fault injection is process-global, so tests that
+/// write shards serialize on this lock to keep armed faults from leaking
+/// into a neighbour.
+fn write_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "giantsan-campaign-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn echo_opts() -> StudyOpts {
+    StudyOpts {
+        scale: 8,
+        rounds: 1,
+        seed: 0x70a5,
+        ..StudyOpts::default()
+    }
+}
+
+#[test]
+fn torn_final_manifest_line_is_tolerated_on_resume() {
+    let _g = write_lock();
+    let registry = StudyRegistry::builtin();
+    let study = registry.get("echo").unwrap();
+    let dir = tmpdir("torn");
+    let campaign = Campaign::new(study, echo_opts()).unwrap();
+    let serial = campaign.run_all(&BatchRunner::serial());
+
+    // Commit shards 0 and 1 of 4, then tear the final manifest line the way
+    // a crash mid-append does: no trailing newline, half the record gone.
+    for index in 0..2 {
+        campaign
+            .run_shard(&dir, ShardSpec { index, count: 4 }, &BatchRunner::serial())
+            .unwrap();
+    }
+    let manifest = dir.join("manifest.jsonl");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    assert_eq!(text.lines().count(), 2);
+    let torn = &text[..text.len() - text.lines().last().unwrap().len() / 2 - 1];
+    assert!(!torn.ends_with('\n'));
+    std::fs::write(&manifest, torn).unwrap();
+
+    // Resume: shard 0 is reused, the torn shard 1 re-runs with 2 and 3.
+    let (records, stats) = campaign.resume(&dir, &BatchRunner::serial()).unwrap();
+    assert_eq!(stats.reused, vec![0]);
+    assert_eq!(stats.ran, vec![1, 2, 3]);
+    assert_eq!(records, serial);
+    assert_eq!(records_digest(&records), records_digest(&serial));
+
+    // The repaired manifest is complete: a reload needs no re-runs.
+    let reloaded = campaign.load_records(&dir).unwrap();
+    assert_eq!(reloaded, serial);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_full_quarantines_shard_and_clean_retry_completes() {
+    let _g = write_lock();
+    let registry = StudyRegistry::builtin();
+    let study = registry.get("echo").unwrap();
+    let dir = tmpdir("enospc");
+    let campaign = Campaign::new(study, echo_opts()).unwrap();
+    let serial = campaign.run_all(&BatchRunner::serial());
+    campaign.init_dir(&dir, 4).unwrap();
+
+    // One injected ENOSPC: the first shard-blob write fails after a partial
+    // prefix, exactly like a disk filling up.
+    faultpoint::arm_blob_write_errors(1);
+    let err = campaign.resume(&dir, &BatchRunner::serial()).unwrap_err();
+    faultpoint::disarm();
+    match &err {
+        CampaignError::ShardsQuarantined { failed } => {
+            assert_eq!(failed.len(), 1);
+            assert_eq!(failed[0].0, 0);
+            assert!(failed[0].1.contains("disk-full"), "{}", failed[0].1);
+        }
+        other => panic!("expected quarantine, got {other}"),
+    }
+    // The failed shard left no partial blob at the committed name, and the
+    // manifest records only the three shards that did commit.
+    assert!(!dir.join("shard-0000.jsonl").exists());
+    let manifest = std::fs::read_to_string(dir.join("manifest.jsonl")).unwrap();
+    assert_eq!(manifest.lines().count(), 3);
+    assert!(matches!(
+        campaign.load_records(&dir).unwrap_err(),
+        CampaignError::Incomplete { .. }
+    ));
+
+    // The "disk" has space again: only the quarantined shard re-runs, and
+    // the merged records match the monolithic run byte for byte.
+    let (records, stats) = campaign.resume(&dir, &BatchRunner::serial()).unwrap();
+    assert_eq!(stats.reused, vec![1, 2, 3]);
+    assert_eq!(stats.ran, vec![0]);
+    assert_eq!(records, serial);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A study with deliberately unbounded cells: every third cell spins until
+/// the per-cell watchdog cancels it at a poll point.
+#[derive(Debug, Clone, Copy)]
+struct SpinStudy;
+
+impl Study for SpinStudy {
+    fn name(&self) -> &'static str {
+        "spin-test"
+    }
+
+    fn cells(&self, _opts: &StudyOpts) -> Result<Vec<String>, String> {
+        Ok((0..9).map(|i| format!("spin-{i}")).collect())
+    }
+
+    fn run_cell(&self, _opts: &StudyOpts, index: usize) -> Json {
+        if index % 3 == 1 {
+            // Unbounded cooperative loop — only the watchdog ends it.
+            loop {
+                giantsan_ir::watchdog::poll();
+                std::hint::spin_loop();
+            }
+        }
+        Json::obj().field("value", (index as u64) * 7)
+    }
+
+    fn placeholder(&self, _opts: &StudyOpts, index: usize) -> Option<Json> {
+        Some(
+            Json::obj()
+                .field("value", (index as u64) * 7)
+                .field("quarantined", true),
+        )
+    }
+
+    fn render(&self, _opts: &StudyOpts, _records: &[Record]) -> Result<StudyOutput, String> {
+        Ok(StudyOutput::default())
+    }
+}
+
+#[test]
+fn unbounded_cells_degrade_identically_at_every_worker_count() {
+    let opts = StudyOpts::default();
+    let run = |workers: usize| {
+        let runner = if workers == 0 {
+            BatchRunner::serial()
+        } else {
+            BatchRunner::new(workers)
+        }
+        .with_cell_deadline(Duration::from_millis(40));
+        let range: Range<usize> = 0..9;
+        let payloads = SpinStudy.run_range(&opts, range, &runner);
+        let records: Vec<Record> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(index, payload)| Record {
+                index,
+                label: format!("spin-{index}"),
+                payload,
+            })
+            .collect();
+        records
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    // The pool never wedges (this test returning is the proof) and every
+    // worker count produces byte-identical records: timed-out cells degrade
+    // to the same placeholder payload regardless of scheduling.
+    assert_eq!(one, two);
+    assert_eq!(two, four);
+    assert_eq!(records_digest(&one), records_digest(&four));
+    for (i, r) in one.iter().enumerate() {
+        let quarantined = r.payload.get("quarantined").is_some();
+        assert_eq!(quarantined, i % 3 == 1, "cell {i}: {:?}", r.payload);
+        assert_eq!(
+            r.payload.get("value").and_then(Json::as_u64),
+            Some((i as u64) * 7)
+        );
+    }
+}
+
+#[test]
+fn shard_partitions_merge_into_the_monolithic_digest() {
+    let _g = write_lock();
+    let registry = StudyRegistry::builtin();
+    let study = registry.get("echo").unwrap();
+    let campaign = Campaign::new(study, echo_opts()).unwrap();
+    let serial = campaign.run_all(&BatchRunner::serial());
+    for shards in [1usize, 3, 8] {
+        let dir = tmpdir(&format!("part{shards}"));
+        for index in 0..shards {
+            campaign
+                .run_shard(
+                    &dir,
+                    ShardSpec {
+                        index,
+                        count: shards,
+                    },
+                    &BatchRunner::serial(),
+                )
+                .unwrap();
+        }
+        let records = campaign.load_records(&dir).unwrap();
+        assert_eq!(records_digest(&records), records_digest(&serial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Paranoia: the digest is order-sensitive, so losing or duplicating a
+    // cell cannot cancel out.
+    let mut dropped = serial.clone();
+    dropped.remove(3);
+    assert_ne!(records_digest(&dropped), records_digest(&serial));
+    let mut duplicated = serial.clone();
+    let r = duplicated[2].clone();
+    duplicated.insert(2, r);
+    assert_ne!(records_digest(&duplicated), records_digest(&serial));
+}

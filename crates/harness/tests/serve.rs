@@ -1,0 +1,255 @@
+//! Process-level chaos drill for `repro serve`.
+//!
+//! The contract under test is the ISSUE 9 acceptance bar: a server killed
+//! with SIGKILL **mid-campaign** must, on restart with the same data
+//! directory, resume the interrupted job from its committed shards and
+//! produce a digest byte-identical to a monolithic serial run — zero lost,
+//! zero duplicated cells. A second leg checks the graceful path: SIGTERM
+//! drains and exits 0 with durable state intact.
+//!
+//! Everything here drives the real binary (`CARGO_BIN_EXE_repro`) over real
+//! sockets; the in-process lib tests in `src/serve/` cover the fine-grained
+//! logic.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use giantsan_harness::batch::BatchRunner;
+use giantsan_harness::campaign::{records_digest, Campaign};
+use giantsan_harness::json::Json;
+use giantsan_harness::study::{StudyOpts, StudyRegistry};
+
+const SCALE: u64 = 128;
+const ROUNDS: u64 = 20;
+const SEED: u64 = 0xc4a05;
+const SHARDS: u64 = 16;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("giantsan-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `repro serve` on an ephemeral port and returns the child plus the
+/// bound address parsed from its stdout banner.
+fn spawn_serve(data_dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--threads-per-job",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("serve banner line")
+        .expect("read serve banner");
+    let addr = banner
+        .rsplit("http://")
+        .next()
+        .expect("address in banner")
+        .trim()
+        .to_string();
+    // Keep draining the pipe so the child never blocks on a full buffer.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn request(addr: &str, raw: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(raw.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+}
+
+fn wait_exit(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let t0 = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(t0.elapsed() < limit, "server did not exit in {limit:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The monolithic reference: the same study run serially in one process.
+fn serial_digest() -> String {
+    let registry = StudyRegistry::builtin();
+    let study = registry.get("echo").unwrap();
+    let opts = StudyOpts {
+        scale: SCALE,
+        rounds: ROUNDS,
+        seed: SEED,
+        ..StudyOpts::default()
+    };
+    let records = Campaign::new(study, opts)
+        .unwrap()
+        .run_all(&BatchRunner::serial());
+    format!("{:#018x}", records_digest(&records))
+}
+
+#[test]
+fn sigkill_mid_campaign_then_restart_resumes_to_the_serial_digest() {
+    let data = tmpdir("chaos");
+    let (mut child, addr) = spawn_serve(&data);
+
+    let body = format!(
+        r#"{{"study":"echo","params":{{"scale":{SCALE},"rounds":{ROUNDS},"seed":"{SEED:#x}"}},"shards":{SHARDS}}}"#
+    );
+    let (st, resp) = request(
+        &addr,
+        &format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(st, 202, "{resp}");
+    let id = Json::parse(&resp)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // Wait until the campaign is genuinely mid-flight — some shards
+    // committed, most not — then SIGKILL the server. No drain, no warning.
+    let manifest = data
+        .join("jobs")
+        .join(&id)
+        .join("campaign")
+        .join("manifest.jsonl");
+    let t0 = Instant::now();
+    loop {
+        let committed = std::fs::read_to_string(&manifest)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if committed >= 2 {
+            assert!(
+                (committed as u64) < SHARDS,
+                "job finished before the kill; grow the workload"
+            );
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "no shard committed within 60s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().expect("SIGKILL the server");
+    let _ = child.wait();
+
+    // The on-disk job is interrupted, not complete — exactly what the next
+    // process must pick up.
+    let descriptor = std::fs::read_to_string(data.join("jobs").join(&id).join("job.json")).unwrap();
+    assert!(
+        !descriptor.contains("\"completed\""),
+        "job must not be complete at kill time: {descriptor}"
+    );
+
+    // Restart on the same data dir: recovery re-queues the job and the
+    // campaign resumes from its committed shards.
+    let (mut child2, addr2) = spawn_serve(&data);
+    let t0 = Instant::now();
+    let digest = loop {
+        let (st, body) = get(&addr2, &format!("/v1/jobs/{id}"));
+        assert_eq!(st, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if state == "completed" {
+            break v
+                .get("digest")
+                .and_then(Json::as_str)
+                .expect("completed job has a digest")
+                .to_string();
+        }
+        assert!(
+            state == "queued" || state == "running",
+            "job must never fail across the restart: {body}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "resumed job never completed: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    // Zero lost, zero duplicated cells: the resumed digest is the serial one.
+    assert_eq!(digest, serial_digest());
+
+    let (st, metrics) = get(&addr2, "/metrics");
+    assert_eq!(st, 200);
+    assert!(
+        metrics.contains("giantsan_serve_jobs_resumed_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("giantsan_serve_responses_total_5xx 0"),
+        "{metrics}"
+    );
+
+    // Graceful leg: SIGTERM drains and exits 0.
+    let term = Command::new("kill")
+        .args(["-TERM", &child2.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = wait_exit(&mut child2, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "SIGTERM drain must exit 0");
+
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn golden_digest_matches_the_ci_chaos_parameters() {
+    // The CI service-smoke job digest-diffs `loadgen expect` against this
+    // golden file; this test keeps the golden honest against the library.
+    let golden = include_str!("golden/serve_digest.txt").trim().to_string();
+    let registry = StudyRegistry::builtin();
+    let study = registry.get("echo").unwrap();
+    let opts = StudyOpts {
+        scale: 64,
+        rounds: 4,
+        seed: 0x5eed,
+        ..StudyOpts::default()
+    };
+    let records = Campaign::new(study, opts)
+        .unwrap()
+        .run_all(&BatchRunner::serial());
+    assert_eq!(format!("{:#018x}", records_digest(&records)), golden);
+}

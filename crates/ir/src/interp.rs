@@ -309,6 +309,16 @@ impl<S: Sanitizer + ?Sized, R: Recorder> Interp<'_, S, R> {
         if self.result.steps > self.config.max_steps {
             return Err(Termination::StepLimit);
         }
+        // Cooperative cancellation: a cell running under an armed batch-
+        // engine deadline is aborted here (by the watchdog's distinguished
+        // panic) instead of wedging its worker for the rest of the budget.
+        if self
+            .result
+            .steps
+            .is_multiple_of(crate::watchdog::POLL_INTERVAL)
+        {
+            crate::watchdog::poll();
+        }
         Ok(())
     }
 

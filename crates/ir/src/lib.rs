@@ -52,6 +52,7 @@ mod expr;
 mod interp;
 mod plan;
 mod program;
+pub mod watchdog;
 
 pub use builder::ProgramBuilder;
 pub use expr::{Expr, VarId};

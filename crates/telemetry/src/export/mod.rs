@@ -12,7 +12,7 @@ mod prom;
 
 pub use chrome::ChromeTrace;
 pub use jsonl::{events_jsonl, jsonl_digest, text_digest};
-pub use prom::prometheus;
+pub use prom::{prometheus, service_exposition};
 
 /// Escapes `s` for embedding in a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {

@@ -110,10 +110,61 @@ pub fn prometheus(
     out
 }
 
+/// Renders a generic service exposition: counters, gauges, and log2
+/// histograms under caller-chosen metric names.
+///
+/// The sanitizer exposition above is shaped by the fixed [`Histograms`]
+/// taxonomy; the long-lived `repro serve` front-end needs the same text
+/// format for *its own* metrics (request totals by status class, admission
+/// sheds, queue depth, latency histograms). Names are emitted verbatim —
+/// callers prefix (`giantsan_serve_...`) themselves — and histogram
+/// rendering reuses the cumulative-bucket discipline, so one scrape parser
+/// handles both expositions.
+pub fn service_exposition(
+    counters: &[(&str, &str, u64)],
+    gauges: &[(&str, &str, u64)],
+    hists: &[(&str, &str, &Log2Hist)],
+) -> String {
+    let mut out = String::new();
+    for (name, help, value) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, help, value) in gauges {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, help, h) in hists {
+        hist_exposition(&mut out, name, help, h);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::{CheckPathKind, EventKind};
+
+    #[test]
+    fn service_exposition_renders_all_three_families() {
+        let mut h = Log2Hist::default();
+        h.record(100);
+        h.record(90_000);
+        let s = service_exposition(
+            &[("svc_requests_total", "Requests.", 12)],
+            &[("svc_queue_depth", "Queue depth.", 3)],
+            &[("svc_latency_us", "Latency (µs).", &h)],
+        );
+        assert!(s.contains("# TYPE svc_requests_total counter"));
+        assert!(s.contains("svc_requests_total 12"));
+        assert!(s.contains("# TYPE svc_queue_depth gauge"));
+        assert!(s.contains("svc_queue_depth 3"));
+        assert!(s.contains("# TYPE svc_latency_us histogram"));
+        assert!(s.contains("svc_latency_us_count 2"));
+        assert!(s.contains("svc_latency_us_bucket{le=\"+Inf\"} 2"));
+    }
 
     #[test]
     fn exposition_has_counters_histograms_and_sites() {
