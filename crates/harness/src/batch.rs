@@ -38,6 +38,25 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use giantsan_telemetry::export::ChromeTrace;
+use giantsan_telemetry::{span_id, FlightEventKind, FlightRecorder, SpanKind};
+
+/// Flight-recorder attachment (see [`BatchRunner::with_flight`]): the shared
+/// recorder, the causal span the batch's cells hang under, and the global
+/// index of the batch's first cell (shard-relative batches record global
+/// cell indices so dumps correlate with campaign labels).
+#[derive(Debug, Clone)]
+struct FlightPlan {
+    recorder: Arc<FlightRecorder>,
+    parent_span: u64,
+    index_base: u64,
+}
+
+impl FlightPlan {
+    fn cell_span(&self, i: usize) -> (u64, u64) {
+        let cell = self.index_base + i as u64;
+        (span_id(self.parent_span, SpanKind::Cell, cell), cell)
+    }
+}
 
 /// One executed cell as seen by the scheduler: where it ran, how long, and
 /// how many attempts it took.
@@ -281,12 +300,13 @@ pub struct BatchRunner {
     threads: usize,
     sink: Option<Arc<TraceSink>>,
     cell_deadline: Option<Duration>,
+    flight: Option<FlightPlan>,
 }
 
 impl PartialEq for BatchRunner {
     /// Two runners are equal when they schedule identically (same worker
-    /// count); an attached trace sink observes scheduling without changing
-    /// it, so it does not participate in equality.
+    /// count); an attached trace sink or flight recorder observes
+    /// scheduling without changing it, so neither participates in equality.
     fn eq(&self, other: &Self) -> bool {
         self.threads == other.threads
     }
@@ -304,6 +324,7 @@ impl BatchRunner {
             threads: threads.max(1),
             sink: None,
             cell_deadline: None,
+            flight: None,
         }
     }
 
@@ -341,6 +362,29 @@ impl BatchRunner {
     /// The attached trace sink, if any.
     pub fn sink(&self) -> Option<&Arc<TraceSink>> {
         self.sink.as_ref()
+    }
+
+    /// Attaches a crash [`FlightRecorder`]: every subsequent `map`/`try_map`
+    /// call records cell lifecycle events (start, end, retry, timeout,
+    /// quarantine) into the bounded ring, attributed to the causal span
+    /// `span_id(parent_span, SpanKind::Cell, index_base + i)`. `index_base`
+    /// is the global index of the batch's first cell, so shard-relative
+    /// batches record campaign-global cell indices. Recording is lock-free
+    /// and allocation-free; like the trace sink it is observation-only and
+    /// never changes results.
+    #[must_use]
+    pub fn with_flight(
+        mut self,
+        recorder: Arc<FlightRecorder>,
+        parent_span: u64,
+        index_base: u64,
+    ) -> Self {
+        self.flight = Some(FlightPlan {
+            recorder,
+            parent_span,
+            index_base,
+        });
+        self
     }
 
     /// A single-threaded runner: cells run inline, in order.
@@ -413,11 +457,25 @@ impl BatchRunner {
         let sink = self.sink.as_deref();
         let batch = sink.map(|s| (s.claim_batch(), s.now_us()));
         let deadline = self.cell_deadline;
+        let flight = self.flight.as_ref();
         let run_cell = |i: usize, worker: usize, item: &T| -> (u32, Result<R, CellFailure>) {
             let start_us = sink.map(|s| s.now_us());
+            // (recorder, cell span id, global cell index) when a flight
+            // recorder is attached; the span links the ring dump back to
+            // the causal chain in `spans.jsonl`.
+            let black_box = flight.map(|f| {
+                let (span, cell) = f.cell_span(i);
+                (&*f.recorder, span, cell)
+            });
+            let flight_mark = |kind: FlightEventKind, b: u64| {
+                if let Some((fr, span, cell)) = black_box {
+                    fr.record(worker, kind, span, cell, b);
+                }
+            };
             let mut attempts = 0u32;
             let out = loop {
                 attempts += 1;
+                flight_mark(FlightEventKind::CellStart, attempts as u64);
                 let attempt = || {
                     // Arm the watchdog for this attempt only; the guard
                     // disarms on every exit path, timeout panic included.
@@ -425,11 +483,16 @@ impl BatchRunner {
                     job(i, item)
                 };
                 match std::panic::catch_unwind(AssertUnwindSafe(attempt)) {
-                    Ok(r) => break (attempts, Ok(r)),
+                    Ok(r) => {
+                        flight_mark(FlightEventKind::CellEnd, attempts as u64);
+                        break (attempts, Ok(r));
+                    }
                     Err(payload) if giantsan_ir::watchdog::is_timeout_payload(payload.as_ref()) => {
                         // A timed-out cell is quarantined immediately:
                         // retrying a runaway cell cannot succeed, it only
                         // stalls the worker for another full deadline.
+                        flight_mark(FlightEventKind::Timeout, attempts as u64);
+                        flight_mark(FlightEventKind::Quarantine, attempts as u64);
                         break (
                             attempts,
                             Err(CellFailure {
@@ -441,6 +504,7 @@ impl BatchRunner {
                         );
                     }
                     Err(payload) if attempts >= Self::MAX_ATTEMPTS => {
+                        flight_mark(FlightEventKind::Quarantine, attempts as u64);
                         break (
                             attempts,
                             Err(CellFailure {
@@ -451,7 +515,10 @@ impl BatchRunner {
                             }),
                         );
                     }
-                    Err(_) => backoff(attempts),
+                    Err(_) => {
+                        flight_mark(FlightEventKind::Retry, attempts as u64);
+                        backoff(attempts);
+                    }
                 }
             };
             if let (Some(s), Some(start_us), Some((batch, _))) = (sink, start_us, batch) {
@@ -705,6 +772,45 @@ mod tests {
             .with_cell_deadline(Duration::from_secs(60))
             .map(&items, |_, x| x + 1);
         assert_eq!(plain, timed);
+    }
+
+    #[test]
+    fn flight_recorder_sees_the_cell_lifecycle_with_global_indices() {
+        let fr = Arc::new(FlightRecorder::new(2, 64));
+        let items: Vec<u64> = (0..4).collect();
+        let parent = 0x5111;
+        let outcome = BatchRunner::new(2)
+            .with_flight(Arc::clone(&fr), parent, 100)
+            .try_map(&items, |i, x| {
+                if i == 1 {
+                    panic!("boom");
+                }
+                x + 1
+            });
+        assert_eq!(outcome.summary.quarantined(), 1);
+        let snap = fr.snapshot();
+        // Cells record *global* indices (index_base + i) and spans derived
+        // from the given parent, so the dump correlates with spans.jsonl.
+        assert!(snap
+            .iter()
+            .any(|e| e.kind == FlightEventKind::CellEnd && e.a == 100));
+        let q = snap
+            .iter()
+            .find(|e| e.kind == FlightEventKind::Quarantine)
+            .unwrap();
+        assert_eq!(q.a, 101);
+        assert_eq!(q.span, span_id(parent, SpanKind::Cell, 101));
+        let retries = snap
+            .iter()
+            .filter(|e| e.kind == FlightEventKind::Retry)
+            .count();
+        assert_eq!(retries, (BatchRunner::MAX_ATTEMPTS - 1) as usize);
+        let starts = snap
+            .iter()
+            .filter(|e| e.kind == FlightEventKind::CellStart)
+            .count();
+        // 3 clean cells + MAX_ATTEMPTS attempts on the failing one.
+        assert_eq!(starts, 3 + BatchRunner::MAX_ATTEMPTS as usize);
     }
 
     #[test]

@@ -436,10 +436,40 @@ fn main() -> ExitCode {
         Some("hammer") => match parse_hammer(&args[1..]) {
             Ok(o) => hammer(&o).map(|summary| {
                 if o.json {
+                    // Machine mode: the JSON document and nothing else, so
+                    // CI can pipe stdout straight into a JSON parser.
                     println!("{}", summary.render());
                 } else {
                     println!("== loadgen hammer against {} ==", o.addr);
-                    println!("{}", summary.render());
+                    let n = |key: &str| summary.get(key).and_then(Json::as_u64).unwrap_or(0);
+                    println!(
+                        "submitted {} session(s) from {} client(s): {} accepted, {} shed (429), \
+                         {} refused (503), {} rejected (4xx), {} x 5xx, {} transport error(s)",
+                        n("sessions"),
+                        n("clients"),
+                        n("accepted"),
+                        n("shed_429"),
+                        n("refused_503"),
+                        n("rejected_4xx"),
+                        n("errors_5xx"),
+                        n("transport_errors"),
+                    );
+                    println!(
+                        "completed {}, failed {} in {}ms (submit wall {}ms)",
+                        n("completed"),
+                        n("failed"),
+                        n("total_wall_ms"),
+                        n("submit_wall_ms"),
+                    );
+                    println!(
+                        "submit latency p50 {}us, p99 {}us; {} accepted/s",
+                        n("submit_p50_us"),
+                        n("submit_p99_us"),
+                        summary
+                            .get("accepted_per_s")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0),
+                    );
                 }
             }),
             Err(e) => Err(e),

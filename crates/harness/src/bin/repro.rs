@@ -19,6 +19,7 @@
 //! repro all    [--div N] [--scale N] everything
 //! repro merge DIR                   merge a sharded campaign's blobs into the full report
 //! repro serve  [--addr HOST:PORT] [--data-dir DIR] ...   the sanitizer-as-a-service front-end
+//! repro perfgate [--check] [--dir DIR] [--against DIR] [--noise PCT]   gate the BENCH trajectory
 //! ```
 //!
 //! Every subcommand is a [`Study`] resolved from [`StudyRegistry::builtin`]
@@ -78,7 +79,7 @@ use std::process::ExitCode;
 use giantsan_harness::campaign::{self, Campaign, CampaignError, ShardSpec};
 use giantsan_harness::cli::{self, CliOpts};
 use giantsan_harness::study::records_json;
-use giantsan_harness::{serve, BatchTrace, Study, StudyOutput, StudyRegistry, TraceSink};
+use giantsan_harness::{perfgate, serve, BatchTrace, Study, StudyOutput, StudyRegistry, TraceSink};
 use giantsan_telemetry::export::ChromeTrace;
 
 /// Exit codes, pinned by `tests/exit_codes.rs`:
@@ -131,9 +132,10 @@ fn usage() -> String {
     format!(
         "usage: repro <table2|fig10|table3|table4|table5|fig11|ablation|plan|memory|density\
          |alloc|echo|bench|faults|trace|all> {}\n       repro merge DIR [--format text|json] \
-         [--out-dir DIR]\n       repro serve {}",
+         [--out-dir DIR]\n       repro serve {}\n       repro perfgate {}",
         cli::FLAG_USAGE,
-        serve::FLAG_USAGE
+        serve::FLAG_USAGE,
+        perfgate::FLAG_USAGE
     )
 }
 
@@ -341,6 +343,27 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(1)
+            }
+        };
+    }
+
+    if cmd == "perfgate" {
+        let config = match perfgate::PerfGateConfig::parse(&args[1..]) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: repro perfgate {}", perfgate::FLAG_USAGE);
+                return ExitCode::from(2);
+            }
+        };
+        return match perfgate::run(&config) {
+            // Without --check the observatory reports and exits 0 so a
+            // human can read a red table without killing a pipeline.
+            Ok(rep) if rep.passed() || !config.check => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::from(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
             }
         };
     }

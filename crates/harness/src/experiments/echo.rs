@@ -40,6 +40,11 @@ impl Study for EchoEntry {
         let mut steps = 0u64;
         let mut shadow_loads = 0u64;
         for _ in 0..opts.rounds.max(1) {
+            // Cooperative cancellation point: tiny fuzz programs can finish
+            // in fewer interpreter steps than the watchdog poll interval,
+            // so the cell polls once per round to stay cancellable under a
+            // per-cell deadline (a no-op when nothing is armed).
+            giantsan_ir::watchdog::poll();
             let seed = splitmix64(&mut state);
             let w = safe_program(seed);
             let out = run_tool(opts.tool, &w.program, &w.inputs, &cfg);

@@ -28,7 +28,9 @@ use giantsan_runtime::Counters;
 use giantsan_telemetry::export::{
     events_jsonl, jsonl_digest, prometheus, text_digest, ChromeTrace,
 };
-use giantsan_telemetry::{site_label, Event, Histograms, Log2Hist, PathMix, TraceRecorder};
+use giantsan_telemetry::{
+    site_label, Event, Histograms, Log2Hist, PathMix, SpanKind, SpanSet, TraceRecorder,
+};
 use giantsan_workloads::{figure8_program, spec_workload};
 
 use crate::batch::{BatchRunner, BatchTrace, TraceSink};
@@ -228,6 +230,32 @@ impl TraceStudy {
         hotspots_of(&self.hists, n)
     }
 
+    /// The deterministic span chain for this invocation, seeded from the
+    /// campaign spec hash: the request → … → cell spine plus Pass/Check
+    /// leaf spans synthesized from the recorded event stream via
+    /// [`SpanSet::hotspots`]. Byte-identical to the `trace_spans.jsonl`
+    /// artifact the campaign path renders from shard payloads.
+    pub fn span_set(&self, seed: u64) -> SpanSet {
+        let (mut set, shard) =
+            span_spine(seed, &self.workload, self.tool, DEFAULT_CELLS as usize + 1);
+        for cell in 0..=DEFAULT_CELLS {
+            let label = if cell == 0 {
+                "plan".to_string()
+            } else {
+                format!("cell-{cell}")
+            };
+            let cell_span = set.child(shard, SpanKind::Cell, cell as u64, label);
+            let events: Vec<Event> = self
+                .events
+                .iter()
+                .filter(|e| e.cell == cell)
+                .cloned()
+                .collect();
+            set.hotspots(cell_span, &events);
+        }
+        set
+    }
+
     /// Renders the study: run summaries plus the hot-spot table.
     pub fn render(&self) -> String {
         render_report(
@@ -356,6 +384,86 @@ pub fn chrome_with(schedule: &BatchTrace, process: &str, hists: &Histograms) -> 
     let series_refs: Vec<(&str, &str)> = series.iter().map(|(k, v)| (*k, v.as_str())).collect();
     t.counter(1, "check paths", end, &series_refs);
     t.finish()
+}
+
+/// The request → admission → scheduler → job → shard spine every trace
+/// invocation hangs its cell spans off. A CLI invocation has no admission
+/// queue or worker pool, but sharing the serve taxonomy means one resolver
+/// (`spans.jsonl` + [`giantsan_telemetry::parse_span_line`]) works on both
+/// a service job's dump and a `repro trace` artifact. Returns the set and
+/// the shard span id cells attach to.
+fn span_spine(seed: u64, workload: &str, tool: Tool, cells: usize) -> (SpanSet, u64) {
+    let mut set = SpanSet::new();
+    let root = set.root(
+        seed,
+        format!("repro trace: {workload} under {}", tool.name()),
+    );
+    let adm = set.child(root, SpanKind::Admission, 0, "local invocation (no queue)");
+    let sched = set.child(adm, SpanKind::Scheduler, 0, "in-process batch runner");
+    let job = set.child(sched, SpanKind::Job, 0, "trace");
+    let shard = set.child(
+        job,
+        SpanKind::Shard,
+        0,
+        format!("shard 0 (cells 0..{cells})"),
+    );
+    (set, shard)
+}
+
+/// Rebuilds the span chain from campaign shard payloads: the spine from
+/// `span_spine`, one cell span per record, Pass leaves parsed back out of
+/// each record's rendered JSONL slice, and Check leaves recomputed from the
+/// record's sampling histograms (`slow + cache_update + underflow` is
+/// exactly the set [`CheckPathKind::is_slow_path`] charges, so the labels
+/// match [`SpanSet::hotspots`] byte for byte).
+///
+/// [`CheckPathKind::is_slow_path`]: giantsan_telemetry::CheckPathKind::is_slow_path
+pub fn trace_spans(seed: u64, workload: &str, tool: Tool, records: &[Record]) -> SpanSet {
+    let (mut set, shard) = span_spine(seed, workload, tool, records.len());
+    for (index, r) in records.iter().enumerate() {
+        let cell_span = set.child(shard, SpanKind::Cell, index as u64, r.label.clone());
+        let mut pass_ordinal = 0u64;
+        for line in study::req_str(&r.payload, "jsonl").lines() {
+            if !line.contains("\"ev\":\"pass\"") {
+                continue;
+            }
+            let Some(name) = line
+                .split_once(",\"pass\":\"")
+                .and_then(|(_, rest)| rest.split('"').next())
+            else {
+                continue;
+            };
+            let state = if line.contains("\"enabled\":false") {
+                " (disabled)"
+            } else {
+                ""
+            };
+            set.child(
+                cell_span,
+                SpanKind::Pass,
+                pass_ordinal,
+                format!("{name}{state}"),
+            );
+            pass_ordinal += 1;
+        }
+        let hists = hists_from(study::req(&r.payload, "hists"));
+        let mut sites: Vec<(u32, u64)> = hists
+            .sites
+            .iter()
+            .map(|(site, m)| (*site, m.slow + m.cache_updates + m.underflow))
+            .filter(|&(_, slow)| slow > 0)
+            .collect();
+        sites.sort_by_key(|&(site, _)| site);
+        for (site, slow) in sites {
+            set.child(
+                cell_span,
+                SpanKind::Check,
+                site as u64,
+                format!("{} ({slow} slow-path)", site_label(site)),
+            );
+        }
+    }
+    set
 }
 
 // ---------------------------------------------------------------------------
@@ -577,6 +685,13 @@ impl Study for TraceEntry {
             )
         );
         let counter_fields: Vec<(&str, u64)> = counters.fields().collect();
+        // The span seed is the campaign spec hash — the same fingerprint
+        // sharding and resuming verify, and it already excludes `--threads`,
+        // so the span digest is invariant across worker counts.
+        let seed = crate::campaign::Campaign::new(self, opts.clone())
+            .map_err(|e| e.to_string())?
+            .spec_hash();
+        let spans = trace_spans(seed, &opts.workload, opts.tool, records);
         Ok(StudyOutput {
             report,
             main_artifacts: vec![
@@ -586,6 +701,11 @@ impl Study for TraceEntry {
                     prometheus(kernel, &counter_fields, &hists, dropped),
                 ),
                 ("trace_digest.txt".to_string(), format!("{digest:#018x}\n")),
+                ("trace_spans.jsonl".to_string(), spans.to_jsonl()),
+                (
+                    "trace_span_digest.txt".to_string(),
+                    format!("{:#018x}\n", spans.digest()),
+                ),
             ],
             artifacts: vec![(
                 "trace_counters.csv".to_string(),
@@ -709,6 +829,66 @@ mod tests {
         assert!(prom.contains("giantsan_site_checks_total"));
         assert!(chrome.contains(&format!("[kernel={}]", s.kernel)));
         assert!(s.digest_artifact().starts_with("0x"));
+    }
+
+    #[test]
+    fn span_artifacts_are_thread_invariant_and_match_the_study_path() {
+        use crate::campaign::Campaign;
+        let opts = StudyOpts {
+            workload: "figure8".to_string(),
+            tool: Tool::GiantSan,
+            scale: 1,
+            ..StudyOpts::default()
+        };
+        let campaign = Campaign::new(&TraceEntry, opts.clone()).unwrap();
+        let seed = campaign.spec_hash();
+        let serial = campaign.run_all(&BatchRunner::serial());
+        let two = Campaign::new(&TraceEntry, opts.clone())
+            .unwrap()
+            .run_all(&BatchRunner::new(2));
+        let parallel = Campaign::new(&TraceEntry, opts.clone())
+            .unwrap()
+            .run_all(&BatchRunner::new(4));
+
+        let artifact = |records: &[Record]| {
+            let out = TraceEntry.render(&opts, records).unwrap();
+            let jsonl = out
+                .main_artifacts
+                .iter()
+                .find(|(n, _)| n == "trace_spans.jsonl")
+                .map(|(_, c)| c.clone())
+                .expect("span artifact rendered");
+            let digest = out
+                .main_artifacts
+                .iter()
+                .find(|(n, _)| n == "trace_span_digest.txt")
+                .map(|(_, c)| c.clone())
+                .expect("span digest rendered");
+            (jsonl, digest)
+        };
+        let (jsonl_s, digest_s) = artifact(&serial);
+        let (jsonl_2, digest_2) = artifact(&two);
+        let (jsonl_p, digest_p) = artifact(&parallel);
+        assert_eq!(jsonl_s, jsonl_2, "span set is invariant at 2 workers");
+        assert_eq!(jsonl_s, jsonl_p, "span set is invariant at 4 workers");
+        assert_eq!(digest_s, digest_2);
+        assert_eq!(digest_s, digest_p);
+
+        // The payload-reconstructed chain equals the event-stream one.
+        let study = trace_study("figure8", Tool::GiantSan, 1).unwrap();
+        assert_eq!(study.span_set(seed).to_jsonl(), jsonl_s);
+
+        // The chain is causally complete: every span resolves to the
+        // request root, and pass + slow-path leaves made it in.
+        let spans = trace_spans(seed, &opts.workload, opts.tool, &serial);
+        let root = spans.spans()[0].id;
+        assert_eq!(spans.find(root).unwrap().kind, SpanKind::Request);
+        for s in spans.spans() {
+            assert_eq!(*spans.ancestry(s.id).last().unwrap(), root, "{s:?}");
+        }
+        assert!(spans.spans().iter().any(|s| s.kind == SpanKind::Pass));
+        assert!(spans.spans().iter().any(|s| s.kind == SpanKind::Check));
+        assert!(digest_s.starts_with("0x") && digest_s.ends_with('\n'));
     }
 
     #[test]

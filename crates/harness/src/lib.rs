@@ -40,6 +40,7 @@ pub mod experiments;
 pub mod faults;
 pub mod json;
 pub mod matrix;
+pub mod perfgate;
 pub mod serve;
 pub mod session;
 pub mod study;

@@ -1,0 +1,646 @@
+//! `repro perfgate` — the perf-regression observatory over the committed
+//! benchmark trajectory.
+//!
+//! Every milestone commits a `BENCH_PR*.json` snapshot at the repository
+//! root. This module parses those snapshots, checks the **invariants** each
+//! one pins (determinism digests agree, the service shed no 5xx, the
+//! granular poisoner still beats per-object, hot-path speedups hold above a
+//! noise floor), and — given a baseline directory — renders a per-metric
+//! **trend table** with noise bands so CI flags a regression instead of a
+//! human eyeballing tables.
+//!
+//! The gate separates two failure classes:
+//!
+//! * **Invariant violations** are correctness facts (digest mismatches,
+//!   `deterministic: false`, shed errors). They fail the gate at any noise
+//!   setting: wall-clock jitter cannot explain them.
+//! * **Metric regressions** are numeric deltas against the baseline that
+//!   exceed the noise band (`--noise`, percent, default
+//!   [`DEFAULT_NOISE_PCT`]). Ratio-like metrics compare relatively;
+//!   percent-point metrics (`*_pct`) compare by absolute points, because a
+//!   relative delta against a near-zero overhead is meaningless.
+//!
+//! Absent files are reported, not failed: the trajectory grows a snapshot
+//! per milestone and old checkouts legitimately miss newer files. Exit
+//! codes follow the `repro` contract: `--check` (the CI mode) exits 1 when
+//! the gate fails; without it the observatory prints the same report and
+//! exits 0 so a human can read a red table without killing a pipeline.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::table::TextTable;
+
+/// Flag grammar, shown by `repro` usage output.
+pub const FLAG_USAGE: &str = "[--check] [--dir DIR] [--against DIR] [--noise PCT]";
+
+/// Default noise band, in percent. Wide enough that the committed
+/// trajectory (whose slowest hot-path case sits at 0.98×) passes, tight
+/// enough that a genuine 2× regression cannot hide in it.
+pub const DEFAULT_NOISE_PCT: f64 = 10.0;
+
+/// The benchmark snapshots the gate knows how to read, in report order.
+/// (There is no PR3/PR7 snapshot; those milestones shipped no bench file.)
+pub const BENCH_FILES: [&str; 7] = [
+    "BENCH_PR1.json",
+    "BENCH_PR2.json",
+    "BENCH_PR4.json",
+    "BENCH_PR5.json",
+    "BENCH_PR6.json",
+    "BENCH_PR8.json",
+    "BENCH_PR9.json",
+];
+
+/// Parsed `repro perfgate` invocation.
+#[derive(Debug, Clone)]
+pub struct PerfGateConfig {
+    /// Directory holding the current `BENCH_PR*.json` set (default `.`).
+    pub dir: PathBuf,
+    /// Baseline directory for the trend comparison, if any.
+    pub against: Option<PathBuf>,
+    /// Noise band in percent.
+    pub noise_pct: f64,
+    /// CI mode: exit non-zero when the gate fails.
+    pub check: bool,
+}
+
+impl PerfGateConfig {
+    /// Parses the `perfgate` flag grammar.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut config = PerfGateConfig {
+            dir: PathBuf::from("."),
+            against: None,
+            noise_pct: DEFAULT_NOISE_PCT,
+            check: false,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--check" => config.check = true,
+                "--dir" => config.dir = PathBuf::from(value("--dir")?),
+                "--against" => config.against = Some(PathBuf::from(value("--against")?)),
+                "--noise" => {
+                    let v = value("--noise")?;
+                    config.noise_pct = v
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|n| n.is_finite() && *n >= 0.0)
+                        .ok_or_else(|| {
+                            format!("--noise needs a non-negative percent, got `{v}`")
+                        })?;
+                }
+                other => return Err(format!("unknown perfgate flag `{other}`")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Which direction is good for a numeric metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Bigger is better (speedups, throughput).
+    Higher,
+    /// Smaller is better (latencies, overhead percentages).
+    Lower,
+}
+
+/// One numeric metric extracted from a benchmark snapshot.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Dotted name, e.g. `pr9.saturated_jobs_per_sec`.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+    /// Good direction.
+    pub better: Better,
+    /// `true` for `*_pct` metrics, compared by absolute percent points
+    /// rather than relative delta.
+    pub points: bool,
+}
+
+/// Everything one gate evaluation produced.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Rendered report (trend table + invariant verdicts + absences).
+    pub report: String,
+    /// Invariant violations (always gate failures).
+    pub violations: Vec<String>,
+    /// Baseline deltas outside the noise band.
+    pub regressions: Vec<String>,
+    /// Snapshots listed in [`BENCH_FILES`] but not present.
+    pub absent: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when nothing violated an invariant or regressed.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.regressions.is_empty()
+    }
+}
+
+fn f(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).and_then(Json::as_f64)
+}
+
+fn flag_is(j: &Json, key: &str, want: bool) -> bool {
+    j.get(key).and_then(Json::as_bool) == Some(want)
+}
+
+fn strings_match(j: &Json, a: &str, b: &str) -> bool {
+    match (
+        j.get(a).and_then(Json::as_str),
+        j.get(b).and_then(Json::as_str),
+    ) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// The numeric trend metrics a snapshot exposes.
+fn metrics_of(tag: &str, j: &Json) -> Vec<Metric> {
+    let mut m = Vec::new();
+    let mut push = |name: String, value: Option<f64>, better: Better| {
+        if let Some(value) = value {
+            let points = name.ends_with("_pct");
+            m.push(Metric {
+                name,
+                value,
+                better,
+                points,
+            });
+        }
+    };
+    match tag {
+        "pr1" => {
+            for case in j.get("cases").and_then(Json::as_array).unwrap_or(&[]) {
+                if let Some(name) = case.get("name").and_then(Json::as_str) {
+                    push(
+                        format!("pr1.{name}.speedup"),
+                        f(case, "speedup"),
+                        Better::Higher,
+                    );
+                }
+            }
+        }
+        "pr2" => push("pr2.speedup".into(), f(j, "speedup"), Better::Higher),
+        "pr4" => push(
+            "pr4.overhead_pct".into(),
+            f(j, "overhead_pct"),
+            Better::Lower,
+        ),
+        "pr5" => {
+            push(
+                "pr5.ns_per_event".into(),
+                f(j, "ns_per_event"),
+                Better::Lower,
+            );
+            push(
+                "pr5.trace_overhead_pct".into(),
+                f(j, "trace_overhead_pct"),
+                Better::Lower,
+            );
+        }
+        "pr8" => {
+            push(
+                "pr8.granular_speedup".into(),
+                f(j, "granular_speedup"),
+                Better::Higher,
+            );
+            push(
+                "pr8.blockline_fill_mops".into(),
+                f(j, "blockline_fill_mops"),
+                Better::Higher,
+            );
+        }
+        "pr9" => {
+            push(
+                "pr9.saturated_jobs_per_sec".into(),
+                f(j, "saturated_jobs_per_sec"),
+                Better::Higher,
+            );
+            push(
+                "pr9.saturated_p99_us".into(),
+                f(j, "saturated_p99_us"),
+                Better::Lower,
+            );
+            push(
+                "pr9.burst_p99_us".into(),
+                f(j, "burst_p99_us"),
+                Better::Lower,
+            );
+        }
+        _ => {}
+    }
+    m
+}
+
+/// The snapshot's pinned correctness facts; returns the violations.
+fn invariants_of(tag: &str, j: &Json, noise_pct: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let floor = 1.0 - noise_pct / 100.0;
+    match tag {
+        "pr1" => {
+            for case in j.get("cases").and_then(Json::as_array).unwrap_or(&[]) {
+                let name = case.get("name").and_then(Json::as_str).unwrap_or("?");
+                match f(case, "speedup") {
+                    Some(s) if s >= floor => {}
+                    Some(s) => bad.push(format!(
+                        "pr1: case `{name}` speedup {s:.2} fell below the {floor:.2} noise floor"
+                    )),
+                    None => bad.push(format!("pr1: case `{name}` has no speedup field")),
+                }
+            }
+        }
+        "pr2" => {
+            if !strings_match(j, "digest_serial", "digest_parallel") {
+                bad.push("pr2: serial and parallel digests differ".into());
+            }
+            if !flag_is(j, "deterministic", true) {
+                bad.push("pr2: deterministic flag is not true".into());
+            }
+            if !flag_is(j, "table2_csv_identical", true) {
+                bad.push("pr2: sharded Table 2 CSV is not byte-identical".into());
+            }
+        }
+        "pr4" => {
+            if !strings_match(j, "digest_halt", "digest_recover") {
+                bad.push("pr4: halt and recover digests differ".into());
+            }
+            if !flag_is(j, "deterministic", true) {
+                bad.push("pr4: deterministic flag is not true".into());
+            }
+        }
+        "pr5" => {
+            if !strings_match(j, "digest_noop", "digest_traced") {
+                bad.push("pr5: noop and traced digests differ".into());
+            }
+            if !flag_is(j, "deterministic", true) {
+                bad.push("pr5: deterministic flag is not true".into());
+            }
+        }
+        "pr8" => {
+            if !flag_is(j, "granular_beats_per_object", true) {
+                bad.push("pr8: granular poisoning no longer beats per-object".into());
+            }
+            match f(j, "granular_speedup") {
+                Some(s) if s >= floor => {}
+                Some(s) => bad.push(format!(
+                    "pr8: granular_speedup {s:.2} fell below the {floor:.2} noise floor"
+                )),
+                None => bad.push("pr8: no granular_speedup field".into()),
+            }
+        }
+        "pr9" => {
+            if f(j, "errors_5xx") != Some(0.0) {
+                bad.push("pr9: the saturated service shed 5xx errors".into());
+            }
+            if !flag_is(j, "accounted", true) {
+                bad.push("pr9: not every admitted job was accounted for".into());
+            }
+            if !flag_is(j, "graceful", true) {
+                bad.push("pr9: shutdown was not graceful".into());
+            }
+            if !strings_match(j, "digest", "digest_serial") {
+                bad.push("pr9: loaded-service digest diverged from the serial run".into());
+            }
+        }
+        _ => {}
+    }
+    bad
+}
+
+/// `BENCH_PR1.json` → `pr1`.
+fn tag_of(file: &str) -> String {
+    format!(
+        "pr{}",
+        file.trim_start_matches("BENCH_PR")
+            .trim_end_matches(".json")
+    )
+}
+
+/// Loads every known snapshot under `dir`. Unreadable or unparseable files
+/// become violations (a tampered snapshot must fail the gate, not crash
+/// it); files that simply do not exist are reported as absent.
+pub fn load_dir(dir: &Path) -> (Vec<(String, Json)>, Vec<String>, Vec<String>) {
+    let mut loaded = Vec::new();
+    let mut absent = Vec::new();
+    let mut violations = Vec::new();
+    for file in BENCH_FILES {
+        let path = dir.join(file);
+        if !path.exists() {
+            absent.push(file.to_string());
+            continue;
+        }
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text))
+        {
+            Ok(json) => loaded.push((file.to_string(), json)),
+            Err(e) => violations.push(format!("{file}: unreadable snapshot: {e}")),
+        }
+    }
+    (loaded, absent, violations)
+}
+
+fn verdict_for(m: &Metric, base: Option<f64>, noise_pct: f64) -> (String, Option<String>) {
+    let Some(base) = base else {
+        return ("-".into(), None);
+    };
+    let (delta_text, regressed) = if m.points {
+        // Percent-point metric: compare by absolute points.
+        let delta = m.value - base;
+        let bad = match m.better {
+            Better::Higher => -delta,
+            Better::Lower => delta,
+        };
+        (format!("{delta:+.2}pt"), bad > noise_pct)
+    } else if base.abs() < f64::EPSILON {
+        (String::from("n/a"), false)
+    } else {
+        let delta = (m.value - base) / base * 100.0;
+        let bad = match m.better {
+            Better::Higher => -delta,
+            Better::Lower => delta,
+        };
+        (format!("{delta:+.1}%"), bad > noise_pct)
+    };
+    if regressed {
+        let why = format!(
+            "{}: {} → {} ({delta_text}) exceeds the {noise_pct}% noise band",
+            m.name, base, m.value
+        );
+        (format!("REGRESSED {delta_text}"), Some(why))
+    } else {
+        (format!("ok {delta_text}"), None)
+    }
+}
+
+/// Evaluates the gate over parsed snapshots. Pure — the I/O lives in
+/// [`load_dir`] / [`run`] so tests can gate synthetic trajectories.
+pub fn gate(
+    current: &[(String, Json)],
+    baseline: Option<&[(String, Json)]>,
+    noise_pct: f64,
+) -> GateReport {
+    let mut rep = GateReport::default();
+    let mut table = TextTable::new(
+        ["metric", "current", "baseline", "verdict"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (file, json) in current {
+        let tag = tag_of(file);
+        rep.violations.extend(invariants_of(&tag, json, noise_pct));
+        let base_json = baseline.and_then(|b| {
+            b.iter()
+                .find(|(name, _)| name == file)
+                .map(|(_, json)| json)
+        });
+        let base_metrics: Vec<Metric> = base_json.map(|j| metrics_of(&tag, j)).unwrap_or_default();
+        for m in metrics_of(&tag, json) {
+            let base = base_metrics
+                .iter()
+                .find(|b| b.name == m.name)
+                .map(|b| b.value);
+            let (verdict, regression) = verdict_for(&m, base, noise_pct);
+            if let Some(why) = regression {
+                rep.regressions.push(why);
+            }
+            table.row(vec![
+                m.name.clone(),
+                format!("{:.3}", m.value),
+                base.map(|b| format!("{b:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                verdict,
+            ]);
+        }
+    }
+
+    let mut out = format!(
+        "== perfgate: {} snapshot(s), noise band {noise_pct}% ==\n\n{}",
+        current.len(),
+        table.render()
+    );
+    if !rep.absent.is_empty() || !rep.violations.is_empty() {
+        out.push('\n');
+    }
+    for a in &rep.absent {
+        out.push_str(&format!("absent: {a} (not part of this trajectory yet)\n"));
+    }
+    for v in &rep.violations {
+        out.push_str(&format!("VIOLATION: {v}\n"));
+    }
+    for r in &rep.regressions {
+        out.push_str(&format!("REGRESSION: {r}\n"));
+    }
+    out.push_str(&format!(
+        "\nperfgate: {}\n",
+        if rep.violations.is_empty() && rep.regressions.is_empty() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    ));
+    rep.report = out;
+    rep
+}
+
+/// Loads, gates, and prints. `Err` is a usage problem (missing directory);
+/// `Ok(report)` carries the pass/fail verdict for the exit code.
+pub fn run(config: &PerfGateConfig) -> Result<GateReport, String> {
+    if !config.dir.is_dir() {
+        return Err(format!("--dir {}: not a directory", config.dir.display()));
+    }
+    let (current, absent, mut violations) = load_dir(&config.dir);
+    if current.is_empty() && violations.is_empty() {
+        return Err(format!(
+            "no BENCH_PR*.json snapshots under {}",
+            config.dir.display()
+        ));
+    }
+    let baseline = match &config.against {
+        Some(dir) => {
+            if !dir.is_dir() {
+                return Err(format!("--against {}: not a directory", dir.display()));
+            }
+            let (base, _, base_violations) = load_dir(dir);
+            violations.extend(base_violations.into_iter().map(|v| format!("baseline {v}")));
+            Some(base)
+        }
+        None => None,
+    };
+    let mut rep = gate(&current, baseline.as_deref(), config.noise_pct);
+    rep.absent = absent;
+    rep.violations.extend(violations);
+    // Late-arriving violations (unreadable files) must show in the text too.
+    if !rep.passed() && !rep.report.contains("FAIL") {
+        rep.report.push_str("perfgate: FAIL\n");
+    }
+    print!("{}", rep.report);
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed() -> Vec<(String, Json)> {
+        // The crate lives two levels below the repo root where the
+        // committed trajectory sits.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap();
+        let (loaded, _, violations) = load_dir(&root);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(!loaded.is_empty(), "committed BENCH snapshots exist");
+        loaded
+    }
+
+    #[test]
+    fn committed_trajectory_passes_the_gate() {
+        let current = committed();
+        let rep = gate(&current, None, DEFAULT_NOISE_PCT);
+        assert!(rep.passed(), "{}", rep.report);
+        assert!(rep.report.contains("perfgate: PASS"));
+        assert!(rep.report.contains("pr9.saturated_jobs_per_sec"));
+    }
+
+    #[test]
+    fn committed_trajectory_is_its_own_baseline() {
+        let current = committed();
+        let rep = gate(&current, Some(&current), DEFAULT_NOISE_PCT);
+        assert!(rep.passed(), "{}", rep.report);
+        // Every compared metric renders an in-band verdict.
+        assert!(rep.report.contains("ok +0.0%"), "{}", rep.report);
+        assert!(!rep.report.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn tampered_determinism_and_sunk_speedup_fail() {
+        let tampered: Vec<(String, Json)> = committed()
+            .into_iter()
+            .map(|(name, json)| {
+                let text = json.render();
+                let text = match name.as_str() {
+                    "BENCH_PR2.json" => {
+                        text.replace("\"deterministic\": true", "\"deterministic\": false")
+                    }
+                    _ => text,
+                };
+                (name, Json::parse(&text).unwrap())
+            })
+            .collect();
+        let rep = gate(&tampered, None, DEFAULT_NOISE_PCT);
+        assert!(!rep.passed());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.contains("pr2: deterministic")));
+    }
+
+    #[test]
+    fn regressions_against_a_baseline_trip_the_noise_band() {
+        let base = vec![(
+            "BENCH_PR9.json".to_string(),
+            Json::parse(
+                r#"{"bench":"BENCH_PR9","errors_5xx":0,"accounted":true,"graceful":true,
+                    "digest":"ab","digest_serial":"ab",
+                    "saturated_jobs_per_sec":100.0,"saturated_p99_us":1000,"burst_p99_us":1000}"#,
+            )
+            .unwrap(),
+        )];
+        // Throughput halved, p99 doubled: both outside a 10% band.
+        let cur = vec![(
+            "BENCH_PR9.json".to_string(),
+            Json::parse(
+                r#"{"bench":"BENCH_PR9","errors_5xx":0,"accounted":true,"graceful":true,
+                    "digest":"ab","digest_serial":"ab",
+                    "saturated_jobs_per_sec":50.0,"saturated_p99_us":2000,"burst_p99_us":1000}"#,
+            )
+            .unwrap(),
+        )];
+        let rep = gate(&cur, Some(&base), DEFAULT_NOISE_PCT);
+        assert_eq!(rep.regressions.len(), 2, "{}", rep.report);
+        assert!(rep.report.contains("REGRESSED"));
+        // The same numbers inside a huge band pass.
+        let loose = gate(&cur, Some(&base), 200.0);
+        assert!(loose.passed(), "{}", loose.report);
+    }
+
+    #[test]
+    fn percent_point_metrics_compare_by_points_not_ratio() {
+        let base = vec![(
+            "BENCH_PR4.json".to_string(),
+            Json::parse(
+                r#"{"bench":"BENCH_PR4","overhead_pct":-0.5,
+                    "digest_halt":"x","digest_recover":"x","deterministic":true}"#,
+            )
+            .unwrap(),
+        )];
+        // −0.5% → +5%: a 5.5-point worsening. Relative delta against a
+        // near-zero base would be nonsense; points catch it cleanly.
+        let cur = vec![(
+            "BENCH_PR4.json".to_string(),
+            Json::parse(
+                r#"{"bench":"BENCH_PR4","overhead_pct":5.0,
+                    "digest_halt":"x","digest_recover":"x","deterministic":true}"#,
+            )
+            .unwrap(),
+        )];
+        assert!(gate(&cur, Some(&base), 10.0).passed());
+        let tight = gate(&cur, Some(&base), 5.0);
+        assert!(!tight.passed(), "{}", tight.report);
+        assert!(tight.regressions[0].contains("pr4.overhead_pct"));
+    }
+
+    #[test]
+    fn flags_parse_and_reject_garbage() {
+        let ok = PerfGateConfig::parse(&[
+            "--check".into(),
+            "--dir".into(),
+            "a".into(),
+            "--against".into(),
+            "b".into(),
+            "--noise".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        assert!(ok.check);
+        assert_eq!(ok.dir, PathBuf::from("a"));
+        assert_eq!(ok.against, Some(PathBuf::from("b")));
+        assert_eq!(ok.noise_pct, 5.0);
+        assert!(PerfGateConfig::parse(&["--bogus".into()]).is_err());
+        assert!(PerfGateConfig::parse(&["--noise".into()]).is_err());
+        assert!(PerfGateConfig::parse(&["--noise".into(), "-3".into()]).is_err());
+    }
+
+    #[test]
+    fn absent_snapshots_report_without_failing() {
+        let dir = std::env::temp_dir().join(format!("giantsan-perfgate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_PR2.json"),
+            r#"{"bench":"BENCH_PR2","speedup":1.0,"digest_serial":"a",
+                "digest_parallel":"a","deterministic":true,"table2_csv_identical":true}"#,
+        )
+        .unwrap();
+        let (loaded, absent, violations) = load_dir(&dir);
+        assert_eq!(loaded.len(), 1);
+        assert!(absent.contains(&"BENCH_PR1.json".to_string()));
+        assert!(violations.is_empty());
+        // An unparseable snapshot is a violation, not a crash.
+        std::fs::write(dir.join("BENCH_PR5.json"), "{not json").unwrap();
+        let (_, _, violations) = load_dir(&dir);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("BENCH_PR5.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

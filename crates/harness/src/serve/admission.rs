@@ -114,8 +114,8 @@ pub enum QueueRefusal {
 
 /// A bounded MPMC FIFO with shutdown semantics.
 ///
-/// Producers (HTTP handlers) [`QueueState::push`]; consumers (job workers)
-/// [`QueueState::pop`], blocking until an item or drain. Closing the queue
+/// Producers (HTTP handlers) [`BoundedQueue::push`]; consumers (job workers)
+/// [`BoundedQueue::pop`], blocking until an item or drain. Closing the queue
 /// wakes every waiter: producers start refusing, consumers drain what is
 /// left and then observe `None`.
 #[derive(Debug)]

@@ -49,6 +49,10 @@ pub struct ServiceMetrics {
     pub request_latency_us: Mutex<Log2Hist>,
     /// Whole-job latency from admission to terminal state (µs).
     pub job_latency_us: Mutex<Log2Hist>,
+    /// Most recent terminal job and its root span id — the exemplar the
+    /// exposition links its families to, so a scrape can jump from an
+    /// aggregate counter to the exact causal chain behind it.
+    pub last_job: Mutex<Option<(String, u64)>>,
 }
 
 impl ServiceMetrics {
@@ -80,23 +84,32 @@ impl ServiceMetrics {
             .record(us);
     }
 
+    /// Remembers the most recent terminal job and its root span id for the
+    /// exemplar gauge in the exposition.
+    pub fn note_job(&self, job_id: &str, root_span: u64) {
+        *self.last_job.lock().expect("metrics poisoned") = Some((job_id.to_string(), root_span));
+    }
+
     /// Renders the Prometheus text exposition, with live gauges supplied by
     /// the caller (queue depth and readiness are scheduler state).
     pub fn exposition(&self, queue_depth: usize, queue_capacity: usize, ready: bool) -> String {
         let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let counters: Vec<(&str, &str, u64)> = vec![
+            // Family names follow the Prometheus text-format rules: the
+            // `_total` suffix terminates a counter name (a `_2xx` tail
+            // after it would make the family a non-counter to parsers).
             (
-                "giantsan_serve_responses_total_2xx",
+                "giantsan_serve_responses_2xx_total",
                 "HTTP responses with a 2xx status.",
                 c(&self.responses_2xx),
             ),
             (
-                "giantsan_serve_responses_total_4xx",
+                "giantsan_serve_responses_4xx_total",
                 "HTTP responses with a non-shed 4xx status.",
                 c(&self.responses_4xx),
             ),
             (
-                "giantsan_serve_responses_total_5xx",
+                "giantsan_serve_responses_5xx_total",
                 "HTTP responses with a 5xx status.",
                 c(&self.responses_5xx),
             ),
@@ -183,7 +196,7 @@ impl ServiceMetrics {
             .lock()
             .expect("metrics poisoned")
             .clone();
-        service_exposition(
+        let mut out = service_exposition(
             &counters,
             &gauges,
             &[
@@ -198,8 +211,96 @@ impl ServiceMetrics {
                     &job,
                 ),
             ],
-        )
+        );
+        // Build identity: which binary produced these numbers. The kernel
+        // label reports the runtime-dispatched shadow backend, the heap
+        // label the default allocator backend jobs execute under.
+        let heap = match giantsan_runtime::RuntimeConfig::default().heap_backend {
+            giantsan_runtime::HeapBackend::FreeList => "freelist",
+            giantsan_runtime::HeapBackend::BlockLine => "blockline",
+        };
+        out.push_str(
+            "# HELP repro_build_info Build and backend identity of the serving binary.\n\
+             # TYPE repro_build_info gauge\n",
+        );
+        out.push_str(&format!(
+            "repro_build_info{{version=\"{}\",kernel=\"{}\",heap=\"{heap}\"}} 1\n",
+            env!("CARGO_PKG_VERSION"),
+            giantsan_shadow::kernel::active().name(),
+        ));
+        // Exemplar-style linkage: the most recent terminal job and its root
+        // span, so a scrape can resolve aggregate families against
+        // `/v1/jobs/<job_id>/spans`.
+        if let Some((job_id, span)) = self.last_job.lock().expect("metrics poisoned").clone() {
+            out.push_str(
+                "# HELP giantsan_serve_last_job_info Most recent terminal job and its root span.\n\
+                 # TYPE giantsan_serve_last_job_info gauge\n",
+            );
+            out.push_str(&format!(
+                "giantsan_serve_last_job_info{{job_id=\"{job_id}\",span_id=\"{span:#018x}\"}} 1\n"
+            ));
+        }
+        out
     }
+}
+
+/// Lints a Prometheus text exposition against the format rules the scrape
+/// contract depends on. Returns one message per violation (empty = clean):
+///
+/// * every sample belongs to a family declared with both `# HELP` and
+///   `# TYPE` before its first sample;
+/// * counter family names end in `_total`;
+/// * no family is declared twice.
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut families: Vec<(String, String, bool)> = Vec::new(); // (name, type, has_help)
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("").to_string();
+            match families.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, _, has_help)) if *has_help => {
+                    violations.push(format!("duplicate HELP for family {name}"));
+                }
+                Some((_, _, has_help)) => *has_help = true,
+                None => families.push((name, String::new(), true)),
+            }
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap_or("").to_string();
+            let ty = it.next().unwrap_or("").to_string();
+            match families.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, t, _)) if !t.is_empty() => {
+                    violations.push(format!("duplicate TYPE for family {name}"));
+                }
+                Some((_, t, _)) => *t = ty.clone(),
+                None => families.push((name.clone(), ty.clone(), false)),
+            }
+            if ty == "counter" && !name.ends_with("_total") {
+                violations.push(format!("counter family {name} does not end in _total"));
+            }
+        } else if !line.starts_with('#') {
+            let sample = line.split(['{', ' ']).next().unwrap_or("").to_string();
+            // Histogram samples belong to their base family.
+            let base = sample
+                .strip_suffix("_bucket")
+                .or_else(|| sample.strip_suffix("_sum"))
+                .or_else(|| sample.strip_suffix("_count"))
+                .filter(|b| families.iter().any(|(n, _, _)| n == b))
+                .unwrap_or(&sample);
+            match families.iter().find(|(n, _, _)| n == base) {
+                None => violations.push(format!("sample {sample} has no declared family")),
+                Some((name, ty, has_help)) => {
+                    if ty.is_empty() {
+                        violations.push(format!("family {name} has no TYPE"));
+                    }
+                    if !has_help {
+                        violations.push(format!("family {name} has no HELP"));
+                    }
+                }
+            }
+        }
+    }
+    violations
 }
 
 #[cfg(test)]
@@ -214,14 +315,55 @@ mod tests {
         m.count_response(503);
         m.shed_queue_full.fetch_add(3, Ordering::Relaxed);
         m.observe_request(Instant::now());
+        m.note_job("job-000007", 0xabcd);
         let s = m.exposition(5, 64, true);
-        assert!(s.contains("giantsan_serve_responses_total_2xx 1"));
-        assert!(s.contains("giantsan_serve_responses_total_4xx 1"));
-        assert!(s.contains("giantsan_serve_responses_total_5xx 1"));
+        assert!(s.contains("giantsan_serve_responses_2xx_total 1"));
+        assert!(s.contains("giantsan_serve_responses_4xx_total 1"));
+        assert!(s.contains("giantsan_serve_responses_5xx_total 1"));
         assert!(s.contains("giantsan_serve_shed_queue_full_total 3"));
         assert!(s.contains("giantsan_serve_queue_depth 5"));
         assert!(s.contains("giantsan_serve_queue_capacity 64"));
         assert!(s.contains("giantsan_serve_ready 1"));
         assert!(s.contains("giantsan_serve_request_latency_us_count 1"));
+        assert!(s.contains("repro_build_info{version=\""));
+        assert!(s.contains("kernel=\""));
+        assert!(s.contains("heap=\"freelist\""));
+        assert!(s.contains(
+            "giantsan_serve_last_job_info{job_id=\"job-000007\",span_id=\"0x000000000000abcd\"} 1"
+        ));
+    }
+
+    #[test]
+    fn exposition_passes_the_text_format_lint() {
+        let m = ServiceMetrics::default();
+        m.count_response(200);
+        m.observe_request(Instant::now());
+        m.observe_job(Instant::now());
+        m.note_job("job-000001", 1);
+        let s = m.exposition(0, 64, true);
+        let violations = lint_exposition(&s);
+        assert!(violations.is_empty(), "{violations:?}\n{s}");
+    }
+
+    #[test]
+    fn lint_catches_the_violations_it_exists_for() {
+        // Counter not ending in _total (the pre-rename bug).
+        let bad = "# HELP x_total_2xx c\n# TYPE x_total_2xx counter\nx_total_2xx 1\n";
+        assert!(lint_exposition(bad)
+            .iter()
+            .any(|v| v.contains("does not end in _total")));
+        // Sample with no declared family.
+        assert!(lint_exposition("orphan 1\n")
+            .iter()
+            .any(|v| v.contains("no declared family")));
+        // Missing HELP.
+        let no_help = "# TYPE y gauge\ny 1\n";
+        assert!(lint_exposition(no_help)
+            .iter()
+            .any(|v| v.contains("no HELP")));
+        // Duplicate family declaration.
+        let dup = "# HELP z g\n# TYPE z gauge\n# HELP z g\n# TYPE z gauge\nz 1\n";
+        let v = lint_exposition(dup);
+        assert!(v.iter().any(|m| m.contains("duplicate")), "{v:?}");
     }
 }

@@ -178,7 +178,16 @@ impl Server {
                 cell_deadline: config.cell_deadline,
                 default_job_deadline: config.default_job_deadline,
             },
+            flight: Arc::new(giantsan_telemetry::FlightRecorder::new(
+                config.threads_per_job.max(1),
+                giantsan_telemetry::DEFAULT_FLIGHT_CAPACITY,
+            )),
+            active_job: std::sync::Mutex::new(None),
         });
+        // A watchdog-cancelled cell requests a flight dump before its panic
+        // unwinds: the supervisor loop (join) writes the bundle, exactly as
+        // if the operator had sent SIGUSR1 at the moment of the timeout.
+        giantsan_ir::watchdog::set_timeout_hook(signal::request_dump);
         // Recovery: every job left queued or mid-run by the previous
         // process goes back onto the queue; its campaign directory already
         // holds the committed shards, so the re-run resumes, not restarts.
@@ -238,7 +247,15 @@ impl Server {
             || signal::shutdown_requested()
             || self.shared.draining.load(Ordering::SeqCst))
         {
+            if signal::take_dump_request() {
+                Self::dump_flight_now(&self.shared);
+            }
             std::thread::sleep(Duration::from_millis(25));
+        }
+        // One last chance: a dump requested during the final poll interval
+        // (e.g. by a watchdog timeout racing the drain) still lands.
+        if signal::take_dump_request() {
+            Self::dump_flight_now(&self.shared);
         }
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.queue.close();
@@ -248,6 +265,33 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+    }
+
+    /// Dumps the flight recorder into the most recently started job's
+    /// directory (the job most likely wedged), or the data dir when no job
+    /// has started yet. Fired by SIGUSR1 and by the watchdog timeout hook.
+    fn dump_flight_now(shared: &Arc<SchedulerShared>) {
+        let target = shared
+            .active_job
+            .lock()
+            .expect("active job poisoned")
+            .clone();
+        match target {
+            Some(job) => {
+                scheduler::dump_flight(&shared.flight, &job.dir, &job.id);
+                eprintln!(
+                    "repro serve: flight recorder dumped to {}",
+                    job.dir.display()
+                );
+            }
+            None => {
+                scheduler::dump_flight(&shared.flight, shared.jobs.data_dir(), "serve");
+                eprintln!(
+                    "repro serve: flight recorder dumped to {}",
+                    shared.jobs.data_dir().display()
+                );
+            }
         }
     }
 }
@@ -415,7 +459,11 @@ mod tests {
         let (st, metrics) = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(st, 200);
         assert!(metrics.contains("giantsan_serve_jobs_completed_total 1"));
-        assert!(metrics.contains("giantsan_serve_responses_total_5xx 0"));
+        assert!(metrics.contains("giantsan_serve_responses_5xx_total 0"));
+        // Exemplar-style linkage: the completed job is addressable from the
+        // exposition by id and root span.
+        assert!(metrics.contains(&format!("giantsan_serve_last_job_info{{job_id=\"{id}\"")));
+        assert!(metrics.contains("repro_build_info{"));
         // Drain via the admin endpoint: readyz flips, submissions bounce.
         let (st, _) = request(addr, "POST /admin/drain HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(st, 202);

@@ -14,6 +14,7 @@
 //! | `GET /v1/jobs` | list all jobs |
 //! | `GET /v1/jobs/{id}` | one job's status document |
 //! | `GET /v1/jobs/{id}/events` | the job's event log as JSON Lines |
+//! | `GET /v1/jobs/{id}/spans` | the job's causal span chain as JSON Lines |
 //! | `GET /v1/jobs/{id}/report` | rendered study report (`?format=json`) |
 //! | `GET /v1/studies` | the study registry |
 //! | `GET /metrics` | Prometheus text exposition |
@@ -184,6 +185,17 @@ impl Router {
         match sub {
             None => Response::json(200, job.snapshot().render()),
             Some("events") => Response::ndjson(job.events_jsonl()),
+            Some("spans") => {
+                // Written by the scheduler when the job starts; durable, so
+                // it survives the process that ran the job.
+                match std::fs::read_to_string(job.dir.join("spans.jsonl")) {
+                    Ok(text) => Response::ndjson(text),
+                    Err(_) => Response::error(
+                        404,
+                        &format!("job `{id}` has no span file yet (not started)"),
+                    ),
+                }
+            }
             Some("report") => {
                 let st = job.status();
                 if st.phase != JobPhase::Completed {
@@ -260,6 +272,11 @@ mod tests {
             jobs: JobRegistry::open(dir).unwrap(),
             draining: AtomicBool::new(false),
             config: SchedulerConfig::default(),
+            flight: Arc::new(giantsan_telemetry::FlightRecorder::new(
+                2,
+                giantsan_telemetry::DEFAULT_FLIGHT_CAPACITY,
+            )),
+            active_job: std::sync::Mutex::new(None),
         });
         Router::new(shared, rate, rate.max(1))
     }
@@ -347,6 +364,32 @@ mod tests {
         let text = String::from_utf8(events.body).unwrap();
         assert!(text.contains("\"event\":\"admitted\""));
         assert!(text.contains("\"event\":\"completed\""));
+        // The causal span chain is served as JSONL and chains to a request
+        // root.
+        let spans = r.handle(&get(&format!("/v1/jobs/{id}/spans")), "t");
+        assert_eq!(spans.status, 200);
+        let spans = String::from_utf8(spans.body).unwrap();
+        assert!(spans.contains("\"kind\":\"request\""));
+        assert!(spans.contains("\"kind\":\"cell\""));
+        assert!(spans
+            .lines()
+            .all(|l| giantsan_telemetry::parse_span_line(l).is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_before_start_is_a_404() {
+        let dir = tmpdir("nospans");
+        let r = router(&dir, 4, 0);
+        let resp = r.handle(&post("/v1/jobs", r#"{"study":"echo"}"#), "t");
+        assert_eq!(resp.status, 202);
+        let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let id = body.get("id").and_then(Json::as_str).unwrap().to_string();
+        // Queued but never started: no spans.jsonl on disk yet.
+        assert_eq!(
+            r.handle(&get(&format!("/v1/jobs/{id}/spans")), "t").status,
+            404
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

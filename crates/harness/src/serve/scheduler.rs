@@ -17,13 +17,16 @@
 //! ([`BatchRunner::with_cell_deadline`]): they get a quarantined placeholder
 //! payload instead of hanging the pool.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use giantsan_telemetry::{span_id, FlightEventKind, FlightRecorder, SpanKind, SpanSet};
+
 use crate::batch::BatchRunner;
-use crate::campaign::{records_digest, Campaign, ShardSpec};
+use crate::campaign::{records_digest, shard_range, Campaign, ShardSpec};
 use crate::json::Json;
 use crate::serve::admission::BoundedQueue;
 use crate::serve::jobs::{JobEntry, JobPhase, JobRegistry};
@@ -69,12 +72,78 @@ pub struct SchedulerShared {
     pub draining: AtomicBool,
     /// Pool tunables.
     pub config: SchedulerConfig,
+    /// Crash flight recorder shared by every worker's batch runners; dumped
+    /// into the job directory when cells quarantine or SIGUSR1 arrives.
+    pub flight: Arc<FlightRecorder>,
+    /// The most recently started job — the directory a SIGUSR1 dump lands
+    /// in (the job most likely to be wedged when the operator asks).
+    pub active_job: Mutex<Option<Arc<JobEntry>>>,
 }
 
 impl SchedulerShared {
     /// `true` while the server should admit new work.
     pub fn accepting(&self) -> bool {
         !self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// The causal span chain of one job, plus the two ids the scheduler needs
+/// while driving it (shard spans are `span_id(job, Shard, index)` and cell
+/// spans hang under those — the batch runner derives them the same way).
+#[derive(Debug)]
+pub struct JobSpans {
+    /// The full request → admission → scheduler → job → shard → cell set,
+    /// rendered into the job directory as `spans.jsonl`.
+    pub set: SpanSet,
+    /// The root (request) span id.
+    pub root: u64,
+    /// The job span id.
+    pub job: u64,
+}
+
+/// Builds the deterministic span chain for one job.
+///
+/// Every id derives from the campaign spec hash — no wall-clock, no thread
+/// identity — so the set is byte-identical across thread counts, resumes,
+/// and processes. That is what lets `spans.jsonl` be written **before** the
+/// first shard runs: when a cell later wedges, the post-mortem dump already
+/// has the causal chain on disk.
+pub fn job_spans(spec_hash: u64, labels: &[String], job_id: &str, shards: usize) -> JobSpans {
+    let mut set = SpanSet::new();
+    let root = set.root(spec_hash, format!("POST /v1/jobs -> {job_id}"));
+    let admission = set.child(root, SpanKind::Admission, 0, "admission queue");
+    let sched = set.child(admission, SpanKind::Scheduler, 0, "worker pool");
+    let job = set.child(sched, SpanKind::Job, 0, job_id);
+    for shard in 0..shards.max(1) {
+        let range = shard_range(labels.len(), shard, shards.max(1));
+        let s = set.child(
+            job,
+            SpanKind::Shard,
+            shard as u64,
+            format!("shard {shard} (cells {}..{})", range.start, range.end),
+        );
+        for i in range {
+            set.child(s, SpanKind::Cell, i as u64, &labels[i]);
+        }
+    }
+    JobSpans { set, root, job }
+}
+
+/// Writes the flight recorder's retained events into `dir` as a
+/// self-contained JSONL + Chrome-trace bundle (`flight.jsonl`,
+/// `flight_chrome.json` — the latter loads in Perfetto).
+pub fn dump_flight(flight: &FlightRecorder, dir: &Path, process: &str) {
+    // Dumps are re-fired (SIGUSR1, watchdog) while readers may already be
+    // loading a previous bundle, so each file lands via rename: a reader
+    // never observes a truncated-but-unwritten artifact.
+    write_atomic(dir, "flight.jsonl", &flight.to_jsonl());
+    write_atomic(dir, "flight_chrome.json", &flight.to_chrome(process));
+}
+
+fn write_atomic(dir: &Path, name: &str, contents: &str) {
+    let tmp = dir.join(format!("{name}.tmp"));
+    if std::fs::write(&tmp, contents).is_ok() {
+        let _ = std::fs::rename(&tmp, dir.join(name));
     }
 }
 
@@ -146,6 +215,26 @@ pub fn run_job(shared: &SchedulerShared, job: &Arc<JobEntry>) {
         Err(e) => return fail(shared, job, e.to_string()),
     };
     let dir = job.campaign_dir();
+    // The causal span chain is fully determined by the spec, so it goes to
+    // disk *now*: if a cell wedges mid-shard, the post-mortem flight dump
+    // already has spans.jsonl to chain back through.
+    let spans = job_spans(
+        campaign.spec_hash(),
+        campaign.labels(),
+        &job.id,
+        job.spec.shards,
+    );
+    let _ = std::fs::write(job.dir.join("spans.jsonl"), spans.set.to_jsonl());
+    shared.metrics.note_job(&job.id, spans.root);
+    *shared.active_job.lock().expect("active job poisoned") = Some(Arc::clone(job));
+    let job_seq = job
+        .id
+        .strip_prefix("job-")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    shared
+        .flight
+        .record(0, FlightEventKind::JobStart, spans.job, job_seq, 0);
     let runner = BatchRunner::new(shared.config.threads_per_job)
         .with_cell_deadline(shared.config.cell_deadline);
     let deadline = job
@@ -188,7 +277,23 @@ pub fn run_job(shared: &SchedulerShared, job: &Arc<JobEntry>) {
             index: shard,
             count: shards,
         };
-        match campaign.run_shard(&dir, spec, &runner) {
+        let range = shard_range(cells, shard, shards);
+        let shard_span = span_id(spans.job, SpanKind::Shard, shard as u64);
+        shared.flight.record(
+            0,
+            FlightEventKind::ShardStart,
+            shard_span,
+            shard as u64,
+            range.len() as u64,
+        );
+        // Each shard gets a flight-armed runner: cell lifecycle events land
+        // in the ring attributed to spans the batch engine derives exactly
+        // as `job_spans` did, so dumps resolve against spans.jsonl.
+        let shard_runner =
+            runner
+                .clone()
+                .with_flight(Arc::clone(&shared.flight), shard_span, range.start as u64);
+        match campaign.run_shard(&dir, spec, &shard_runner) {
             Ok(ran) => {
                 if ran {
                     shared
@@ -196,7 +301,14 @@ pub fn run_job(shared: &SchedulerShared, job: &Arc<JobEntry>) {
                         .shards_committed
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                let len = crate::campaign::shard_range(cells, shard, shards).len();
+                shared.flight.record(
+                    0,
+                    FlightEventKind::ShardEnd,
+                    shard_span,
+                    shard as u64,
+                    range.len() as u64,
+                );
+                let len = range.len();
                 shared
                     .metrics
                     .cells_run
@@ -233,6 +345,20 @@ pub fn run_job(shared: &SchedulerShared, job: &Arc<JobEntry>) {
         .metrics
         .cells_quarantined
         .fetch_add(quarantined as u64, Ordering::Relaxed);
+    if quarantined > 0 {
+        // Cells wedged or crashed inside this job: preserve the black box
+        // alongside the records, before anything overwrites the rings.
+        dump_flight(&shared.flight, &job.dir, &job.id);
+        job.push_event(
+            "flight_dumped",
+            Json::obj()
+                .field("reason", "quarantine")
+                .field("quarantined", quarantined as u64),
+        );
+    }
+    shared
+        .flight
+        .record(0, FlightEventKind::JobEnd, spans.job, job_seq, 0);
     let digest = records_digest(&records);
     shared
         .metrics
@@ -279,7 +405,7 @@ mod tests {
         dir
     }
 
-    fn shared(dir: &Path) -> Arc<SchedulerShared> {
+    fn shared_with_cell_deadline(dir: &Path, cell_deadline: Duration) -> Arc<SchedulerShared> {
         Arc::new(SchedulerShared {
             queue: BoundedQueue::new(16),
             metrics: ServiceMetrics::default(),
@@ -289,10 +415,19 @@ mod tests {
             config: SchedulerConfig {
                 workers: 1,
                 threads_per_job: 2,
-                cell_deadline: Duration::from_secs(10),
+                cell_deadline,
                 default_job_deadline: Duration::from_secs(60),
             },
+            flight: Arc::new(FlightRecorder::new(
+                2,
+                giantsan_telemetry::DEFAULT_FLIGHT_CAPACITY,
+            )),
+            active_job: Mutex::new(None),
         })
+    }
+
+    fn shared(dir: &Path) -> Arc<SchedulerShared> {
+        shared_with_cell_deadline(dir, Duration::from_secs(10))
     }
 
     fn echo_spec(shared: &SchedulerShared, body: &str) -> JobSpec {
@@ -324,6 +459,98 @@ mod tests {
             .unwrap()
             .run_all(&BatchRunner::serial());
         assert_eq!(st.digest.unwrap(), records_digest(&serial));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spans_jsonl_is_written_at_start_and_chains_cells_to_the_request() {
+        let dir = tmpdir("spans");
+        let sh = shared(&dir);
+        let spec = echo_spec(
+            &sh,
+            r#"{"study":"echo","params":{"scale":4,"rounds":1},"shards":2}"#,
+        );
+        let job = sh.jobs.create(spec).unwrap();
+        run_job(&sh, &job);
+        assert_eq!(job.status().phase, JobPhase::Completed);
+        let text = std::fs::read_to_string(job.dir.join("spans.jsonl")).unwrap();
+        let spans = job_spans(
+            {
+                let study = sh.studies.get("echo").unwrap();
+                let mut opts = job.spec.opts.clone();
+                opts.threads = sh.config.threads_per_job;
+                Campaign::new(study, opts).unwrap().spec_hash()
+            },
+            &["echo-0000", "echo-0001", "echo-0002", "echo-0003"].map(String::from),
+            &job.id,
+            2,
+        );
+        // The file is exactly the deterministic set: request + admission +
+        // scheduler + job + 2 shards + 4 cells = 10 spans.
+        assert_eq!(text, spans.set.to_jsonl());
+        assert_eq!(text.lines().count(), 10);
+        // Every cell span's ancestry walks back to the request root.
+        for span in spans.set.spans() {
+            if span.kind == SpanKind::Cell {
+                let chain = spans.set.ancestry(span.id);
+                assert_eq!(*chain.last().unwrap(), spans.root);
+            }
+        }
+        // Completion also registered the job on /metrics exemplars.
+        assert_eq!(
+            sh.metrics.last_job.lock().unwrap().as_ref().unwrap().0,
+            job.id
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_cell_deadline_quarantines_and_dumps_the_flight_recorder() {
+        let dir = tmpdir("flight");
+        let sh = shared_with_cell_deadline(&dir, Duration::from_millis(0));
+        let spec = echo_spec(
+            &sh,
+            r#"{"study":"echo","params":{"scale":3,"rounds":2},"shards":1}"#,
+        );
+        let job = sh.jobs.create(spec).unwrap();
+        run_job(&sh, &job);
+        // Quarantined cells degrade to placeholder records; the job still
+        // completes, and the black box lands next to the records.
+        let st = job.status();
+        assert_eq!(st.phase, JobPhase::Completed);
+        assert!(sh.metrics.cells_quarantined.load(Ordering::Relaxed) > 0);
+        let flight = std::fs::read_to_string(job.dir.join("flight.jsonl")).unwrap();
+        assert!(flight.lines().next().unwrap().contains("\"flight\":\"v1\""));
+        assert!(flight.contains("\"ev\":\"timeout\""));
+        assert!(flight.contains("\"ev\":\"quarantine\""));
+        assert!(job.dir.join("flight_chrome.json").exists());
+        // Every cell event's span resolves in spans.jsonl and chains back
+        // to a request root — the acceptance criterion for post-mortems.
+        let spans_text = std::fs::read_to_string(job.dir.join("spans.jsonl")).unwrap();
+        let mut set = std::collections::HashMap::new();
+        for line in spans_text.lines() {
+            let (id, parent) = giantsan_telemetry::parse_span_line(line).unwrap();
+            set.insert(id, parent);
+        }
+        let mut checked = 0;
+        for line in flight.lines().skip(1) {
+            if !line.contains("\"ev\":\"quarantine\"") {
+                continue;
+            }
+            let span = line
+                .split("\"span\":\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+                .unwrap();
+            let mut cur = span;
+            while let Some(Some(parent)) = set.get(&cur) {
+                cur = *parent;
+            }
+            assert!(set.contains_key(&cur), "span {span:#x} dangles");
+            checked += 1;
+        }
+        assert!(checked > 0, "no quarantine events found in the dump");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

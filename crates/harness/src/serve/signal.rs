@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static DUMP: AtomicBool = AtomicBool::new(false);
 
 /// `true` once SIGTERM/SIGINT was delivered (or [`request_shutdown`] ran).
 pub fn shutdown_requested() -> bool {
@@ -24,13 +25,32 @@ pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
+/// Flags a flight-recorder dump from ordinary code (the watchdog timeout
+/// hook, tests). Equivalent to delivering SIGUSR1.
+pub fn request_dump() {
+    DUMP.store(true, Ordering::SeqCst);
+}
+
+/// `true` while a flight-recorder dump is pending (SIGUSR1 delivered or
+/// [`request_dump`] ran).
+pub fn dump_requested() -> bool {
+    DUMP.load(Ordering::SeqCst)
+}
+
+/// Consumes a pending dump request, returning `true` if one was pending.
+/// The supervisor loop calls this so each SIGUSR1 produces one dump.
+pub fn take_dump_request() -> bool {
+    DUMP.swap(false, Ordering::SeqCst)
+}
+
 #[cfg(unix)]
 mod unix {
-    use super::SHUTDOWN;
+    use super::{DUMP, SHUTDOWN};
     use std::sync::atomic::Ordering;
 
     // Values from the Linux/POSIX ABI; stable across the platforms CI runs.
     const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10;
     const SIGTERM: i32 = 15;
 
     extern "C" {
@@ -42,11 +62,18 @@ mod unix {
         SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
-    /// Installs the handlers for SIGTERM and SIGINT.
+    extern "C" fn on_dump_signal(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store. The actual
+        // dump I/O happens on the supervisor thread that polls the flag.
+        DUMP.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers for SIGTERM, SIGINT, and SIGUSR1.
     pub fn install() {
         unsafe {
             signal(SIGTERM, on_signal as *const () as usize);
             signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGUSR1, on_dump_signal as *const () as usize);
         }
     }
 }
@@ -69,5 +96,18 @@ mod tests {
         // test, which owns its whole process.
         install_handlers();
         assert!(!shutdown_requested());
+    }
+
+    #[test]
+    fn dump_request_is_consumed_by_take() {
+        // The dump flag is process-global and the watchdog timeout hook
+        // (installed by server tests in this binary) can set it at any
+        // moment, so this test only asserts the set → observe → consume
+        // path and never asserts the flag is clear.
+        request_dump();
+        assert!(dump_requested());
+        assert!(take_dump_request());
+        // Drain best-effort so later tests start from a (likely) clear flag.
+        let _ = take_dump_request();
     }
 }

@@ -37,6 +37,11 @@ fn tmpdir(tag: &str) -> PathBuf {
 /// Spawns `repro serve` on an ephemeral port and returns the child plus the
 /// bound address parsed from its stdout banner.
 fn spawn_serve(data_dir: &Path) -> (Child, String) {
+    spawn_serve_with(data_dir, &[])
+}
+
+/// [`spawn_serve`] with extra flags appended (e.g. a cell deadline).
+fn spawn_serve_with(data_dir: &Path, extra: &[&str]) -> (Child, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args([
             "serve",
@@ -49,6 +54,7 @@ fn spawn_serve(data_dir: &Path) -> (Child, String) {
             "--threads-per-job",
             "1",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -219,7 +225,7 @@ fn sigkill_mid_campaign_then_restart_resumes_to_the_serial_digest() {
         "{metrics}"
     );
     assert!(
-        metrics.contains("giantsan_serve_responses_total_5xx 0"),
+        metrics.contains("giantsan_serve_responses_5xx_total 0"),
         "{metrics}"
     );
 
@@ -232,6 +238,104 @@ fn sigkill_mid_campaign_then_restart_resumes_to_the_serial_digest() {
     let status = wait_exit(&mut child2, Duration::from_secs(30));
     assert_eq!(status.code(), Some(0), "SIGTERM drain must exit 0");
 
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+/// Pulls the `"span":"0x..."` field out of a flight-recorder JSONL line.
+fn flight_span(line: &str) -> Option<u64> {
+    let at = line.find("\"span\":\"0x")? + "\"span\":\"0x".len();
+    u64::from_str_radix(line.get(at..at + 16)?, 16).ok()
+}
+
+#[test]
+fn watchdog_fired_cells_leave_a_flight_dump_chaining_to_the_request() {
+    let data = tmpdir("flight");
+    // A zero cell deadline makes the watchdog fire in every cell: the cells
+    // quarantine to placeholders, the job still completes, and the
+    // quarantine path must dump the flight recorder into the job dir.
+    let (mut child, addr) = spawn_serve_with(&data, &["--cell-deadline-ms", "0"]);
+
+    let body = r#"{"study":"echo","params":{"scale":3,"rounds":2,"seed":"0xf1"}}"#;
+    let (st, resp) = request(
+        &addr,
+        &format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(st, 202, "{resp}");
+    let id = Json::parse(&resp)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    let t0 = Instant::now();
+    loop {
+        let (st, body) = get(&addr, &format!("/v1/jobs/{id}"));
+        assert_eq!(st, 200, "{body}");
+        let state = Json::parse(&body)
+            .unwrap()
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if state == "completed" {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "watchdog job never completed: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The span chain was written at job start and is served over HTTP.
+    let (st, spans_text) = get(&addr, &format!("/v1/jobs/{id}/spans"));
+    assert_eq!(st, 200, "{spans_text}");
+    let parents: std::collections::HashMap<u64, Option<u64>> = spans_text
+        .lines()
+        .filter_map(giantsan_telemetry::parse_span_line)
+        .collect();
+    assert!(!parents.is_empty(), "{spans_text}");
+    let root_line = spans_text
+        .lines()
+        .find(|l| l.contains("\"kind\":\"request\""))
+        .expect("request root span served");
+    let (root, none) = giantsan_telemetry::parse_span_line(root_line).unwrap();
+    assert_eq!(none, None, "the request span is the chain root");
+
+    // The flight dump exists, parses, and its quarantine events carry span
+    // ids that chain all the way back to the originating HTTP request.
+    let job_dir = data.join("jobs").join(&id);
+    let flight = std::fs::read_to_string(job_dir.join("flight.jsonl")).expect("flight.jsonl");
+    assert!(
+        flight.lines().next().unwrap().contains("\"flight\":\"v1\""),
+        "{flight}"
+    );
+    let quarantined: Vec<u64> = flight
+        .lines()
+        .filter(|l| l.contains("\"ev\":\"quarantine\""))
+        .filter_map(flight_span)
+        .collect();
+    assert!(!quarantined.is_empty(), "{flight}");
+    for span in quarantined {
+        let mut cur = span;
+        let mut hops = 0;
+        while let Some(&Some(parent)) = parents.get(&cur) {
+            cur = parent;
+            hops += 1;
+            assert!(hops <= parents.len(), "parent chain loops");
+        }
+        assert_eq!(cur, root, "quarantined span chains to the request root");
+    }
+    // The Chrome rendering of the same dump is loadable trace_event JSON.
+    let chrome = std::fs::read_to_string(job_dir.join("flight_chrome.json")).unwrap();
+    assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+
+    child.kill().expect("kill serve");
+    let _ = child.wait();
     let _ = std::fs::remove_dir_all(&data);
 }
 

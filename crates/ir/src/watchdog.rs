@@ -23,10 +23,25 @@
 //! [`step`]: crate::ExecConfig::max_steps
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 thread_local! {
     static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Process-wide hook fired once per timeout, just before [`poll`] panics.
+///
+/// The sanitizer service installs a flight-recorder dump request here so a
+/// wedged cell leaves a post-mortem trace bundle even though the panic
+/// itself unwinds into the batch engine's quarantine path. The hook runs on
+/// the timing-out worker thread and must not panic or block.
+static TIMEOUT_HOOK: OnceLock<fn()> = OnceLock::new();
+
+/// Installs the process-wide timeout hook. First caller wins; later calls
+/// are ignored (the service installs it once at startup).
+pub fn set_timeout_hook(hook: fn()) {
+    let _ = TIMEOUT_HOOK.set(hook);
 }
 
 /// The panic payload [`poll`] raises on an expired deadline. The batch
@@ -80,6 +95,9 @@ pub fn expired() -> bool {
 #[inline]
 pub fn poll() {
     if expired() {
+        if let Some(hook) = TIMEOUT_HOOK.get() {
+            hook();
+        }
         std::panic::panic_any(TIMEOUT_PAYLOAD);
     }
 }
@@ -131,6 +149,22 @@ mod tests {
             assert!(expired());
         }
         assert!(expired());
+    }
+
+    #[test]
+    fn timeout_hook_fires_before_the_panic() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static FIRED: AtomicU64 = AtomicU64::new(0);
+        // The hook is process-global; installing a pure counter bump keeps
+        // this safe no matter which other test trips a timeout afterwards.
+        set_timeout_hook(|| {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+        });
+        let before = FIRED.load(Ordering::SeqCst);
+        let _g = arm(Duration::from_millis(0));
+        let err = std::panic::catch_unwind(poll).unwrap_err();
+        assert!(is_timeout_payload(err.as_ref()));
+        assert!(FIRED.load(Ordering::SeqCst) > before);
     }
 
     #[test]

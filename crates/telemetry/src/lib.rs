@@ -25,6 +25,12 @@
 //!   Chrome `trace_event` format loadable in Perfetto / `chrome://tracing`
 //!   ([`export::ChromeTrace`]), and a Prometheus-style text exposition
 //!   ([`export::prometheus`]).
+//! * [`span`] — causal spans with deterministic parent-linked ids
+//!   connecting an HTTP request to the shard, cell, pass, and check
+//!   hot-spot work it caused.
+//! * [`flight`] — a bounded lock-free per-worker flight recorder whose
+//!   ring contents can be dumped as a JSONL + Chrome-trace bundle when a
+//!   cell wedges, panics, or a SIGUSR1 arrives.
 //!
 //! # The thread-invariance rule
 //!
@@ -60,12 +66,16 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod recorder;
+pub mod span;
 
 pub use event::{
     fnv1a, site_label, AllocPlacement, CheckPathKind, Event, EventKind, LOOP_FINAL_SITE,
     PRE_CHECK_SITE,
 };
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use hist::{Histograms, Log2Hist, PathMix};
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
+pub use span::{parse_span_line, span_id, Span, SpanKind, SpanSet};
